@@ -1,0 +1,300 @@
+//! Centralized combinatorial baselines: Dinic's maximum flow and
+//! successive-shortest-path minimum cost maximum flow.
+//!
+//! These are the ground truth the LP-based Broadcast Congested Clique
+//! algorithm of Theorem 1.1 is compared against in tests and in experiment
+//! E9. They operate on the same [`FlowInstance`] type and always return exact
+//! integral flows.
+
+use bcc_graph::FlowInstance;
+
+/// An exact integral flow together with its value and cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegralFlow {
+    /// Flow on every arc (same indexing as the instance's arcs).
+    pub flow: Vec<i64>,
+    /// Flow value (net outflow of the source).
+    pub value: i64,
+    /// Total cost `Σ q_e·f_e`.
+    pub cost: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ResidualArc {
+    to: usize,
+    capacity: i64,
+    cost: i64,
+    /// Index of the original arc (`usize::MAX` for reverse arcs).
+    original: usize,
+}
+
+struct ResidualGraph {
+    arcs: Vec<ResidualArc>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl ResidualGraph {
+    fn new(instance: &FlowInstance) -> Self {
+        let n = instance.graph.n();
+        let mut arcs = Vec::with_capacity(2 * instance.graph.m());
+        let mut adjacency = vec![Vec::new(); n];
+        for (idx, arc) in instance.graph.arcs().iter().enumerate() {
+            adjacency[arc.from].push(arcs.len());
+            arcs.push(ResidualArc {
+                to: arc.to,
+                capacity: arc.capacity,
+                cost: arc.cost,
+                original: idx,
+            });
+            adjacency[arc.to].push(arcs.len());
+            arcs.push(ResidualArc {
+                to: arc.from,
+                capacity: 0,
+                cost: -arc.cost,
+                original: usize::MAX,
+            });
+        }
+        ResidualGraph { arcs, adjacency }
+    }
+
+    fn extract_flow(&self, instance: &FlowInstance) -> IntegralFlow {
+        let mut flow = vec![0i64; instance.graph.m()];
+        for (idx, arc) in self.arcs.iter().enumerate() {
+            if idx % 2 == 1 {
+                // The reverse arc's capacity equals the flow pushed forward.
+                let forward = &self.arcs[idx - 1];
+                if forward.original != usize::MAX {
+                    flow[forward.original] = arc.capacity;
+                }
+            }
+        }
+        let value = instance
+            .graph
+            .out_arcs(instance.source)
+            .iter()
+            .map(|&a| flow[a])
+            .sum::<i64>()
+            - instance
+                .graph
+                .in_arcs(instance.source)
+                .iter()
+                .map(|&a| flow[a])
+                .sum::<i64>();
+        let cost = instance
+            .graph
+            .arcs()
+            .iter()
+            .zip(&flow)
+            .map(|(a, &f)| a.cost * f)
+            .sum();
+        IntegralFlow { flow, value, cost }
+    }
+}
+
+/// Dinic's maximum-flow algorithm (exact, `O(V²E)`).
+pub fn dinic_max_flow(instance: &FlowInstance) -> IntegralFlow {
+    let n = instance.graph.n();
+    let mut residual = ResidualGraph::new(instance);
+    let source = instance.source;
+    let sink = instance.sink;
+    loop {
+        // BFS level graph.
+        let mut level = vec![usize::MAX; n];
+        level[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(v) = queue.pop_front() {
+            for &a in &residual.adjacency[v] {
+                let arc = residual.arcs[a];
+                if arc.capacity > 0 && level[arc.to] == usize::MAX {
+                    level[arc.to] = level[v] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if level[sink] == usize::MAX {
+            break;
+        }
+        // DFS blocking flow.
+        let mut iter = vec![0usize; n];
+        loop {
+            let pushed = dfs_push(&mut residual, &level, &mut iter, source, sink, i64::MAX);
+            if pushed == 0 {
+                break;
+            }
+        }
+    }
+    residual.extract_flow(instance)
+}
+
+fn dfs_push(
+    residual: &mut ResidualGraph,
+    level: &[usize],
+    iter: &mut [usize],
+    v: usize,
+    sink: usize,
+    limit: i64,
+) -> i64 {
+    if v == sink {
+        return limit;
+    }
+    while iter[v] < residual.adjacency[v].len() {
+        let a = residual.adjacency[v][iter[v]];
+        let arc = residual.arcs[a];
+        if arc.capacity > 0 && level[arc.to] == level[v] + 1 {
+            let pushed = dfs_push(
+                residual,
+                level,
+                iter,
+                arc.to,
+                sink,
+                limit.min(arc.capacity),
+            );
+            if pushed > 0 {
+                residual.arcs[a].capacity -= pushed;
+                residual.arcs[a ^ 1].capacity += pushed;
+                return pushed;
+            }
+        }
+        iter[v] += 1;
+    }
+    0
+}
+
+/// Successive shortest path minimum cost maximum flow (exact; Bellman–Ford
+/// shortest paths on the residual graph, so negative costs are allowed).
+pub fn ssp_min_cost_max_flow(instance: &FlowInstance) -> IntegralFlow {
+    let n = instance.graph.n();
+    let mut residual = ResidualGraph::new(instance);
+    let source = instance.source;
+    let sink = instance.sink;
+    loop {
+        // Bellman–Ford for the cheapest augmenting path.
+        let mut dist = vec![i64::MAX; n];
+        let mut parent_arc = vec![usize::MAX; n];
+        dist[source] = 0;
+        for _ in 0..n {
+            let mut changed = false;
+            for v in 0..n {
+                if dist[v] == i64::MAX {
+                    continue;
+                }
+                for &a in &residual.adjacency[v] {
+                    let arc = residual.arcs[a];
+                    if arc.capacity > 0 && dist[v] + arc.cost < dist[arc.to] {
+                        dist[arc.to] = dist[v] + arc.cost;
+                        parent_arc[arc.to] = a;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if dist[sink] == i64::MAX {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = i64::MAX;
+        let mut v = sink;
+        while v != source {
+            let a = parent_arc[v];
+            bottleneck = bottleneck.min(residual.arcs[a].capacity);
+            v = other_endpoint(&residual, a);
+        }
+        // Augment.
+        let mut v = sink;
+        while v != source {
+            let a = parent_arc[v];
+            residual.arcs[a].capacity -= bottleneck;
+            residual.arcs[a ^ 1].capacity += bottleneck;
+            v = other_endpoint(&residual, a);
+        }
+    }
+    residual.extract_flow(instance)
+}
+
+fn other_endpoint(residual: &ResidualGraph, arc_index: usize) -> usize {
+    // The paired reverse arc points back to the tail of `arc_index`.
+    residual.arcs[arc_index ^ 1].to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::{generators, DiGraph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn diamond() -> FlowInstance {
+        // Two parallel 2-arc paths: cheap one with capacity 2, expensive one
+        // with capacity 3.
+        let g = DiGraph::from_arcs(
+            4,
+            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)],
+        );
+        FlowInstance::new(g, 0, 3)
+    }
+
+    #[test]
+    fn dinic_finds_the_maximum_flow_of_the_diamond() {
+        let inst = diamond();
+        let flow = dinic_max_flow(&inst);
+        assert_eq!(flow.value, 5);
+        let as_f64: Vec<f64> = flow.flow.iter().map(|&f| f as f64).collect();
+        assert!(inst.is_feasible(&as_f64, 1e-9));
+    }
+
+    #[test]
+    fn ssp_finds_the_min_cost_among_max_flows() {
+        let inst = diamond();
+        let flow = ssp_min_cost_max_flow(&inst);
+        assert_eq!(flow.value, 5);
+        // Cheap path saturated (cost 2·2=4), expensive path carries 3 (cost 30).
+        assert_eq!(flow.cost, 2 * 2 + 3 * 10);
+        assert_eq!(flow.flow, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bottleneck_instance() {
+        // 0 -> 1 -> 2 with capacities 5 and 2: max flow 2.
+        let g = DiGraph::from_arcs(3, [(0, 1, 5, 1), (1, 2, 2, 1)]);
+        let inst = FlowInstance::new(g, 0, 2);
+        assert_eq!(dinic_max_flow(&inst).value, 2);
+        assert_eq!(ssp_min_cost_max_flow(&inst).value, 2);
+    }
+
+    #[test]
+    fn ssp_prefers_cheaper_parallel_arcs() {
+        // Two parallel arcs 0 -> 1, one cheap one expensive; demand forces both.
+        let g = DiGraph::from_arcs(2, [(0, 1, 1, 10), (0, 1, 1, 1)]);
+        let inst = FlowInstance::new(g, 0, 1);
+        let flow = ssp_min_cost_max_flow(&inst);
+        assert_eq!(flow.value, 2);
+        assert_eq!(flow.cost, 11);
+    }
+
+    #[test]
+    fn ssp_and_dinic_agree_on_value_for_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for trial in 0..20 {
+            let inst = generators::random_flow_instance(8, 0.25, 6, &mut rng);
+            let max_flow = dinic_max_flow(&inst);
+            let mcmf = ssp_min_cost_max_flow(&inst);
+            assert_eq!(max_flow.value, mcmf.value, "trial {trial}");
+            let as_f64: Vec<f64> = mcmf.flow.iter().map(|&f| f as f64).collect();
+            assert!(inst.is_feasible(&as_f64, 1e-9), "trial {trial}");
+            // Min-cost max-flow never costs more than the Dinic flow of the
+            // same value.
+            assert!(mcmf.cost <= max_flow.cost, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let g = DiGraph::from_arcs(3, [(0, 1, 3, 1)]);
+        let inst = FlowInstance::new(g, 0, 2);
+        assert_eq!(dinic_max_flow(&inst).value, 0);
+        assert_eq!(ssp_min_cost_max_flow(&inst).value, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Directed graphs with capacities and costs — the input of the minimum cost
+//! maximum flow problem (Section 2.4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A directed arc with an integral capacity and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arc {
+    /// Tail (the arc leaves this vertex).
+    pub from: usize,
+    /// Head (the arc enters this vertex).
+    pub to: usize,
+    /// Capacity `c_e ≥ 1`.
+    pub capacity: i64,
+    /// Cost `q_e` (may be negative in general min-cost-flow instances; the
+    /// paper assumes `q ∈ Z`, bounded by `M` in magnitude).
+    pub cost: i64,
+}
+
+/// A directed multigraph on vertices `0..n` with integral capacities and
+/// costs.
+///
+/// # Examples
+///
+/// ```
+/// use bcc_graph::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_arc(0, 1, 4, 1);
+/// g.add_arc(1, 2, 3, 2);
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.out_arcs(0).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DiGraph {
+    n: usize,
+    arcs: Vec<Arc>,
+    out: Vec<Vec<usize>>,
+    into: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Creates an empty directed graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            arcs: Vec::new(),
+            out: vec![Vec::new(); n],
+            into: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a directed graph from `(from, to, capacity, cost)` tuples.
+    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (usize, usize, i64, i64)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (from, to, capacity, cost) in arcs {
+            g.add_arc(from, to, capacity, cost);
+        }
+        g
+    }
+
+    /// Adds an arc and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for self-loops, out-of-range endpoints, or non-positive
+    /// capacities.
+    pub fn add_arc(&mut self, from: usize, to: usize, capacity: i64, cost: i64) -> usize {
+        assert!(from < self.n && to < self.n, "arc endpoint out of range");
+        assert_ne!(from, to, "self-loops are not allowed");
+        assert!(capacity > 0, "capacities must be positive, got {capacity}");
+        let idx = self.arcs.len();
+        self.arcs.push(Arc {
+            from,
+            to,
+            capacity,
+            cost,
+        });
+        self.out[from].push(idx);
+        self.into[to].push(idx);
+        idx
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    pub fn m(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc with index `a`.
+    pub fn arc(&self, a: usize) -> Arc {
+        self.arcs[a]
+    }
+
+    /// All arcs in insertion order.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Indices of arcs leaving `v`.
+    pub fn out_arcs(&self, v: usize) -> &[usize] {
+        &self.out[v]
+    }
+
+    /// Indices of arcs entering `v`.
+    pub fn in_arcs(&self, v: usize) -> &[usize] {
+        &self.into[v]
+    }
+
+    /// Largest capacity (`‖c‖_∞`), or 0 for an arcless graph.
+    pub fn max_capacity(&self) -> i64 {
+        self.arcs.iter().map(|a| a.capacity).max().unwrap_or(0)
+    }
+
+    /// Largest absolute cost (`‖q‖_∞`), or 0 for an arcless graph.
+    pub fn max_cost(&self) -> i64 {
+        self.arcs.iter().map(|a| a.cost.abs()).max().unwrap_or(0)
+    }
+
+    /// The bound `M ≥ max(‖c‖_∞, ‖q‖_∞)` used by Theorem 1.1, at least 1.
+    pub fn magnitude_bound(&self) -> i64 {
+        self.max_capacity().max(self.max_cost()).max(1)
+    }
+}
+
+/// A minimum cost maximum flow instance: a directed graph together with
+/// designated source and sink vertices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowInstance {
+    /// The capacitated, cost-labelled directed graph.
+    pub graph: DiGraph,
+    /// Source vertex `s`.
+    pub source: usize,
+    /// Sink vertex `t`.
+    pub sink: usize,
+}
+
+impl FlowInstance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn new(graph: DiGraph, source: usize, sink: usize) -> Self {
+        assert!(source < graph.n() && sink < graph.n(), "terminal out of range");
+        assert_ne!(source, sink, "source and sink must differ");
+        FlowInstance {
+            graph,
+            source,
+            sink,
+        }
+    }
+
+    /// Checks whether `flow` (one value per arc) is a feasible `s`-`t` flow:
+    /// capacity constraints, non-negativity and conservation at every vertex
+    /// other than the terminals.
+    pub fn is_feasible(&self, flow: &[f64], tolerance: f64) -> bool {
+        if flow.len() != self.graph.m() {
+            return false;
+        }
+        for (i, a) in self.graph.arcs().iter().enumerate() {
+            if flow[i] < -tolerance || flow[i] > a.capacity as f64 + tolerance {
+                return false;
+            }
+        }
+        for v in 0..self.graph.n() {
+            if v == self.source || v == self.sink {
+                continue;
+            }
+            let net = self.net_outflow(flow, v);
+            if net.abs() > tolerance {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Net outflow `Σ_out f − Σ_in f` at vertex `v`.
+    pub fn net_outflow(&self, flow: &[f64], v: usize) -> f64 {
+        let out: f64 = self.graph.out_arcs(v).iter().map(|&a| flow[a]).sum();
+        let inn: f64 = self.graph.in_arcs(v).iter().map(|&a| flow[a]).sum();
+        out - inn
+    }
+
+    /// The value of a flow (net outflow at the source).
+    pub fn value(&self, flow: &[f64]) -> f64 {
+        self.net_outflow(flow, self.source)
+    }
+
+    /// The cost `qᵀ f` of a flow.
+    pub fn cost(&self, flow: &[f64]) -> f64 {
+        self.graph
+            .arcs()
+            .iter()
+            .zip(flow)
+            .map(|(a, &f)| a.cost as f64 * f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FlowInstance {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3.
+        let g = DiGraph::from_arcs(
+            4,
+            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)],
+        );
+        FlowInstance::new(g, 0, 3)
+    }
+
+    #[test]
+    fn digraph_accessors() {
+        let inst = diamond();
+        let g = &inst.graph;
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_arcs(0), &[0, 2]);
+        assert_eq!(g.in_arcs(3), &[1, 3]);
+        assert_eq!(g.max_capacity(), 3);
+        assert_eq!(g.max_cost(), 5);
+        assert_eq!(g.magnitude_bound(), 5);
+        assert_eq!(g.arc(0).to, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        DiGraph::from_arcs(2, [(0, 1, 0, 1)]);
+    }
+
+    #[test]
+    fn feasibility_checks_conservation_and_capacity() {
+        let inst = diamond();
+        let good = vec![2.0, 2.0, 3.0, 3.0];
+        assert!(inst.is_feasible(&good, 1e-9));
+        assert_eq!(inst.value(&good), 5.0);
+        assert_eq!(inst.cost(&good), 2.0 + 2.0 + 15.0 + 15.0);
+
+        let over_capacity = vec![3.0, 3.0, 0.0, 0.0];
+        assert!(!inst.is_feasible(&over_capacity, 1e-9));
+
+        let violates_conservation = vec![2.0, 1.0, 0.0, 0.0];
+        assert!(!inst.is_feasible(&violates_conservation, 1e-9));
+
+        let negative = vec![-1.0, -1.0, 0.0, 0.0];
+        assert!(!inst.is_feasible(&negative, 1e-9));
+    }
+
+    #[test]
+    fn empty_graph_bounds_default_to_one() {
+        assert_eq!(DiGraph::new(3).magnitude_bound(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Graph traversal: BFS, Dijkstra and connected components.
+//!
+//! These centralized routines are used as ground truth by the tests and by
+//! the spanner stretch-verification utilities; they are not part of the
+//! distributed algorithms themselves.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+
+/// Vertices reachable from `source`, in BFS order.
+pub fn bfs_order(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.n(), "source out of range");
+    let mut visited = vec![false; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    visited[source] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in g.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Hop distances from `source` (`usize::MAX` for unreachable vertices).
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.n(), "source out of range");
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Weighted shortest-path distances from `source` (`f64::INFINITY` for
+/// unreachable vertices). Edge weights must be non-negative, which the
+/// [`Graph`] type already guarantees.
+pub fn dijkstra(g: &Graph, source: usize) -> Vec<f64> {
+    assert!(source < g.n(), "source out of range");
+    let mut dist = vec![f64::INFINITY; g.n()];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(Reverse((OrderedF64(0.0), source)));
+    while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &e in g.incident_edges(v) {
+            let edge = g.edge(e);
+            let u = edge.other(v);
+            let nd = d + edge.weight;
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((OrderedF64(nd), u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component label (in `0..#components`) of every vertex.
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let mut label = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    for s in 0..g.n() {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        for v in bfs_order_from(g, s) {
+            label[v] = next;
+        }
+        next += 1;
+    }
+    label
+}
+
+fn bfs_order_from(g: &Graph, source: usize) -> Vec<usize> {
+    bfs_order(g, source)
+}
+
+/// Total-order wrapper for finite `f64` keys in the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0)))
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_paths() {
+        // 0 -1- 1 -1- 2  and a heavy direct edge 0 -5- 2.
+        let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = Graph::from_edges(3, [(0, 1, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn components_are_labeled_consecutively() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (2, 3, 1.0)]);
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert_ne!(labels[4], labels[2]);
+        assert_eq!(*labels.iter().max().unwrap(), 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! The Broadcast Congested Clique Laplacian solver (Section 3.3, Theorem 1.3).
+//!
+//! The solver has two stages:
+//!
+//! 1. **Preprocessing** — compute a `(1 ± 1/2)`-spectral sparsifier `H` of the
+//!    input graph with the ad-hoc algorithm of Section 3.2. Because every
+//!    sparsifier edge is explicitly broadcast during that algorithm, at the
+//!    end *every vertex knows the entire sparsifier*, so any computation with
+//!    `L_H` can subsequently be done internally for free.
+//! 2. **Per-instance solve** — preconditioned Chebyshev iteration
+//!    (Theorem 2.3 / Corollary 2.4) with `A = L_G`, `B = (1 + 1/2)·L_H`,
+//!    `κ = 3`. Each iteration multiplies `L_G` by a vector — the only step
+//!    that needs communication: every vertex broadcasts its coordinate
+//!    (`O(log(nU/ε))` bits), then applies its Laplacian row locally — and
+//!    solves one system in `L_H` internally.
+
+use bcc_graph::{laplacian, Graph};
+use bcc_linalg::{chebyshev, vector, DenseMatrix};
+use bcc_runtime::{payload, Network};
+use bcc_sparsifier::{quality, sparsify_ad_hoc, SparsifierConfig, SparsifierOutput};
+
+/// Result of one Laplacian solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaplacianSolve {
+    /// The approximate solution `y` with `‖x − y‖_{L_G} ≤ ε‖x‖_{L_G}`.
+    pub solution: Vec<f64>,
+    /// Chebyshev iterations performed (`O(log(1/ε))` by Corollary 2.4).
+    pub iterations: usize,
+    /// Rounds charged for this instance (excluding preprocessing).
+    pub rounds: u64,
+}
+
+/// The preprocessed solver state (Theorem 1.3).
+#[derive(Debug, Clone)]
+pub struct LaplacianSolver {
+    graph: Graph,
+    sparsifier: Graph,
+    /// Dense copy of `(1 + 1/2)·L_H`, factor-solved internally by every vertex.
+    preconditioner: DenseMatrix,
+    preprocessing_rounds: u64,
+    max_weight: f64,
+}
+
+impl LaplacianSolver {
+    /// Runs the preprocessing stage: a `(1 ± 1/2)`-spectral sparsifier of
+    /// `graph` computed with `config`, charged on `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (the solver's error guarantee is
+    /// stated per connected component; callers should solve per component).
+    pub fn preprocess(net: &mut Network, graph: &Graph, config: &SparsifierConfig) -> Self {
+        assert!(graph.is_connected(), "the Laplacian solver expects a connected graph");
+        let rounds_before = net.ledger().total_rounds();
+        net.begin_phase("laplacian preprocessing");
+        let SparsifierOutput { sparsifier, .. } = sparsify_ad_hoc(net, graph, config);
+        let preprocessing_rounds = net.ledger().total_rounds() - rounds_before;
+        let scaled = sparsifier.map_weights(|e| 1.5 * e.weight);
+        let preconditioner = DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled));
+        LaplacianSolver {
+            max_weight: graph.max_weight().max(1.0),
+            graph: graph.clone(),
+            sparsifier,
+            preconditioner,
+            preprocessing_rounds,
+        }
+    }
+
+    /// Builds a solver whose "sparsifier" is the graph itself (no
+    /// preprocessing rounds). Useful as a baseline and in tests: it makes the
+    /// Chebyshev condition number exactly 3 with a perfect preconditioner.
+    pub fn exact_preconditioner(graph: &Graph) -> Self {
+        assert!(graph.is_connected(), "the Laplacian solver expects a connected graph");
+        let scaled = graph.map_weights(|e| 1.5 * e.weight);
+        LaplacianSolver {
+            max_weight: graph.max_weight().max(1.0),
+            graph: graph.clone(),
+            sparsifier: graph.clone(),
+            preconditioner: DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled)),
+            preprocessing_rounds: 0,
+        }
+    }
+
+    /// The sparsifier computed during preprocessing.
+    pub fn sparsifier(&self) -> &Graph {
+        &self.sparsifier
+    }
+
+    /// Rounds spent in preprocessing.
+    pub fn preprocessing_rounds(&self) -> u64 {
+        self.preprocessing_rounds
+    }
+
+    /// The spectral quality `ε` actually achieved by the preprocessing
+    /// sparsifier (certificate, computed centrally; not charged).
+    pub fn sparsifier_epsilon(&self) -> f64 {
+        quality::achieved_epsilon(&self.graph, &self.sparsifier)
+    }
+
+    /// The relative condition number `κ` used by the Chebyshev iteration.
+    /// With a `(1 ± ε_H)` sparsifier this is `(1 + ε_H)/(1 − ε_H)`, the value
+    /// Corollary 2.4 instantiates with `ε_H = 1/2` as `κ = 3`; if the measured
+    /// sparsifier quality is worse, the larger measured value is used so the
+    /// iteration stays sound.
+    pub fn kappa(&self) -> f64 {
+        let eps = self.sparsifier_epsilon();
+        if !eps.is_finite() || eps >= 1.0 {
+            // Degenerate sparsifier; fall back to a large but finite κ.
+            return 100.0;
+        }
+        ((1.0 + eps) / (1.0 - eps)).max(3.0)
+    }
+
+    /// Solves `L_G x = b` up to `‖x − y‖_{L_G} ≤ ε‖x‖_{L_G}` (Theorem 1.3).
+    ///
+    /// `b` must be orthogonal to the all-ones vector (a Laplacian system is
+    /// only solvable for such right-hand sides); the method projects `b`
+    /// accordingly and returns a mean-zero solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1/2]` or `b` has the wrong length.
+    pub fn solve(&self, net: &mut Network, b: &[f64], epsilon: f64) -> LaplacianSolve {
+        assert!(epsilon > 0.0 && epsilon <= 0.5, "epsilon must lie in (0, 1/2]");
+        assert_eq!(b.len(), self.graph.n(), "dimension mismatch");
+        let rounds_before = net.ledger().total_rounds();
+        net.begin_phase("laplacian solve");
+
+        let b = vector::remove_mean(b);
+        let n = self.graph.n();
+        // Bits per broadcast coordinate: O(log(n·U/ε)).
+        let resolution = (epsilon / (n.max(2) as f64)).min(0.5);
+        let magnitude = (vector::norm_inf(&b) + 1.0) * (n as f64) * self.max_weight;
+        let bits = u64::from(payload::bits_for_real(magnitude, resolution));
+
+        let kappa = self.kappa();
+        let iterations = chebyshev::chebyshev_iteration_count(kappa, epsilon);
+        // Charge one coordinate broadcast per iteration (the L_G·vector
+        // product); the preconditioner solve and vector updates are local.
+        for _ in 0..iterations {
+            net.share_scalars(bits);
+        }
+
+        let graph = &self.graph;
+        let preconditioner = &self.preconditioner;
+        let result = chebyshev::preconditioned_chebyshev_fixed(
+            |x| laplacian::laplacian_apply(graph, x),
+            |r| {
+                preconditioner
+                    .solve_psd(r, true)
+                    .expect("the scaled sparsifier Laplacian is solvable on mean-zero vectors")
+            },
+            kappa,
+            &b,
+            iterations,
+        );
+        let solution = vector::remove_mean(&result.solution);
+        LaplacianSolve {
+            solution,
+            iterations,
+            rounds: net.ledger().total_rounds() - rounds_before,
+        }
+    }
+
+    /// The `L_G`-norm relative error `‖x⋆ − y‖_{L_G} / ‖x⋆‖_{L_G}` of a
+    /// candidate solution `y` against the exact solution `x⋆` (computed
+    /// centrally with a dense solve; used by tests and experiments).
+    pub fn relative_error(&self, b: &[f64], y: &[f64]) -> f64 {
+        let exact = exact_solve(&self.graph, b);
+        let diff = vector::sub(&exact, y);
+        let num = laplacian::laplacian_norm(&self.graph, &diff);
+        let den = laplacian::laplacian_norm(&self.graph, &exact).max(1e-300);
+        num / den
+    }
+}
+
+/// Centralized exact (dense, regularized) solve of `L_G x = b` — the ground
+/// truth baseline.
+pub fn exact_solve(graph: &Graph, b: &[f64]) -> Vec<f64> {
+    let l = DenseMatrix::from_rows(&laplacian::laplacian_dense(graph));
+    let b = vector::remove_mean(b);
+    l.solve_psd(&b, true).expect("regularized Laplacian solve succeeds")
+}
+
+/// Centralized conjugate-gradient baseline (no preconditioner).
+pub fn cg_baseline(graph: &Graph, b: &[f64], tolerance: f64) -> bcc_linalg::IterativeSolve {
+    let b = vector::remove_mean(b);
+    bcc_linalg::conjugate_gradient(
+        |x| laplacian::laplacian_apply(graph, x),
+        &b,
+        None,
+        tolerance,
+        10 * graph.n().max(10),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::generators;
+    use bcc_runtime::ModelConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn bcc_net(n: usize) -> Network {
+        Network::clique(ModelConfig::bcc(), n)
+    }
+
+    fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let raw: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        vector::remove_mean(&raw)
+    }
+
+    #[test]
+    fn exact_preconditioner_reaches_requested_accuracy() {
+        let g = generators::grid(4, 4);
+        let solver = LaplacianSolver::exact_preconditioner(&g);
+        let b = random_rhs(g.n(), 1);
+        let mut net = bcc_net(g.n());
+        for eps in [0.5f64, 1e-2, 1e-6] {
+            let solve = solver.solve(&mut net, &b, eps.min(0.5));
+            let err = solver.relative_error(&b, &solve.solution);
+            assert!(err <= eps * 1.01, "eps {eps}: error {err}");
+        }
+    }
+
+    #[test]
+    fn iteration_count_grows_logarithmically_in_accuracy() {
+        let g = generators::grid(3, 5);
+        let solver = LaplacianSolver::exact_preconditioner(&g);
+        let b = random_rhs(g.n(), 2);
+        let mut net = bcc_net(g.n());
+        let coarse = solver.solve(&mut net, &b, 0.5);
+        let fine = solver.solve(&mut net, &b, 1e-8);
+        assert!(fine.iterations > coarse.iterations);
+        // O(log(1/eps)): 1e-8 needs ~ 19/0.7 extra iterations over 0.5, i.e.
+        // well under 10x.
+        assert!(fine.iterations < 12 * coarse.iterations.max(1));
+    }
+
+    #[test]
+    fn preprocessed_solver_works_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::random_connected(24, 0.4, 4, &mut rng);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 17).with_t(8).with_k(2);
+        let mut net = bcc_net(g.n());
+        let solver = LaplacianSolver::preprocess(&mut net, &g, &cfg);
+        assert!(solver.preprocessing_rounds() > 0);
+        assert!(solver.sparsifier().is_connected());
+        let b = random_rhs(g.n(), 4);
+        let solve = solver.solve(&mut net, &b, 1e-4);
+        let err = solver.relative_error(&b, &solve.solution);
+        assert!(err <= 1e-3, "error {err}");
+        assert!(solve.rounds > 0);
+    }
+
+    #[test]
+    fn solve_rounds_scale_with_log_accuracy_not_n() {
+        let g = generators::complete(32);
+        let solver = LaplacianSolver::exact_preconditioner(&g);
+        let b = random_rhs(g.n(), 5);
+        let mut net = bcc_net(g.n());
+        let before = net.ledger().total_rounds();
+        let _ = solver.solve(&mut net, &b, 1e-4);
+        let rounds = net.ledger().total_rounds() - before;
+        // Far below n (which a gather-everything approach would need m rounds for).
+        assert!(rounds < 600, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn solution_is_mean_zero_and_matches_cg_baseline() {
+        let g = generators::grid(4, 5);
+        let solver = LaplacianSolver::exact_preconditioner(&g);
+        let b = random_rhs(g.n(), 6);
+        let mut net = bcc_net(g.n());
+        let solve = solver.solve(&mut net, &b, 1e-8);
+        assert!(solve.solution.iter().sum::<f64>().abs() < 1e-8);
+        let cg = cg_baseline(&g, &b, 1e-10);
+        assert!(cg.converged);
+        assert!(vector::approx_eq(&solve.solution, &vector::remove_mean(&cg.solution), 1e-4));
+    }
+
+    #[test]
+    fn exact_solve_satisfies_the_system() {
+        let g = generators::cycle(7);
+        let b = random_rhs(7, 7);
+        let x = exact_solve(&g, &b);
+        let lx = laplacian::laplacian_apply(&g, &x);
+        assert!(vector::approx_eq(&lx, &b, 1e-7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_graph_is_rejected() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+        let _ = LaplacianSolver::exact_preconditioner(&g);
+    }
+
+    #[test]
+    #[should_panic]
+    fn epsilon_above_half_is_rejected() {
+        let g = generators::cycle(5);
+        let solver = LaplacianSolver::exact_preconditioner(&g);
+        let mut net = bcc_net(5);
+        let _ = solver.solve(&mut net, &[0.0; 5], 0.9);
+    }
+}

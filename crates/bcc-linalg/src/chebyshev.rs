@@ -1,0 +1,193 @@
+//! Preconditioned Chebyshev iteration (Theorem 2.3 of the paper).
+//!
+//! Given symmetric positive semi-definite `A ≼ B ≼ κ A`, the iteration
+//! produces `y` with `‖x − y‖_A ≤ ε‖x‖_A` (for `A x = b`) after
+//! `O(√κ · log(1/ε))` iterations, each consisting of one multiplication by
+//! `A`, one solve with `B`, and a constant number of vector operations —
+//! exactly the primitive mix the Broadcast Congested Clique Laplacian solver
+//! charges rounds for (Corollary 2.4 uses `B = (1 + 1/2)·L_H` and `κ = 3`).
+
+use crate::vector;
+
+/// Result of a preconditioned Chebyshev solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevSolve {
+    /// The computed approximate solution `y`.
+    pub solution: Vec<f64>,
+    /// Number of iterations performed (each is one `A`-multiply and one
+    /// `B`-solve).
+    pub iterations: usize,
+    /// Final Euclidean residual norm `‖b − A y‖₂` (diagnostic only; the
+    /// guarantee of Theorem 2.3 is stated in the `A`-norm).
+    pub residual_norm: f64,
+}
+
+/// Number of iterations Theorem 2.3 prescribes: `⌈√κ · ln(2/ε)⌉ + 1`.
+pub fn chebyshev_iteration_count(kappa: f64, epsilon: f64) -> usize {
+    assert!(kappa >= 1.0, "kappa must be at least 1");
+    assert!(epsilon > 0.0 && epsilon <= 0.5, "epsilon must lie in (0, 1/2]");
+    (kappa.sqrt() * (2.0 / epsilon).ln()).ceil() as usize + 1
+}
+
+/// Preconditioned Chebyshev iteration for `A x = b` with preconditioner `B`
+/// satisfying `A ≼ B ≼ κ A`.
+///
+/// * `apply_a` — `x ↦ A x`.
+/// * `solve_b` — `r ↦ B⁻¹ r` (an exact or high-precision solve).
+/// * `kappa` — the relative condition number bound `κ`.
+/// * `epsilon` — target accuracy in the `A`-norm, in `(0, 1/2]`.
+///
+/// The eigenvalues of `B⁻¹A` lie in `[1/κ, 1]`, which is the interval the
+/// Chebyshev recurrence is tuned to.
+pub fn preconditioned_chebyshev(
+    apply_a: impl Fn(&[f64]) -> Vec<f64>,
+    solve_b: impl Fn(&[f64]) -> Vec<f64>,
+    kappa: f64,
+    b: &[f64],
+    epsilon: f64,
+) -> ChebyshevSolve {
+    let iterations = chebyshev_iteration_count(kappa, epsilon);
+    preconditioned_chebyshev_fixed(apply_a, solve_b, kappa, b, iterations)
+}
+
+/// The same iteration with an explicit iteration count (used by experiments
+/// that sweep the iteration budget).
+pub fn preconditioned_chebyshev_fixed(
+    apply_a: impl Fn(&[f64]) -> Vec<f64>,
+    solve_b: impl Fn(&[f64]) -> Vec<f64>,
+    kappa: f64,
+    b: &[f64],
+    iterations: usize,
+) -> ChebyshevSolve {
+    assert!(kappa >= 1.0, "kappa must be at least 1");
+    let n = b.len();
+    // Eigenvalue interval of B⁻¹A.
+    let lambda_min = 1.0 / kappa;
+    let lambda_max = 1.0;
+    let theta = 0.5 * (lambda_max + lambda_min);
+    let delta = 0.5 * (lambda_max - lambda_min);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = vec![0.0; n];
+    let mut alpha = 0.0;
+
+    for k in 0..iterations {
+        let z = solve_b(&r);
+        let beta;
+        if k == 0 {
+            p = z;
+            alpha = 1.0 / theta;
+        } else {
+            beta = (0.5 * delta * alpha).powi(2);
+            alpha = 1.0 / (theta - beta / alpha);
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        vector::axpy(&mut x, alpha, &p);
+        let ap = apply_a(&p);
+        vector::axpy(&mut r, -alpha, &ap);
+    }
+    ChebyshevSolve {
+        residual_norm: vector::norm2(&r),
+        iterations,
+        solution: x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    #[test]
+    fn iteration_count_grows_with_kappa_and_precision() {
+        let base = chebyshev_iteration_count(3.0, 0.5);
+        assert!(chebyshev_iteration_count(3.0, 1e-6) > base);
+        assert!(chebyshev_iteration_count(100.0, 0.5) > base);
+        // O(sqrt(kappa)): quadrupling kappa roughly doubles the count.
+        let a = chebyshev_iteration_count(4.0, 1e-6);
+        let b = chebyshev_iteration_count(16.0, 1e-6);
+        assert!((b as f64) < 2.5 * a as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_epsilon_above_half() {
+        let _ = chebyshev_iteration_count(2.0, 0.9);
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_immediately() {
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x_true = vec![1.0, -1.0];
+        let b = a.matvec(&x_true);
+        let solve_a = {
+            let a = a.clone();
+            move |r: &[f64]| a.solve(r).expect("non-singular")
+        };
+        let result = preconditioned_chebyshev(|x| a.matvec(x), solve_a, 1.0, &b, 1e-10);
+        assert!(vector::approx_eq(&result.solution, &x_true, 1e-6));
+    }
+
+    #[test]
+    fn spectral_sparsifier_style_preconditioner() {
+        // A = SPD matrix, B = A scaled by 1.4 (so A ≼ B ≼ 1.4·A, κ = 1.4... actually
+        // B = 1.4 A gives A ≼ B and B ≼ 1.4 A, i.e. κ = 1.4).
+        let a = DenseMatrix::from_rows(&[
+            vec![3.0, -1.0, 0.0],
+            vec![-1.0, 4.0, -1.5],
+            vec![0.0, -1.5, 5.0],
+        ]);
+        let x_true = vec![0.3, -1.2, 2.5];
+        let b = a.matvec(&x_true);
+        let solve_b = {
+            let a = a.clone();
+            move |r: &[f64]| {
+                let scaled: Vec<f64> = r.iter().map(|v| v / 1.4).collect();
+                a.solve(&scaled).expect("non-singular")
+            }
+        };
+        let result = preconditioned_chebyshev(|x| a.matvec(x), solve_b, 1.4, &b, 1e-8);
+        assert!(vector::approx_eq(&result.solution, &x_true, 1e-5));
+        let err = vector::sub(&result.solution, &x_true);
+        let err_a = vector::norm_matrix(&err, |v| a.matvec(v));
+        let x_a = vector::norm_matrix(&x_true, |v| a.matvec(v));
+        assert!(err_a <= 1e-8 * x_a * 10.0, "A-norm error {err_a} too large");
+    }
+
+    #[test]
+    fn kappa_three_matches_corollary_2_4_setting() {
+        // Simulate the Laplacian-solver setting: B = 1.5·A, κ = 3.
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, -1.0, -1.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![-1.0, -1.0, 2.0],
+        ]);
+        // Work orthogonal to the kernel (ones vector).
+        let b = vec![1.0, -0.5, -0.5];
+        let solve_b = {
+            let a = a.clone();
+            move |r: &[f64]| {
+                let scaled: Vec<f64> = r.iter().map(|v| v / 1.5).collect();
+                a.solve_psd(&scaled, true).expect("solvable")
+            }
+        };
+        let result = preconditioned_chebyshev(|x| a.matvec(x), solve_b, 3.0, &b, 1e-6);
+        let lx = a.matvec(&result.solution);
+        assert!(vector::approx_eq(&lx, &b, 1e-4));
+    }
+
+    #[test]
+    fn error_decreases_with_more_iterations() {
+        let a = DenseMatrix::from_rows(&[vec![5.0, 1.0], vec![1.0, 2.0]]);
+        let b = vec![1.0, 1.0];
+        // Weak preconditioner B = 6·I: the eigenvalues of A lie in [1.7, 5.3],
+        // so A ≼ B ≼ 10·A holds and the eigenvalues of B⁻¹A lie in [1/10, 1].
+        let solve_b = |r: &[f64]| r.iter().map(|v| v / 6.0).collect::<Vec<f64>>();
+        let few = preconditioned_chebyshev_fixed(|x| a.matvec(x), solve_b, 10.0, &b, 3);
+        let many = preconditioned_chebyshev_fixed(|x| a.matvec(x), solve_b, 10.0, &b, 30);
+        assert!(many.residual_norm < few.residual_norm);
+    }
+}

@@ -1,0 +1,243 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Sparse matrices back the constraint matrices of the LP solver
+//! (`A = [B | I | −I | −e_t]ᵀ` in Section 5) and the sparsifier Laplacians.
+//! Only the operations the algorithms need are provided: construction from
+//! triplets, matrix–vector products (plain and transposed), row access,
+//! diagonal scaling and Gram-matrix assembly.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// # Examples
+///
+/// ```
+/// use bcc_linalg::CsrMatrix;
+///
+/// // [[2, 0], [0, 3]]
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from COO triplets; duplicate entries are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet index out of range");
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|&(c, _)| c);
+            let mut last_col = usize::MAX;
+            for &(c, v) in row.iter() {
+                if c == last_col {
+                    let n = values.len();
+                    values[n - 1] += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last_col = c;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
+        CsrMatrix::from_triplets(n, n, &triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The non-zero entries of row `r` as `(column, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.indptr[r];
+        let end = self.indptr[r + 1];
+        self.indices[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(c, v)| v * x[c]).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ y`.
+    pub fn matvec_transpose(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                out[c] += v * yr;
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix `D A` where `D = diag(d)` scales the rows.
+    pub fn scale_rows(&self, d: &[f64]) -> CsrMatrix {
+        assert_eq!(d.len(), self.rows, "dimension mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                out.values[k] *= d[r];
+            }
+        }
+        out
+    }
+
+    /// Assembles the Gram matrix `Aᵀ D A` (size `cols × cols`) as a dense
+    /// matrix, where `D = diag(d)`. Used for local solves of the projected
+    /// systems inside the LP solver; the result is small (`n × n`) even when
+    /// `A` has many rows.
+    pub fn gram_with_diagonal(&self, d: &[f64]) -> DenseMatrix {
+        assert_eq!(d.len(), self.rows, "dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let dr = d[r];
+            if dr == 0.0 {
+                continue;
+            }
+            let entries: Vec<(usize, f64)> = self.row(r).collect();
+            for &(ci, vi) in &entries {
+                for &(cj, vj) in &entries {
+                    out.add_to(ci, cj, dr * vi * vj);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense matrix (tests and small ground-truth computations).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out.add_to(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0]]
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.matvec(&[1.0]), vec![3.5]);
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree_with_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = vec![1.0, -1.0, 0.5];
+        assert_eq!(m.matvec(&x), d.matvec(&x));
+        let y = vec![2.0, -3.0];
+        assert_eq!(m.matvec_transpose(&y), d.matvec_transpose(&y));
+    }
+
+    #[test]
+    fn scale_rows_multiplies_by_diagonal() {
+        let m = sample().scale_rows(&[2.0, 10.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 30.0]);
+    }
+
+    #[test]
+    fn gram_matrix_matches_dense_computation() {
+        let m = sample();
+        let d = vec![2.0, 5.0];
+        let gram = m.gram_with_diagonal(&d);
+        // Aᵀ D A computed densely.
+        let dense = m.to_dense();
+        let dmat = DenseMatrix::diag(&d);
+        let expected = dense.transpose().matmul(&dmat.matmul(&dense));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((gram.get(i, j) - expected.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let id = CsrMatrix::identity(4);
+        assert_eq!(id.matvec(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(id.nnz(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_triplets_rejected() {
+        CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,241 @@
+//! 1-self-concordant barrier functions (Definition 4.1 / Section 4.1).
+//!
+//! Each variable domain `dom(xᵢ) = {x : lᵢ ≤ x ≤ uᵢ}` gets its own barrier:
+//!
+//! * `φ(x) = −log(x − l)` when only the lower bound is finite,
+//! * `φ(x) = −log(u − x)` when only the upper bound is finite,
+//! * the trigonometric barrier `φ(x) = −log cos(a·x + b)` with
+//!   `a = π/(u − l)`, `b = −(π/2)·(u + l)/(u − l)` when both are finite.
+//!
+//! All three are 1-self-concordant; `φ`, `φ'` and `φ''` are computed locally
+//! by the vertex that owns the variable.
+
+/// The barrier of one variable's domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Barrier {
+    /// `−log(x − l)`, for `l ≤ x < ∞`.
+    LogLower {
+        /// Finite lower bound.
+        l: f64,
+    },
+    /// `−log(u − x)`, for `−∞ < x ≤ u`.
+    LogUpper {
+        /// Finite upper bound.
+        u: f64,
+    },
+    /// `−log cos(a·x + b)`, for `l ≤ x ≤ u`.
+    Trigonometric {
+        /// Slope `a = π/(u − l)`.
+        a: f64,
+        /// Offset `b = −(π/2)(u + l)/(u − l)`.
+        b: f64,
+    },
+}
+
+impl Barrier {
+    /// Selects the barrier for the domain `[l, u]` following Section 4.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both bounds are infinite (the paper excludes free variables)
+    /// or `l ≥ u`.
+    pub fn from_bounds(l: f64, u: f64) -> Self {
+        assert!(l < u, "lower bound must be below upper bound");
+        match (l.is_finite(), u.is_finite()) {
+            (true, false) => Barrier::LogLower { l },
+            (false, true) => Barrier::LogUpper { u },
+            (true, true) => {
+                let a = std::f64::consts::PI / (u - l);
+                let b = -std::f64::consts::FRAC_PI_2 * (u + l) / (u - l);
+                Barrier::Trigonometric { a, b }
+            }
+            (false, false) => panic!("every variable needs at least one finite bound"),
+        }
+    }
+
+    /// Barrier value `φ(x)`.
+    pub fn value(&self, x: f64) -> f64 {
+        match *self {
+            Barrier::LogLower { l } => -(x - l).ln(),
+            Barrier::LogUpper { u } => -(u - x).ln(),
+            Barrier::Trigonometric { a, b } => -((a * x + b).cos()).ln(),
+        }
+    }
+
+    /// First derivative `φ'(x)`.
+    pub fn d1(&self, x: f64) -> f64 {
+        match *self {
+            Barrier::LogLower { l } => -1.0 / (x - l),
+            Barrier::LogUpper { u } => 1.0 / (u - x),
+            Barrier::Trigonometric { a, b } => a * (a * x + b).tan(),
+        }
+    }
+
+    /// Second derivative `φ''(x)` (always positive on the domain interior).
+    pub fn d2(&self, x: f64) -> f64 {
+        match *self {
+            Barrier::LogLower { l } => 1.0 / ((x - l) * (x - l)),
+            Barrier::LogUpper { u } => 1.0 / ((u - x) * (u - x)),
+            Barrier::Trigonometric { a, b } => {
+                let c = (a * x + b).cos();
+                a * a / (c * c)
+            }
+        }
+    }
+
+    /// Returns `true` if `x` lies strictly inside the barrier's domain.
+    pub fn in_domain(&self, x: f64) -> bool {
+        match *self {
+            Barrier::LogLower { l } => x > l,
+            Barrier::LogUpper { u } => x < u,
+            Barrier::Trigonometric { a, b } => {
+                let t = a * x + b;
+                t > -std::f64::consts::FRAC_PI_2 && t < std::f64::consts::FRAC_PI_2
+            }
+        }
+    }
+}
+
+/// The per-coordinate barriers of a whole LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierSystem {
+    barriers: Vec<Barrier>,
+}
+
+impl BarrierSystem {
+    /// Builds the barrier of every variable from the LP bounds.
+    pub fn new(lower: &[f64], upper: &[f64]) -> Self {
+        assert_eq!(lower.len(), upper.len());
+        BarrierSystem {
+            barriers: lower
+                .iter()
+                .zip(upper)
+                .map(|(&l, &u)| Barrier::from_bounds(l, u))
+                .collect(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.barriers.len()
+    }
+
+    /// Returns `true` if there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.barriers.is_empty()
+    }
+
+    /// The barrier of variable `i`.
+    pub fn barrier(&self, i: usize) -> &Barrier {
+        &self.barriers[i]
+    }
+
+    /// `φ'(x)` coordinate-wise.
+    pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.barriers.len());
+        x.iter().zip(&self.barriers).map(|(&xi, b)| b.d1(xi)).collect()
+    }
+
+    /// `φ''(x)` coordinate-wise.
+    pub fn hessian(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.barriers.len());
+        x.iter().zip(&self.barriers).map(|(&xi, b)| b.d2(xi)).collect()
+    }
+
+    /// Total barrier value `Σᵢ φᵢ(xᵢ)`.
+    pub fn total_value(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.barriers).map(|(&xi, b)| b.value(xi)).sum()
+    }
+
+    /// Returns `true` if every coordinate is strictly inside its domain.
+    pub fn in_domain(&self, x: &[f64]) -> bool {
+        x.len() == self.barriers.len()
+            && x.iter().zip(&self.barriers).all(|(&xi, b)| b.in_domain(xi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn bound_selection() {
+        assert!(matches!(
+            Barrier::from_bounds(0.0, f64::INFINITY),
+            Barrier::LogLower { .. }
+        ));
+        assert!(matches!(
+            Barrier::from_bounds(f64::NEG_INFINITY, 3.0),
+            Barrier::LogUpper { .. }
+        ));
+        assert!(matches!(
+            Barrier::from_bounds(0.0, 1.0),
+            Barrier::Trigonometric { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn free_variables_rejected() {
+        let _ = Barrier::from_bounds(f64::NEG_INFINITY, f64::INFINITY);
+    }
+
+    #[test]
+    fn derivatives_match_numeric_differences() {
+        for barrier in [
+            Barrier::from_bounds(0.5, f64::INFINITY),
+            Barrier::from_bounds(f64::NEG_INFINITY, 2.0),
+            Barrier::from_bounds(-1.0, 3.0),
+        ] {
+            for &x in &[1.0f64, 1.3, 1.9] {
+                let d1 = barrier.d1(x);
+                let num_d1 = numeric_derivative(|v| barrier.value(v), x);
+                assert!((d1 - num_d1).abs() < 1e-5, "{barrier:?} at {x}: {d1} vs {num_d1}");
+                let d2 = barrier.d2(x);
+                let num_d2 = numeric_derivative(|v| barrier.d1(v), x);
+                assert!((d2 - num_d2).abs() < 1e-4, "{barrier:?} at {x}: {d2} vs {num_d2}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_blows_up_at_the_boundary() {
+        let b = Barrier::from_bounds(0.0, 1.0);
+        assert!(b.value(0.5) < b.value(1e-6));
+        assert!(b.value(0.5) < b.value(1.0 - 1e-6));
+        assert!(b.d2(0.5) < b.d2(1e-6));
+        assert!(b.in_domain(0.5));
+        assert!(!b.in_domain(-0.1));
+        assert!(!b.in_domain(1.1));
+    }
+
+    #[test]
+    fn trig_barrier_is_symmetric_around_the_midpoint() {
+        let b = Barrier::from_bounds(0.0, 2.0);
+        assert!((b.value(0.7) - b.value(1.3)).abs() < 1e-9);
+        assert!((b.d1(1.0)).abs() < 1e-9);
+        assert!(b.d1(1.8) > 0.0);
+        assert!(b.d1(0.2) < 0.0);
+    }
+
+    #[test]
+    fn system_assembles_per_coordinate_values() {
+        let system = BarrierSystem::new(&[0.0, 0.0], &[1.0, f64::INFINITY]);
+        assert_eq!(system.len(), 2);
+        assert!(!system.is_empty());
+        let x = vec![0.5, 2.0];
+        assert!(system.in_domain(&x));
+        assert!(!system.in_domain(&[0.5, -1.0]));
+        let g = system.gradient(&x);
+        assert!((g[0] - system.barrier(0).d1(0.5)).abs() < 1e-12);
+        assert!((g[1] - (-0.5)).abs() < 1e-12);
+        let h = system.hessian(&x);
+        assert!(h.iter().all(|&v| v > 0.0));
+        assert!(system.total_value(&x).is_finite());
+    }
+}

@@ -1,0 +1,279 @@
+//! Projection onto a mixed-norm ball (Section 4.3, Lemma 4.10).
+//!
+//! The LP solver's weight-update step needs
+//! `argmax { aᵀx : ‖x‖₂ + ‖l⁻¹x‖_∞ ≤ 1 }` for vectors `a, l` distributed over
+//! the network. Lee–Sidford solve this by sorting the coordinates and
+//! precomputing `m` prefix sums — both infeasible as-is in the Broadcast
+//! Congested Clique. The paper's remedy (which this module follows) is:
+//!
+//! * the coordinates are only sorted *implicitly*: the search walks over the
+//!   threshold values `|a_i|·l_i` rather than over indices;
+//! * the maximization over the threshold is a binary/ternary search over a
+//!   one-dimensional *concave* function, so only `O(log(poly(m)·U/ε))`
+//!   candidate thresholds are ever evaluated, and each evaluation needs a
+//!   constant number of global aggregate sums (`Σ a_k²`, `Σ l_k²`,
+//!   `Σ |a_k l_k|` over the prefix), each one broadcast round.
+//!
+//! Internally the maximization is parameterized by `s = ‖l⁻¹x‖_∞ ∈ [0, 1]`:
+//! for fixed `s` the problem becomes a box-and-ball constrained linear
+//! maximization solved by water-filling, and the value `g(s)` is concave.
+
+use bcc_linalg::vector;
+use bcc_runtime::{payload, Network};
+
+/// Result of a mixed-ball projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedBallProjection {
+    /// The maximizer `x`.
+    pub x: Vec<f64>,
+    /// The attained value `aᵀx`.
+    pub value: f64,
+    /// The split parameter `s = ‖l⁻¹x‖_∞` of the maximizer.
+    pub split: f64,
+}
+
+/// Solves `argmax { aᵀx : ‖x‖₂ + ‖l⁻¹x‖_∞ ≤ 1 }` (Lemma 4.10).
+///
+/// Rounds charged: `O(log(U/ε))` search iterations, each consisting of a
+/// constant number of scalar aggregations.
+///
+/// # Panics
+///
+/// Panics if `l` contains non-positive or non-finite entries or the lengths
+/// differ.
+pub fn project_mixed_ball(net: &mut Network, a: &[f64], l: &[f64]) -> MixedBallProjection {
+    assert_eq!(a.len(), l.len(), "dimension mismatch");
+    assert!(
+        l.iter().all(|&v| v > 0.0 && v.is_finite()),
+        "the scaling vector l must be positive and finite"
+    );
+    net.begin_phase("mixed ball projection");
+    let m = a.len();
+    if m == 0 || a.iter().all(|&v| v == 0.0) {
+        return MixedBallProjection {
+            x: vec![0.0; m],
+            value: 0.0,
+            split: 0.0,
+        };
+    }
+
+    // Ternary search over the concave g(s). 60 iterations give ~1e-12 width.
+    let iterations = 60;
+    let bits = u64::from(payload::bits_for_real(1e6, 1e-6));
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..iterations {
+        // Each candidate evaluation aggregates three prefix sums.
+        net.aggregate_scalar(bits);
+        net.aggregate_scalar(bits);
+        net.aggregate_scalar(bits);
+        let s1 = lo + (hi - lo) / 3.0;
+        let s2 = hi - (hi - lo) / 3.0;
+        if evaluate_split(a, l, s1).1 < evaluate_split(a, l, s2).1 {
+            lo = s1;
+        } else {
+            hi = s2;
+        }
+    }
+    let mut best = evaluate_split(a, l, (lo + hi) / 2.0);
+    // Also try the endpoints — g can attain its maximum at s = 0.
+    for s in [0.0, lo, hi, 1.0] {
+        let candidate = evaluate_split(a, l, s);
+        if candidate.1 > best.1 {
+            best = candidate;
+        }
+    }
+    let (x, value, split) = best;
+    MixedBallProjection { x, value, split }
+}
+
+/// For a fixed split `s`, maximizes `aᵀx` subject to `|x_i| ≤ s·l_i` and
+/// `‖x‖₂ ≤ 1 − s` by water-filling. Returns `(x, value, s)`.
+fn evaluate_split(a: &[f64], l: &[f64], s: f64) -> (Vec<f64>, f64, f64) {
+    let m = a.len();
+    let radius = (1.0 - s).max(0.0);
+    let caps: Vec<f64> = l.iter().map(|&li| s * li).collect();
+    if radius <= 0.0 {
+        // Only the box matters and it forces x towards the cap in every
+        // coordinate, but the ℓ₂ budget is zero: x = 0.
+        return (vec![0.0; m], 0.0, s);
+    }
+    // If the full box fits inside the ball, take it.
+    let box_norm_sq: f64 = caps.iter().map(|c| c * c).sum();
+    if box_norm_sq <= radius * radius {
+        let x: Vec<f64> = a
+            .iter()
+            .zip(&caps)
+            .map(|(&ai, &ci)| ai.signum() * ci)
+            .collect();
+        let value = vector::dot(&x, a).abs();
+        let x_signed: Vec<f64> = a.iter().zip(&caps).map(|(&ai, &ci)| if ai >= 0.0 { ci } else { -ci }).collect();
+        let value_signed: f64 = x_signed.iter().zip(a).map(|(xi, ai)| xi * ai).sum();
+        let _ = value;
+        return (x_signed, value_signed, s);
+    }
+    // Water-filling: x_i = sign(a_i)·min(cap_i, λ|a_i|) with λ such that the
+    // ℓ₂ budget is met. Sort breakpoints cap_i/|a_i| ascending.
+    let mut order: Vec<usize> = (0..m).collect();
+    let breakpoint = |i: usize| -> f64 {
+        if a[i].abs() < 1e-300 {
+            f64::INFINITY
+        } else {
+            caps[i] / a[i].abs()
+        }
+    };
+    order.sort_by(|&i, &j| {
+        breakpoint(i)
+            .partial_cmp(&breakpoint(j))
+            .expect("breakpoints are comparable")
+    });
+    // Prefix sums over the sorted order.
+    let mut saturated_norm_sq = 0.0; // Σ cap_i² over saturated prefix
+    let mut remaining_a_sq: f64 = a.iter().map(|v| v * v).sum();
+    let mut lambda = None;
+    for (rank, &i) in order.iter().enumerate() {
+        // Candidate: the first `rank` coordinates saturated, the rest scaled
+        // by λ.
+        let lam_sq = if remaining_a_sq > 1e-300 {
+            (radius * radius - saturated_norm_sq).max(0.0) / remaining_a_sq
+        } else {
+            f64::INFINITY
+        };
+        let lam = lam_sq.sqrt();
+        let lower = if rank == 0 { 0.0 } else { breakpoint(order[rank - 1]) };
+        let upper = breakpoint(i);
+        if lam >= lower - 1e-12 && lam <= upper + 1e-12 {
+            lambda = Some(lam);
+            break;
+        }
+        // Saturate coordinate i and continue.
+        saturated_norm_sq += caps[i] * caps[i];
+        remaining_a_sq -= a[i] * a[i];
+    }
+    let lam = lambda.unwrap_or_else(|| {
+        // Everything saturated (should have been caught by the box check).
+        f64::INFINITY
+    });
+    let mut x = vec![0.0; m];
+    for i in 0..m {
+        let magnitude = caps[i].min(lam * a[i].abs());
+        x[i] = if a[i] >= 0.0 { magnitude } else { -magnitude };
+    }
+    // Numerical safety: rescale into the ball if round-off pushed us out.
+    let norm = vector::norm2(&x);
+    if norm > radius && norm > 0.0 {
+        let scale = radius / norm;
+        for xi in x.iter_mut() {
+            *xi *= scale;
+        }
+    }
+    let value = x.iter().zip(a).map(|(xi, ai)| xi * ai).sum();
+    (x, value, s)
+}
+
+/// Checks feasibility `‖x‖₂ + ‖l⁻¹x‖_∞ ≤ 1 + tolerance` (test helper).
+pub fn is_in_mixed_ball(x: &[f64], l: &[f64], tolerance: f64) -> bool {
+    let inf: f64 = x
+        .iter()
+        .zip(l)
+        .map(|(xi, li)| xi.abs() / li)
+        .fold(0.0, f64::max);
+    vector::norm2(x) + inf <= 1.0 + tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_runtime::ModelConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn net() -> Network {
+        Network::clique(ModelConfig::bcc(), 8)
+    }
+
+    #[test]
+    fn zero_objective_returns_zero() {
+        let out = project_mixed_ball(&mut net(), &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(out.x, vec![0.0, 0.0]);
+        assert_eq!(out.value, 0.0);
+    }
+
+    #[test]
+    fn huge_l_reduces_to_the_euclidean_ball() {
+        // With l_i enormous the ∞-constraint is inactive and the optimum is
+        // a/‖a‖ with value ‖a‖₂.
+        let a = vec![3.0, -4.0];
+        let out = project_mixed_ball(&mut net(), &a, &[1e9, 1e9]);
+        assert!((out.value - 5.0).abs() < 1e-3, "value {}", out.value);
+        assert!(is_in_mixed_ball(&out.x, &[1e9, 1e9], 1e-9));
+    }
+
+    #[test]
+    fn tiny_l_forces_a_tiny_solution() {
+        let a = vec![1.0, 1.0, 1.0];
+        let l = vec![1e-4, 1e-4, 1e-4];
+        let out = project_mixed_ball(&mut net(), &a, &l);
+        assert!(out.value < 1e-2);
+        assert!(is_in_mixed_ball(&out.x, &l, 1e-9));
+    }
+
+    #[test]
+    fn output_is_always_feasible_and_beats_heuristic_candidates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for trial in 0..30 {
+            let m = rng.gen_range(2..12);
+            let a: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            let l: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 3.0 + 0.05).collect();
+            let out = project_mixed_ball(&mut net(), &a, &l);
+            assert!(is_in_mixed_ball(&out.x, &l, 1e-6), "trial {trial} infeasible");
+            // Candidate 1: pure ℓ₂ direction scaled to feasibility.
+            let a_norm = vector::norm2(&a).max(1e-12);
+            let unit: Vec<f64> = a.iter().map(|v| v / a_norm).collect();
+            let inf: f64 = unit.iter().zip(&l).map(|(x, li)| x.abs() / li).fold(0.0, f64::max);
+            let scale = 1.0 / (1.0 + inf);
+            let cand1: Vec<f64> = unit.iter().map(|v| v * scale).collect();
+            let val1 = vector::dot(&cand1, &a);
+            assert!(out.value >= val1 - 1e-6, "trial {trial}: {} < {val1}", out.value);
+            // Candidate 2: random feasible points must not beat the optimum.
+            for _ in 0..20 {
+                let dir: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+                let norm = vector::norm2(&dir).max(1e-12);
+                let infd: f64 = dir.iter().zip(&l).map(|(x, li)| x.abs() / li).fold(0.0, f64::max);
+                let s = 1.0 / (norm + infd).max(1e-12);
+                let cand: Vec<f64> = dir.iter().map(|v| v * s * 0.999).collect();
+                assert!(is_in_mixed_ball(&cand, &l, 1e-6));
+                let val = vector::dot(&cand, &a);
+                assert!(out.value >= val - 1e-6, "trial {trial}: random point beat the projection");
+            }
+        }
+    }
+
+    #[test]
+    fn value_scales_linearly_with_the_objective() {
+        let a = vec![1.0, -2.0, 0.5];
+        let l = vec![0.7, 0.4, 2.0];
+        let base = project_mixed_ball(&mut net(), &a, &l);
+        let doubled: Vec<f64> = a.iter().map(|v| 2.0 * v).collect();
+        let scaled = project_mixed_ball(&mut net(), &doubled, &l);
+        assert!((scaled.value - 2.0 * base.value).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rounds_are_polylogarithmic_not_linear_in_m() {
+        let mut network = Network::clique(ModelConfig::bcc(), 64);
+        let m = 4096;
+        let a: Vec<f64> = (0..m).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let l: Vec<f64> = (0..m).map(|i| 0.1 + ((i * 13) % 17) as f64).collect();
+        let _ = project_mixed_ball(&mut network, &a, &l);
+        let rounds = network.ledger().total_rounds();
+        assert!(rounds > 0);
+        assert!(rounds < m as u64 / 2, "rounds {rounds} should be far below m = {m}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_l_rejected() {
+        let _ = project_mixed_ball(&mut net(), &[1.0], &[0.0]);
+    }
+}

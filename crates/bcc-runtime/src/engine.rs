@@ -1,0 +1,340 @@
+//! A strict round-synchronous executor for vertex programs.
+//!
+//! [`Network::exchange`](crate::Network::exchange) lets algorithm drivers
+//! orchestrate communication steps from a global loop, which is convenient for
+//! the numerically heavy algorithms of the paper. This module provides the
+//! stricter, fully local alternative: a [`VertexProgram`] only ever sees its
+//! own state and its incoming messages, and the [`Engine`] advances all
+//! programs in lock-step, validating the broadcast and topology constraints on
+//! every round. It is used by the substrate's self-tests and by examples that
+//! want to demonstrate a textbook CONGEST execution.
+
+use crate::error::RuntimeError;
+use crate::ledger::RoundLedger;
+use crate::model::ModelConfig;
+use crate::network::Topology;
+use crate::payload::MessageSize;
+
+/// What a vertex emits at the end of a round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outgoing<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message to every neighbor (always legal).
+    Broadcast(M),
+    /// Send individual messages; only legal in unicast models, and only to
+    /// neighbors.
+    Unicast(Vec<(usize, M)>),
+}
+
+/// Static, per-vertex information available to a [`VertexProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexCtx {
+    /// This vertex's identifier in `0..n`.
+    pub id: usize,
+    /// Number of vertices in the network.
+    pub n: usize,
+    /// Current round index (0-based), valid inside [`VertexProgram::round`].
+    pub round: u64,
+}
+
+/// A local algorithm run at one vertex by the [`Engine`].
+pub trait VertexProgram {
+    /// The message type exchanged by the program.
+    type Msg: MessageSize + Clone;
+
+    /// Called once before round 0.
+    fn init(&mut self, _ctx: &VertexCtx) {}
+
+    /// Executes one round: consumes the messages received at the *start* of
+    /// this round (sent in the previous round) and returns what to send.
+    fn round(&mut self, ctx: &VertexCtx, incoming: &[(usize, Self::Msg)]) -> Outgoing<Self::Msg>;
+
+    /// Returns `true` once this vertex has produced its share of the output.
+    /// The engine stops when all vertices are done.
+    fn is_done(&self) -> bool;
+}
+
+/// Result of a completed [`Engine`] execution.
+#[derive(Debug, Clone)]
+pub struct Execution<P> {
+    /// The final per-vertex program states (holding the distributed output).
+    pub programs: Vec<P>,
+    /// Round/bit accounting of the execution.
+    pub ledger: RoundLedger,
+}
+
+/// Strict executor of [`VertexProgram`]s under a given model configuration.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: ModelConfig,
+    topology: Topology,
+    n: usize,
+}
+
+impl Engine {
+    /// Engine over a clique topology on `n` vertices.
+    pub fn clique(cfg: ModelConfig, n: usize) -> Self {
+        Engine {
+            cfg,
+            topology: Topology::Clique,
+            n,
+        }
+    }
+
+    /// Engine over an explicit undirected communication graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidTopology`] for asymmetric adjacency
+    /// lists, self-loops or out-of-range endpoints.
+    pub fn on_graph(cfg: ModelConfig, adjacency: Vec<Vec<usize>>) -> Result<Self, RuntimeError> {
+        // Reuse Network's validation.
+        let net = crate::Network::on_graph(cfg, adjacency)?;
+        let n = net.n();
+        let topology = match net {
+            _ => {
+                // Network does not expose its topology; rebuild it from recipients.
+                let adj: Vec<Vec<usize>> = (0..n).map(|v| net.recipients(v)).collect();
+                Topology::Graph(adj)
+            }
+        };
+        Ok(Engine { cfg, topology, n })
+    }
+
+    fn recipients(&self, v: usize) -> Vec<usize> {
+        match &self.topology {
+            Topology::Clique => (0..self.n).filter(|&u| u != v).collect(),
+            Topology::Graph(adj) => adj[v].clone(),
+        }
+    }
+
+    fn is_neighbor(&self, v: usize, u: usize) -> bool {
+        if v == u {
+            return false;
+        }
+        match &self.topology {
+            Topology::Clique => true,
+            Topology::Graph(adj) => adj[v].contains(&u),
+        }
+    }
+
+    /// Runs one program per vertex until all report [`VertexProgram::is_done`]
+    /// or the round limit is hit.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::RoundLimitExceeded`] if not all programs terminate
+    ///   within `max_rounds` rounds.
+    /// * [`RuntimeError::BroadcastViolation`] if a program unicasts under a
+    ///   broadcast model.
+    /// * [`RuntimeError::NotANeighbor`] for unicasts to non-neighbors.
+    pub fn run<P: VertexProgram>(
+        &self,
+        mut programs: Vec<P>,
+        max_rounds: u64,
+    ) -> Result<Execution<P>, RuntimeError> {
+        assert_eq!(
+            programs.len(),
+            self.n,
+            "exactly one program per vertex expected"
+        );
+        let mut ledger = RoundLedger::new();
+        ledger.begin_phase("engine");
+        for (id, p) in programs.iter_mut().enumerate() {
+            p.init(&VertexCtx {
+                id,
+                n: self.n,
+                round: 0,
+            });
+        }
+        let mut inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); self.n];
+        let mut round = 0u64;
+        loop {
+            if programs.iter().all(|p| p.is_done()) {
+                return Ok(Execution { programs, ledger });
+            }
+            if round >= max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded { limit: max_rounds });
+            }
+            let mut next_inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); self.n];
+            let mut max_bits = 0u64;
+            let mut total_bits = 0u64;
+            for v in 0..self.n {
+                let ctx = VertexCtx {
+                    id: v,
+                    n: self.n,
+                    round,
+                };
+                let incoming = std::mem::take(&mut inboxes[v]);
+                match programs[v].round(&ctx, &incoming) {
+                    Outgoing::Silent => {}
+                    Outgoing::Broadcast(msg) => {
+                        let bits = msg.message_bits();
+                        max_bits = max_bits.max(bits);
+                        total_bits += bits;
+                        for u in self.recipients(v) {
+                            next_inboxes[u].push((v, msg.clone()));
+                        }
+                    }
+                    Outgoing::Unicast(msgs) => {
+                        if self.cfg.model.is_broadcast() {
+                            return Err(RuntimeError::BroadcastViolation { vertex: v, round });
+                        }
+                        let mut vertex_max = 0u64;
+                        for (to, msg) in msgs {
+                            if to >= self.n {
+                                return Err(RuntimeError::InvalidVertex { vertex: to, n: self.n });
+                            }
+                            if !self.is_neighbor(v, to) {
+                                return Err(RuntimeError::NotANeighbor { from: v, to });
+                            }
+                            let bits = msg.message_bits();
+                            vertex_max = vertex_max.max(bits);
+                            total_bits += bits;
+                            next_inboxes[to].push((v, msg));
+                        }
+                        max_bits = max_bits.max(vertex_max);
+                    }
+                }
+            }
+            let charged = self.cfg.rounds_for_bits(self.n, max_bits);
+            ledger.charge(charged, total_bits);
+            inboxes = next_inboxes;
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use crate::payload::Field;
+
+    /// Each vertex learns the maximum identifier in the network by flooding.
+    #[derive(Debug)]
+    struct MaxIdFlood {
+        known_max: usize,
+        changed: bool,
+        quiet_rounds: u32,
+    }
+
+    impl VertexProgram for MaxIdFlood {
+        type Msg = Field;
+
+        fn init(&mut self, ctx: &VertexCtx) {
+            self.known_max = ctx.id;
+            self.changed = true;
+        }
+
+        fn round(&mut self, ctx: &VertexCtx, incoming: &[(usize, Field)]) -> Outgoing<Field> {
+            for (_, msg) in incoming {
+                if let Field::Id { value, .. } = msg {
+                    if *value > self.known_max {
+                        self.known_max = *value;
+                        self.changed = true;
+                    }
+                }
+            }
+            if self.changed {
+                self.changed = false;
+                self.quiet_rounds = 0;
+                Outgoing::Broadcast(Field::id(self.known_max, ctx.n))
+            } else {
+                self.quiet_rounds += 1;
+                Outgoing::Silent
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.quiet_rounds >= 2
+        }
+    }
+
+    fn flood_programs(n: usize) -> Vec<MaxIdFlood> {
+        (0..n)
+            .map(|_| MaxIdFlood {
+                known_max: 0,
+                changed: false,
+                quiet_rounds: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flooding_on_a_path_takes_linear_rounds() {
+        let n = 6;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                let mut a = Vec::new();
+                if v > 0 {
+                    a.push(v - 1);
+                }
+                if v + 1 < n {
+                    a.push(v + 1);
+                }
+                a
+            })
+            .collect();
+        let engine = Engine::on_graph(ModelConfig::broadcast_congest(), adj).unwrap();
+        let exec = engine.run(flood_programs(n), 100).unwrap();
+        for p in &exec.programs {
+            assert_eq!(p.known_max, n - 1);
+        }
+        // Information from vertex n-1 needs n-1 hops to reach vertex 0.
+        assert!(exec.ledger.total_rounds() as usize >= n - 1);
+    }
+
+    #[test]
+    fn flooding_on_a_clique_is_constant_rounds() {
+        let n = 8;
+        let engine = Engine::clique(ModelConfig::bcc(), n);
+        let exec = engine.run(flood_programs(n), 10).unwrap();
+        for p in &exec.programs {
+            assert_eq!(p.known_max, n - 1);
+        }
+        assert!(exec.ledger.total_rounds() <= 5);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let n = 6;
+        let engine = Engine::clique(ModelConfig::bcc(), n);
+        let err = engine.run(flood_programs(n), 1).unwrap_err();
+        assert_eq!(err, RuntimeError::RoundLimitExceeded { limit: 1 });
+    }
+
+    /// A program that (incorrectly) unicasts under a broadcast model.
+    #[derive(Debug)]
+    struct BadUnicast {
+        sent: bool,
+    }
+
+    impl VertexProgram for BadUnicast {
+        type Msg = Field;
+        fn round(&mut self, ctx: &VertexCtx, _incoming: &[(usize, Field)]) -> Outgoing<Field> {
+            self.sent = true;
+            Outgoing::Unicast(vec![((ctx.id + 1) % ctx.n, Field::flag(true))])
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn unicast_under_broadcast_model_is_rejected() {
+        let engine = Engine::clique(ModelConfig::bcc(), 3);
+        let programs = (0..3).map(|_| BadUnicast { sent: false }).collect();
+        let err = engine.run(programs, 5).unwrap_err();
+        assert!(matches!(err, RuntimeError::BroadcastViolation { .. }));
+    }
+
+    #[test]
+    fn unicast_under_congest_is_accepted() {
+        let engine = Engine::clique(ModelConfig::congested_clique(), 3);
+        let programs = (0..3).map(|_| BadUnicast { sent: false }).collect();
+        let exec = engine.run(programs, 5).unwrap();
+        assert_eq!(exec.ledger.total_rounds(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! `t`-bundle spanners (Algorithm 3 of the paper).
+//!
+//! A `t`-bundle spanner of stretch `α` is a union `T = T₁ ∪ ⋯ ∪ T_t` where
+//! each `T_i` is an `α`-spanner of `G ∖ (T₁ ∪ ⋯ ∪ T_{i−1})` (Definition 2.2).
+//! The sparsification framework of Koutis–Xu needs such bundles because an
+//! edge outside a `t`-bundle is "well connected" `t` times over and can be
+//! sampled away safely.
+
+use bcc_graph::Graph;
+use bcc_runtime::Network;
+
+use crate::probabilistic::{probabilistic_spanner, SpannerOutput, SpannerParams};
+
+/// Output of [`bundle_spanner`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BundleOutput {
+    /// `B = ∪ᵢ F⁺ᵢ` — the bundle edges (indices into the master graph).
+    pub bundle: Vec<usize>,
+    /// `C = ∪ᵢ F⁻ᵢ` — edges sampled out during the bundle construction.
+    pub sampled_out: Vec<usize>,
+    /// The per-spanner outputs, in construction order.
+    pub layers: Vec<SpannerOutput>,
+}
+
+/// Computes a `t`-bundle of `(2k−1)`-spanners with probabilistic edges
+/// (Algorithm 3): the `i`-th spanner is computed on the active edges minus
+/// everything previous spanners returned (both `F⁺` and `F⁻`).
+///
+/// Rounds are charged on `net` by the underlying spanner calls,
+/// `O(t·k·n^{1/k}·(log n + log W))` in total (Lemma 3.2).
+pub fn bundle_spanner(
+    net: &mut Network,
+    graph: &Graph,
+    weights: &[f64],
+    p: &[f64],
+    active: &[bool],
+    params: SpannerParams,
+    t: usize,
+) -> BundleOutput {
+    assert!(t >= 1, "a bundle needs at least one spanner");
+    let mut remaining = active.to_vec();
+    let mut output = BundleOutput::default();
+    for layer in 0..t {
+        let layer_params = SpannerParams {
+            k: params.k,
+            // Derive a distinct but reproducible seed per layer.
+            seed: params.seed.wrapping_add(0x9E37_79B9 * (layer as u64 + 1)),
+        };
+        let result = probabilistic_spanner(net, graph, weights, p, &remaining, layer_params);
+        for &e in &result.f_plus {
+            remaining[e] = false;
+            output.bundle.push(e);
+        }
+        for &e in &result.f_minus {
+            remaining[e] = false;
+            output.sampled_out.push(e);
+        }
+        let exhausted = result.f_plus.is_empty() && result.f_minus.is_empty();
+        output.layers.push(result);
+        if exhausted {
+            // No active edges were touched; further layers would be identical.
+            break;
+        }
+    }
+    output.bundle.sort_unstable();
+    output.sampled_out.sort_unstable();
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_spanner_of;
+    use bcc_graph::generators;
+    use bcc_runtime::ModelConfig;
+
+    fn bc_network(g: &Graph) -> Network {
+        Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap()
+    }
+
+    #[test]
+    fn bundle_layers_are_disjoint() {
+        let g = generators::complete(24);
+        let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        let ones = vec![1.0; g.m()];
+        let active = vec![true; g.m()];
+        let mut net = bc_network(&g);
+        let out = bundle_spanner(
+            &mut net,
+            &g,
+            &weights,
+            &ones,
+            &active,
+            SpannerParams { k: 2, seed: 4 },
+            3,
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for layer in &out.layers {
+            for &e in &layer.f_plus {
+                assert!(seen.insert(e), "edge {e} appears in two layers");
+            }
+        }
+        assert_eq!(seen.len(), out.bundle.len());
+        assert!(out.sampled_out.is_empty(), "p = 1 never samples out");
+    }
+
+    #[test]
+    fn each_layer_spans_the_graph_minus_previous_layers() {
+        let g = generators::complete(16);
+        let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        let ones = vec![1.0; g.m()];
+        let active = vec![true; g.m()];
+        let k = 2;
+        let mut net = bc_network(&g);
+        let out = bundle_spanner(
+            &mut net,
+            &g,
+            &weights,
+            &ones,
+            &active,
+            SpannerParams { k, seed: 8 },
+            2,
+        );
+        // Layer 1 is a spanner of G.
+        let layer1 = g.subgraph(&out.layers[0].f_plus);
+        assert!(is_spanner_of(&layer1, &g, 2 * k - 1));
+        // Layer 2 is a spanner of G minus layer 1.
+        let removed: std::collections::BTreeSet<usize> =
+            out.layers[0].f_plus.iter().copied().collect();
+        let rest: Vec<usize> = (0..g.m()).filter(|e| !removed.contains(e)).collect();
+        let g_minus = g.subgraph(&rest);
+        let layer2 = g.subgraph(&out.layers[1].f_plus);
+        assert!(is_spanner_of(&layer2, &g_minus, 2 * k - 1));
+    }
+
+    #[test]
+    fn bundle_stops_early_when_edges_run_out() {
+        let g = generators::path(6);
+        let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        let ones = vec![1.0; g.m()];
+        let active = vec![true; g.m()];
+        let mut net = bc_network(&g);
+        let out = bundle_spanner(
+            &mut net,
+            &g,
+            &weights,
+            &ones,
+            &active,
+            SpannerParams { k: 2, seed: 5 },
+            10,
+        );
+        // A path is its own only spanner; the second layer finds nothing and
+        // the loop terminates long before 10 layers.
+        assert_eq!(out.bundle.len(), g.m());
+        assert!(out.layers.len() <= 3);
+    }
+
+    #[test]
+    fn bundle_size_grows_with_t() {
+        let g = generators::complete(20);
+        let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        let ones = vec![1.0; g.m()];
+        let active = vec![true; g.m()];
+        let mut net1 = bc_network(&g);
+        let small = bundle_spanner(
+            &mut net1,
+            &g,
+            &weights,
+            &ones,
+            &active,
+            SpannerParams { k: 2, seed: 6 },
+            1,
+        );
+        let mut net2 = bc_network(&g);
+        let large = bundle_spanner(
+            &mut net2,
+            &g,
+            &weights,
+            &ones,
+            &active,
+            SpannerParams { k: 2, seed: 6 },
+            4,
+        );
+        assert!(large.bundle.len() > small.bundle.len());
+    }
+}

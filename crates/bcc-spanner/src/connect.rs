@@ -1,0 +1,205 @@
+//! The `Connect` procedure (Algorithm 2 of the paper).
+//!
+//! Given the set `N` of candidate neighbors of a vertex `v` (each reachable
+//! through an edge that exists with a known probability), `Connect` scans the
+//! candidates in increasing order of edge weight (ties broken towards smaller
+//! identifiers) and samples each edge in turn: the first edge whose sample
+//! succeeds is the connection, every edge sampled *before* it is now known not
+//! to exist and is returned in `N⁻`.
+//!
+//! The crucial property exploited by the paper is that the outcome of the
+//! sampling is *deducible by the other endpoint* from the broadcast `v` makes
+//! afterwards, so the negative samples never need to be communicated
+//! explicitly.
+
+use rand::Rng;
+
+/// A candidate edge considered by [`connect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The neighboring vertex this edge leads to.
+    pub neighbor: usize,
+    /// Index of the edge in the working graph.
+    pub edge: usize,
+    /// Weight of the edge (used for the sort order).
+    pub weight: f64,
+    /// Probability that the edge still exists.
+    pub probability: f64,
+}
+
+/// Result of one `Connect` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectOutcome {
+    /// The accepted candidate, or `None` (the paper's `⊥`) if every sample
+    /// failed or the candidate set was empty.
+    pub accepted: Option<Candidate>,
+    /// Candidates whose samples failed before the accepted one — these edges
+    /// are now known not to exist (they join `F⁻`).
+    pub rejected: Vec<Candidate>,
+}
+
+/// The sort order used by `Connect`: ascending weight, ties broken by the
+/// smaller neighbor identifier first.
+pub fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    a.weight
+        .partial_cmp(&b.weight)
+        .expect("edge weights are finite")
+        .then(a.neighbor.cmp(&b.neighbor))
+}
+
+/// Runs `Connect(N, p)` for one vertex using its private randomness.
+///
+/// Candidates may be passed in any order; they are sorted internally.
+pub fn connect(mut candidates: Vec<Candidate>, rng: &mut impl Rng) -> ConnectOutcome {
+    candidates.sort_by(candidate_order);
+    let mut rejected = Vec::new();
+    for candidate in candidates {
+        let r: f64 = rng.gen();
+        if r <= candidate.probability {
+            return ConnectOutcome {
+                accepted: Some(candidate),
+                rejected,
+            };
+        }
+        rejected.push(candidate);
+    }
+    ConnectOutcome {
+        accepted: None,
+        rejected,
+    }
+}
+
+/// The deduction rule the *other* endpoint applies after hearing `v`'s
+/// broadcast (the three bullet points repeated in steps 2, 3.1, 3.2, 4 of the
+/// paper). `my_weight`/`my_id` describe the edge between the listener `u` and
+/// the broadcaster, `accepted` is what the broadcaster announced.
+///
+/// Returns what the listener learns about its own edge to the broadcaster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeFate {
+    /// The broadcaster connected through this very edge: it is in the spanner
+    /// (`F⁺`).
+    InSpanner,
+    /// The broadcaster's scan passed over this edge and its sample failed: the
+    /// edge does not exist (`F⁻`).
+    Deleted,
+    /// The broadcaster accepted an edge that precedes this one in the scan
+    /// order, so this edge was never sampled; nothing is learned.
+    Undecided,
+}
+
+/// Applies the implicit-communication deduction rule.
+pub fn deduce_fate(
+    my_id: usize,
+    my_weight: f64,
+    accepted: Option<(usize, f64)>,
+) -> EdgeFate {
+    match accepted {
+        None => EdgeFate::Deleted,
+        Some((accepted_id, accepted_weight)) => {
+            if accepted_id == my_id {
+                EdgeFate::InSpanner
+            } else if accepted_weight > my_weight
+                || (accepted_weight == my_weight && accepted_id > my_id)
+            {
+                // The broadcaster scanned me before the accepted edge, so my
+                // sample must have failed.
+                EdgeFate::Deleted
+            } else {
+                EdgeFate::Undecided
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cand(neighbor: usize, weight: f64, probability: f64) -> Candidate {
+        Candidate {
+            neighbor,
+            edge: neighbor,
+            weight,
+            probability,
+        }
+    }
+
+    #[test]
+    fn certain_edges_accept_the_lightest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = connect(vec![cand(5, 3.0, 1.0), cand(2, 1.0, 1.0), cand(9, 2.0, 1.0)], &mut rng);
+        assert_eq!(out.accepted.unwrap().neighbor, 2);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn ties_break_towards_smaller_id() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = connect(vec![cand(7, 1.0, 1.0), cand(3, 1.0, 1.0)], &mut rng);
+        assert_eq!(out.accepted.unwrap().neighbor, 3);
+    }
+
+    #[test]
+    fn empty_candidate_set_returns_bot() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = connect(Vec::new(), &mut rng);
+        assert_eq!(out.accepted, None);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn zero_probability_edges_are_all_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let out = connect(vec![cand(1, 1.0, 0.0), cand(2, 2.0, 0.0)], &mut rng);
+        assert_eq!(out.accepted, None);
+        assert_eq!(out.rejected.len(), 2);
+        // Rejections appear in scan order.
+        assert_eq!(out.rejected[0].neighbor, 1);
+        assert_eq!(out.rejected[1].neighbor, 2);
+    }
+
+    #[test]
+    fn rejected_prefix_precedes_accepted_edge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // First candidate never exists, second always does.
+        let out = connect(vec![cand(1, 1.0, 0.0), cand(2, 2.0, 1.0)], &mut rng);
+        let accepted = out.accepted.unwrap();
+        assert_eq!(accepted.neighbor, 2);
+        assert_eq!(out.rejected.len(), 1);
+        assert!(candidate_order(&out.rejected[0], &accepted).is_lt());
+    }
+
+    #[test]
+    fn acceptance_rate_tracks_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let trials = 4000;
+        let mut accepted = 0;
+        for _ in 0..trials {
+            let out = connect(vec![cand(1, 1.0, 0.25)], &mut rng);
+            if out.accepted.is_some() {
+                accepted += 1;
+            }
+        }
+        let rate = accepted as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn deduction_rules_match_the_paper() {
+        // Broadcast named me.
+        assert_eq!(deduce_fate(4, 2.0, Some((4, 2.0))), EdgeFate::InSpanner);
+        // Broadcast was ⊥.
+        assert_eq!(deduce_fate(4, 2.0, None), EdgeFate::Deleted);
+        // Accepted edge is heavier: my edge was scanned first and failed.
+        assert_eq!(deduce_fate(4, 2.0, Some((9, 3.0))), EdgeFate::Deleted);
+        // Equal weight, accepted id larger: my edge was scanned first.
+        assert_eq!(deduce_fate(4, 2.0, Some((9, 2.0))), EdgeFate::Deleted);
+        // Accepted edge is lighter: my edge was never sampled.
+        assert_eq!(deduce_fate(4, 2.0, Some((1, 1.0))), EdgeFate::Undecided);
+        // Equal weight, accepted id smaller: never sampled.
+        assert_eq!(deduce_fate(4, 2.0, Some((1, 2.0))), EdgeFate::Undecided);
+    }
+}

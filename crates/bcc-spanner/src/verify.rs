@@ -1,0 +1,97 @@
+//! Verification utilities: stretch and size checks used by tests and the
+//! experiment harness (these run centrally and are not part of the
+//! distributed algorithms).
+
+use bcc_graph::{traversal, Graph};
+
+/// Checks whether `spanner` has stretch at most `alpha` with respect to
+/// `reference`: for every edge `(u, v)` of `reference`,
+/// `d_spanner(u, v) ≤ alpha · w(u, v)`.
+///
+/// Checking the inequality on edges is equivalent to checking it on all
+/// vertex pairs (the standard spanner argument: concatenate the per-edge
+/// detours along a shortest path).
+///
+/// Both graphs must be on the same vertex set.
+pub fn is_spanner_of(spanner: &Graph, reference: &Graph, alpha: usize) -> bool {
+    max_stretch(spanner, reference)
+        .map(|s| s <= alpha as f64 + 1e-9)
+        .unwrap_or(false)
+}
+
+/// The maximum multiplicative stretch of `spanner` over the edges of
+/// `reference`, or `None` if some edge's endpoints are disconnected in the
+/// spanner.
+pub fn max_stretch(spanner: &Graph, reference: &Graph) -> Option<f64> {
+    assert_eq!(spanner.n(), reference.n(), "vertex sets must agree");
+    let n = reference.n();
+    // Run Dijkstra in the spanner from every vertex that is an endpoint of
+    // some reference edge.
+    let mut needed = vec![false; n];
+    for e in reference.edges() {
+        needed[e.u] = true;
+    }
+    let mut worst: f64 = 0.0;
+    for source in 0..n {
+        if !needed[source] {
+            continue;
+        }
+        let dist = traversal::dijkstra(spanner, source);
+        for e in reference.edges() {
+            if e.u != source {
+                continue;
+            }
+            let d = dist[e.v];
+            if !d.is_finite() {
+                return None;
+            }
+            worst = worst.max(d / e.weight);
+        }
+    }
+    Some(worst)
+}
+
+/// The Baswana–Sen size bound `O(k · n^{1 + 1/k})`, with an explicit constant
+/// used by the experiment harness to compare measured sizes against the
+/// theory (Lemma 3.1 states the expectation bound).
+pub fn expected_size_bound(n: usize, k: usize, constant: f64) -> f64 {
+    constant * k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::generators;
+
+    #[test]
+    fn graph_is_a_stretch_one_spanner_of_itself() {
+        let g = generators::grid(3, 3);
+        assert!(is_spanner_of(&g, &g, 1));
+        assert_eq!(max_stretch(&g, &g).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn spanning_tree_of_cycle_has_stretch_n_minus_one() {
+        let g = generators::cycle(6);
+        // Remove one edge -> path, stretch of the removed edge is 5.
+        let tree = g.subgraph(&(0..5).collect::<Vec<_>>());
+        let stretch = max_stretch(&tree, &g).unwrap();
+        assert!((stretch - 5.0).abs() < 1e-9);
+        assert!(is_spanner_of(&tree, &g, 5));
+        assert!(!is_spanner_of(&tree, &g, 4));
+    }
+
+    #[test]
+    fn disconnected_spanner_is_rejected() {
+        let g = generators::path(4);
+        let broken = g.subgraph(&[0, 2]); // drops the middle edge
+        assert_eq!(max_stretch(&broken, &g), None);
+        assert!(!is_spanner_of(&broken, &g, 100));
+    }
+
+    #[test]
+    fn size_bound_is_monotone_in_n() {
+        assert!(expected_size_bound(100, 2, 1.0) > expected_size_bound(50, 2, 1.0));
+        assert!(expected_size_bound(100, 2, 1.0) > expected_size_bound(100, 5, 1.0));
+    }
+}

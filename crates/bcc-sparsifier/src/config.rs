@@ -1,0 +1,111 @@
+//! Parameters of the spectral sparsification algorithms.
+
+/// Parameters of Algorithms 4 and 5 (Section 3.2).
+///
+/// The paper fixes `k = ⌈log n⌉`, `t = 400·log²(n)/ε²` and
+/// `⌈log m⌉` iterations. Those constants make even toy instances enormous
+/// (`t > 10⁴` for `n = 64`, `ε = 1/2`), so the struct also provides
+/// *laboratory* defaults that keep the same asymptotic shape with smaller
+/// constants; the experiment harness sweeps both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsifierConfig {
+    /// Spanner stretch parameter `k` (spanners have stretch `2k − 1`).
+    pub k: usize,
+    /// Number of spanners per bundle, `t`.
+    pub t: usize,
+    /// Number of outer iterations (the paper uses `⌈log m⌉`).
+    pub iterations: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SparsifierConfig {
+    /// The constants exactly as stated in Algorithm 5:
+    /// `k = ⌈log₂ n⌉`, `t = ⌈400·log₂²(n)/ε²⌉`, `⌈log₂ m⌉` iterations.
+    pub fn paper_defaults(n: usize, m: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0);
+        let log_n = (n.max(2) as f64).log2();
+        let log_m = (m.max(2) as f64).log2();
+        SparsifierConfig {
+            k: log_n.ceil() as usize,
+            t: (400.0 * log_n * log_n / (epsilon * epsilon)).ceil() as usize,
+            iterations: log_m.ceil() as usize,
+            seed,
+        }
+    }
+
+    /// Laboratory defaults: the same `Θ(log n)` / `Θ(log²(n)/ε²)` /
+    /// `Θ(log m)` shape with constants small enough to exercise interesting
+    /// behaviour (actual edge reduction) on graphs with tens to hundreds of
+    /// vertices.
+    pub fn laboratory(n: usize, m: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0);
+        let log_n = (n.max(2) as f64).log2();
+        let log_m = (m.max(2) as f64).log2();
+        SparsifierConfig {
+            k: (log_n.ceil() as usize).clamp(2, 4),
+            t: ((2.0 * log_n * log_n / (epsilon * epsilon)).ceil() as usize).max(2),
+            iterations: (log_m.ceil() as usize).clamp(2, 8),
+            seed,
+        }
+    }
+
+    /// Overrides the number of spanners per bundle.
+    pub fn with_t(mut self, t: usize) -> Self {
+        assert!(t >= 1);
+        self.t = t;
+        self
+    }
+
+    /// Overrides the number of outer iterations.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations >= 1);
+        self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the stretch parameter.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1);
+        self.k = k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_formulae() {
+        let cfg = SparsifierConfig::paper_defaults(1024, 1 << 16, 0.5, 1);
+        assert_eq!(cfg.k, 10);
+        assert_eq!(cfg.t, (400.0f64 * 100.0 / 0.25).ceil() as usize);
+        assert_eq!(cfg.iterations, 16);
+    }
+
+    #[test]
+    fn laboratory_defaults_are_small_but_positive() {
+        let cfg = SparsifierConfig::laboratory(64, 2016, 0.5, 1);
+        assert!(cfg.k >= 2 && cfg.k <= 4);
+        assert!(cfg.t >= 2 && cfg.t < 1000);
+        assert!(cfg.iterations >= 2);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = SparsifierConfig::laboratory(64, 2016, 0.5, 1)
+            .with_t(7)
+            .with_iterations(3)
+            .with_k(2);
+        assert_eq!(cfg.t, 7);
+        assert_eq!(cfg.iterations, 3);
+        assert_eq!(cfg.k, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epsilon_rejected() {
+        let _ = SparsifierConfig::paper_defaults(16, 32, 0.0, 1);
+    }
+}

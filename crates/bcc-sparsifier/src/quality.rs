@@ -1,0 +1,142 @@
+//! Spectral-approximation quality measurements.
+//!
+//! Theorem 1.2 promises `(1−ε)·L_H ≼ L_G ≼ (1+ε)·L_H`. For connected graphs
+//! both Laplacians have the all-ones kernel, so the guarantee is equivalent to
+//! all generalized eigenvalues of the pencil `(L_G, L_H)` (restricted to the
+//! complement of the kernel) lying in `[1−ε, 1+ε]`. These utilities compute
+//! the exact extreme generalized eigenvalues on dense ground-truth matrices —
+//! feasible for the instance sizes the experiments use, and a *certificate*
+//! rather than a sampled estimate.
+
+use bcc_graph::{laplacian, Graph};
+use bcc_linalg::{generalized_extreme_eigenvalues, DenseMatrix};
+
+/// The extreme generalized eigenvalues `(λ_min, λ_max)` of `(L_G, L_H)`:
+/// the sparsifier satisfies a `(1±ε)` guarantee iff
+/// `1 − ε ≤ λ_min` and `λ_max ≤ 1 + ε`.
+///
+/// # Panics
+///
+/// Panics if the graphs have different vertex counts.
+pub fn approximation_bounds(g: &Graph, h: &Graph) -> (f64, f64) {
+    assert_eq!(g.n(), h.n(), "graphs must share the vertex set");
+    let lg = dense_laplacian(g);
+    let lh = dense_laplacian(h);
+    let ones = vec![1.0; g.n()];
+    generalized_extreme_eigenvalues(&lg, &lh, &ones)
+}
+
+/// The smallest `ε ≥ 0` such that `H` is a `(1±ε)`-spectral sparsifier of `G`
+/// (`f64::INFINITY` if `H` does not even dominate a positive fraction of `G`,
+/// e.g. when `H` is disconnected but `G` is not).
+pub fn achieved_epsilon(g: &Graph, h: &Graph) -> f64 {
+    // The eigenvalue certificate restricts to the range of L_H; if H has more
+    // connected components than G there is a direction with xᵀL_H x = 0 but
+    // xᵀL_G x > 0, so no finite ε exists.
+    let comps_g = bcc_graph::traversal::connected_components(g)
+        .into_iter()
+        .max()
+        .map_or(0, |c| c + 1);
+    let comps_h = bcc_graph::traversal::connected_components(h)
+        .into_iter()
+        .max()
+        .map_or(0, |c| c + 1);
+    if comps_h > comps_g {
+        return f64::INFINITY;
+    }
+    let (lo, hi) = approximation_bounds(g, h);
+    if lo <= 0.0 || !lo.is_finite() || !hi.is_finite() {
+        return f64::INFINITY;
+    }
+    (1.0 - lo).max(hi - 1.0).max(0.0)
+}
+
+/// Relative quadratic-form error on a specific test vector:
+/// `|xᵀL_G x − xᵀL_H x| / xᵀL_G x`. A cheap spot check used by the larger
+/// experiments where dense eigen-decomposition would be too slow.
+pub fn quadratic_form_error(g: &Graph, h: &Graph, x: &[f64]) -> f64 {
+    let qg = laplacian::quadratic_form(g, x);
+    let qh = laplacian::quadratic_form(h, x);
+    if qg <= 0.0 {
+        return 0.0;
+    }
+    (qg - qh).abs() / qg
+}
+
+fn dense_laplacian(g: &Graph) -> DenseMatrix {
+    let rows = laplacian::laplacian_dense(g);
+    DenseMatrix::from_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::generators;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn identical_graphs_have_unit_bounds() {
+        let g = generators::grid(3, 4);
+        let (lo, hi) = approximation_bounds(&g, &g);
+        assert!((lo - 1.0).abs() < 1e-8);
+        assert!((hi - 1.0).abs() < 1e-8);
+        assert!(achieved_epsilon(&g, &g) < 1e-8);
+    }
+
+    #[test]
+    fn uniform_reweighting_shifts_bounds() {
+        let g = generators::cycle(8);
+        let h = g.map_weights(|e| 2.0 * e.weight);
+        // L_G = 0.5 L_H, so both generalized eigenvalues are 0.5.
+        let (lo, hi) = approximation_bounds(&g, &h);
+        assert!((lo - 0.5).abs() < 1e-8);
+        assert!((hi - 0.5).abs() < 1e-8);
+        assert!((achieved_epsilon(&g, &h) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dropping_an_edge_of_a_cycle_is_detected() {
+        let g = generators::cycle(6);
+        let h = g.subgraph(&(0..5).collect::<Vec<_>>());
+        let eps = achieved_epsilon(&g, &h);
+        // The cycle is not spectrally close to a path with the same weights.
+        assert!(eps > 0.5, "eps = {eps}");
+    }
+
+    #[test]
+    fn disconnected_candidate_gives_infinite_epsilon() {
+        let g = generators::cycle(6);
+        let h = g.subgraph(&[0, 2]);
+        assert_eq!(achieved_epsilon(&g, &h), f64::INFINITY);
+    }
+
+    #[test]
+    fn quadratic_form_error_is_zero_for_identical_graphs() {
+        let g = generators::grid(3, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x: Vec<f64> = (0..g.n()).map(|_| rng.gen::<f64>()).collect();
+        assert!(quadratic_form_error(&g, &g, &x) < 1e-12);
+    }
+
+    #[test]
+    fn bounds_certify_quadratic_forms() {
+        // Whatever bounds the certificate reports must hold for random vectors.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::random_connected(15, 0.4, 5, &mut rng);
+        // A crude "sparsifier": double every third edge's weight and drop the rest.
+        let keep: Vec<usize> = (0..g.m()).step_by(2).collect();
+        let h_candidate = g.subgraph(&keep);
+        if !h_candidate.is_connected() {
+            return;
+        }
+        let (lo, hi) = approximation_bounds(&g, &h_candidate);
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..g.n()).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let qg = bcc_graph::laplacian::quadratic_form(&g, &x);
+            let qh = bcc_graph::laplacian::quadratic_form(&h_candidate, &x);
+            assert!(qg <= hi * qh + 1e-6);
+            assert!(qg >= lo * qh - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Criterion bench for experiment E9 (min-cost max-flow end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_flow");
+    group.sample_size(10);
+    group.bench_function("e9_mcmf_n5", |b| b.iter(|| bench::e9_flow(&[5], 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

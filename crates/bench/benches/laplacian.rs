@@ -1,0 +1,14 @@
+//! Criterion bench for experiments E4/E5 (Laplacian solving and Chebyshev).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_laplacian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_e5_laplacian");
+    group.sample_size(10);
+    group.bench_function("e4_laplacian_solver", |b| b.iter(|| bench::e4_laplacian(1)));
+    group.bench_function("e5_chebyshev", |b| b.iter(bench::e5_chebyshev));
+    group.finish();
+}
+
+criterion_group!(benches, bench_laplacian);
+criterion_main!(benches);

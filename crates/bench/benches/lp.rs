@@ -1,0 +1,15 @@
+//! Criterion bench for experiments E6/E7/E8 (LP solver building blocks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_e7_e8_lp");
+    group.sample_size(10);
+    group.bench_function("e6_leverage_scores", |b| b.iter(|| bench::e6_leverage(1)));
+    group.bench_function("e7_mixed_ball", |b| b.iter(|| bench::e7_mixed_ball(1)));
+    group.bench_function("e8_lp_iterations_n5", |b| b.iter(|| bench::e8_lp_iterations(&[5], 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for experiment E1 (spanner construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_spanner");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| bench::e1_spanner(&[n], &[3], 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spanner);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for experiment E3 (spectral sparsification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sparsifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_sparsifier");
+    group.sample_size(10);
+    for n in [24usize, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| bench::e3_sparsifier(&[n], &[1.0], 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsifier);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Experiment runner: regenerates the tables recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p bench --release --bin expts -- [e1|e2|...|e10|a1|a2|all] [--full]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids = if ids.is_empty() { vec!["all"] } else { ids };
+    for id in ids {
+        for table in bench::run_experiment(id, quick) {
+            println!("{table}");
+        }
+    }
+}

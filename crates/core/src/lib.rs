@@ -1,0 +1,170 @@
+//! # bcc-core
+//!
+//! Facade crate for the reproduction of *"The Laplacian Paradigm in the
+//! Broadcast Congested Clique"* (Forster & de Vos, PODC 2022): re-exports the
+//! whole workspace and provides one-call pipeline functions mirroring the
+//! paper's four theorems.
+//!
+//! | Paper result | Entry point |
+//! |---|---|
+//! | Theorem 1.2 (spectral sparsifier, Broadcast CONGEST) | [`spectral_sparsify`] |
+//! | Theorem 1.3 (Laplacian solver, BCC) | [`solve_laplacian_bcc`] |
+//! | Theorem 1.4 (LP solver, BCC) | [`bcc_lp::lp_solve`] |
+//! | Theorem 1.1 (min-cost max-flow, BCC) | [`min_cost_max_flow_bcc`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bcc_core::prelude::*;
+//!
+//! // A weighted graph and a Laplacian system on it.
+//! let graph = bcc_core::graph::generators::grid(4, 4);
+//! let (solution, report) = bcc_core::solve_laplacian_bcc(&graph, &demand_vector(&graph), 1e-6, 42);
+//! assert!(report.total_rounds > 0);
+//! assert_eq!(solution.len(), graph.n());
+//!
+//! fn demand_vector(g: &bcc_core::graph::Graph) -> Vec<f64> {
+//!     let mut b = vec![0.0; g.n()];
+//!     b[0] = 1.0;
+//!     b[g.n() - 1] = -1.0;
+//!     b
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bcc_flow as flow;
+pub use bcc_graph as graph;
+pub use bcc_laplacian as laplacian;
+pub use bcc_linalg as linalg;
+pub use bcc_lp as lp;
+pub use bcc_runtime as runtime;
+pub use bcc_spanner as spanner;
+pub use bcc_sparsifier as sparsifier;
+
+/// Commonly used types, re-exported for `use bcc_core::prelude::*`.
+pub mod prelude {
+    pub use bcc_flow::{min_cost_max_flow_bcc, ssp_min_cost_max_flow, McmfOptions};
+    pub use bcc_graph::{DiGraph, FlowInstance, Graph};
+    pub use bcc_laplacian::LaplacianSolver;
+    pub use bcc_lp::{lp_solve, LpInstance, LpOptions};
+    pub use bcc_runtime::{Model, ModelConfig, Network, RoundLedger};
+    pub use bcc_spanner::{baswana_sen_spanner, SpannerParams};
+    pub use bcc_sparsifier::{sparsify_ad_hoc, SparsifierConfig};
+}
+
+/// A compact summary of the communication cost of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Total rounds charged.
+    pub total_rounds: u64,
+    /// Total bits written to the blackboard / links.
+    pub total_bits: u64,
+    /// Human-readable per-phase breakdown.
+    pub breakdown: String,
+}
+
+impl RoundReport {
+    fn from_ledger(ledger: &bcc_runtime::RoundLedger) -> Self {
+        RoundReport {
+            total_rounds: ledger.total_rounds(),
+            total_bits: ledger.total_bits(),
+            breakdown: ledger.report(),
+        }
+    }
+}
+
+/// Computes a spectral sparsifier of `graph` in the Broadcast CONGEST model
+/// (Theorem 1.2) with laboratory parameters, returning the sparsifier and the
+/// round report.
+pub fn spectral_sparsify(
+    graph: &bcc_graph::Graph,
+    epsilon: f64,
+    seed: u64,
+) -> (bcc_graph::Graph, RoundReport) {
+    let cfg = bcc_sparsifier::SparsifierConfig::laboratory(graph.n(), graph.m().max(2), epsilon, seed);
+    let mut net = bcc_runtime::Network::on_graph(
+        bcc_runtime::ModelConfig::broadcast_congest(),
+        graph.adjacency_lists(),
+    )
+    .expect("graph adjacency lists form a valid topology");
+    let out = bcc_sparsifier::sparsify_ad_hoc(&mut net, graph, &cfg);
+    (out.sparsifier, RoundReport::from_ledger(net.ledger()))
+}
+
+/// Solves the Laplacian system `L_G x = b` in the Broadcast Congested Clique
+/// (Theorem 1.3), returning the solution and the round report (preprocessing
+/// plus solve).
+pub fn solve_laplacian_bcc(
+    graph: &bcc_graph::Graph,
+    b: &[f64],
+    epsilon: f64,
+    seed: u64,
+) -> (Vec<f64>, RoundReport) {
+    let cfg = bcc_sparsifier::SparsifierConfig::laboratory(graph.n(), graph.m().max(2), 0.5, seed)
+        .with_t(6)
+        .with_k(2);
+    let mut net = bcc_runtime::Network::clique(bcc_runtime::ModelConfig::bcc(), graph.n());
+    let solver = bcc_laplacian::LaplacianSolver::preprocess(&mut net, graph, &cfg);
+    let solve = solver.solve(&mut net, b, epsilon.min(0.5));
+    (solve.solution, RoundReport::from_ledger(net.ledger()))
+}
+
+/// Computes an exact minimum cost maximum flow in the Broadcast Congested
+/// Clique (Theorem 1.1) with default laboratory options, returning the result
+/// and the round report.
+pub fn min_cost_max_flow_bcc(
+    instance: &bcc_graph::FlowInstance,
+    seed: u64,
+) -> (bcc_flow::McmfResult, RoundReport) {
+    let mut net = bcc_runtime::Network::clique(bcc_runtime::ModelConfig::bcc(), instance.graph.n());
+    let options = bcc_flow::McmfOptions {
+        seed,
+        ..bcc_flow::McmfOptions::default()
+    };
+    let result = bcc_flow::min_cost_max_flow_bcc(&mut net, instance, &options);
+    let report = RoundReport::from_ledger(net.ledger());
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsify_pipeline_produces_a_connected_sparsifier() {
+        let g = bcc_graph::generators::complete(18);
+        let (h, report) = spectral_sparsify(&g, 0.5, 3);
+        assert!(h.is_connected());
+        assert!(h.m() <= g.m());
+        assert!(report.total_rounds > 0);
+        assert!(report.breakdown.contains("TOTAL"));
+    }
+
+    #[test]
+    fn laplacian_pipeline_solves_a_grid_system() {
+        let g = bcc_graph::generators::grid(4, 4);
+        let mut b = vec![0.0; g.n()];
+        b[0] = 1.0;
+        b[15] = -1.0;
+        let (x, report) = solve_laplacian_bcc(&g, &b, 1e-6, 5);
+        let lx = bcc_graph::laplacian::laplacian_apply(&g, &x);
+        assert!(bcc_linalg::vector::approx_eq(&lx, &b, 1e-3));
+        assert!(report.total_rounds > 0);
+    }
+
+    #[test]
+    fn flow_pipeline_matches_the_baseline() {
+        let g = bcc_graph::DiGraph::from_arcs(
+            4,
+            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 1, 3), (2, 3, 1, 3)],
+        );
+        let instance = bcc_graph::FlowInstance::new(g, 0, 3);
+        let baseline = bcc_flow::ssp_min_cost_max_flow(&instance);
+        let (result, report) = min_cost_max_flow_bcc(&instance, 11);
+        assert_eq!(result.flow.value, baseline.value);
+        assert_eq!(result.flow.cost, baseline.cost);
+        assert!(report.total_rounds > 0);
+    }
+}

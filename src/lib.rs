@@ -1,0 +1,3 @@
+//! Workspace root crate: thin re-export of [`bcc_core`] so that examples and
+//! integration tests in this repository have a single import path.
+pub use bcc_core::*;
