@@ -141,14 +141,7 @@ fn dfs_push(
         let a = residual.adjacency[v][iter[v]];
         let arc = residual.arcs[a];
         if arc.capacity > 0 && level[arc.to] == level[v] + 1 {
-            let pushed = dfs_push(
-                residual,
-                level,
-                iter,
-                arc.to,
-                sink,
-                limit.min(arc.capacity),
-            );
+            let pushed = dfs_push(residual, level, iter, arc.to, sink, limit.min(arc.capacity));
             if pushed > 0 {
                 residual.arcs[a].capacity -= pushed;
                 residual.arcs[a ^ 1].capacity += pushed;
@@ -229,10 +222,7 @@ mod tests {
     fn diamond() -> FlowInstance {
         // Two parallel 2-arc paths: cheap one with capacity 2, expensive one
         // with capacity 3.
-        let g = DiGraph::from_arcs(
-            4,
-            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)],
-        );
+        let g = DiGraph::from_arcs(4, [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)]);
         FlowInstance::new(g, 0, 3)
     }
 

@@ -29,8 +29,8 @@ use bcc_graph::FlowInstance;
 use bcc_linalg::CsrMatrix;
 use bcc_lp::LpInstance;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration of the LP formulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,10 +250,7 @@ mod tests {
     use bcc_linalg::vector;
 
     fn diamond() -> FlowInstance {
-        let g = DiGraph::from_arcs(
-            4,
-            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)],
-        );
+        let g = DiGraph::from_arcs(4, [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)]);
         FlowInstance::new(g, 0, 3)
     }
 

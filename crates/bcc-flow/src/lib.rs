@@ -33,9 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod error;
 pub mod formulation;
 pub mod mcmf;
 
 pub use baselines::{dinic_max_flow, ssp_min_cost_max_flow, IntegralFlow};
+pub use error::FlowError;
 pub use formulation::{build_flow_lp, FlowLp, FlowLpConfig};
-pub use mcmf::{min_cost_max_flow_bcc, McmfOptions, McmfResult, SddGramSolver, WeightStrategyChoice};
+pub use mcmf::{
+    min_cost_max_flow_bcc, try_min_cost_max_flow_bcc, McmfOptions, McmfResult, SddGramSolver,
+    WeightStrategyChoice,
+};

@@ -13,10 +13,11 @@ use bcc_graph::FlowInstance;
 use bcc_laplacian::{solve_sdd, SddMatrix, SddSolveMode};
 use bcc_linalg::CsrMatrix;
 use bcc_lp::gram::GramSolver;
-use bcc_lp::{lp_solve, LpOptions, WeightStrategy};
+use bcc_lp::{try_lp_solve, LpOptions, WeightStrategy};
 use bcc_runtime::Network;
 
 use crate::baselines::IntegralFlow;
+use crate::error::FlowError;
 use crate::formulation::{build_flow_lp, FlowLp, FlowLpConfig};
 
 /// Options of [`min_cost_max_flow_bcc`].
@@ -148,11 +149,19 @@ fn round_flow(instance: &FlowInstance, fractional: &[f64]) -> Vec<i64> {
 ///
 /// Rounds are charged on `net`; the dominant contribution is the
 /// `Õ(√n)` path-following iterations, each performing one Laplacian solve.
-pub fn min_cost_max_flow_bcc(
+///
+/// # Errors
+///
+/// * [`FlowError::EmptyInstance`] — the instance has no arcs.
+/// * [`FlowError::Lp`] — the interior point solver rejected the LP encoding.
+pub fn try_min_cost_max_flow_bcc(
     net: &mut Network,
     instance: &FlowInstance,
     options: &McmfOptions,
-) -> McmfResult {
+) -> Result<McmfResult, FlowError> {
+    if instance.graph.m() == 0 {
+        return Err(FlowError::EmptyInstance);
+    }
     let rounds_before = net.ledger().total_rounds();
     net.begin_phase("mcmf");
     let flow_lp: FlowLp = build_flow_lp(
@@ -194,13 +203,13 @@ pub fn min_cost_max_flow_bcc(
         Box::new(SddGramSolver::new(gram_precision))
     };
 
-    let solution = lp_solve(
+    let solution = try_lp_solve(
         net,
         &flow_lp.lp,
         &flow_lp.interior_point,
         &lp_options,
         solver.as_ref(),
-    );
+    )?;
 
     let fractional = flow_lp.edge_flows(&solution.x).to_vec();
     let rounded = round_flow(instance, &fractional);
@@ -209,7 +218,7 @@ pub fn min_cost_max_flow_bcc(
     let value = instance.value(&as_f64).round() as i64;
     let cost = instance.cost(&as_f64).round() as i64;
 
-    McmfResult {
+    Ok(McmfResult {
         flow: IntegralFlow {
             flow: rounded,
             value,
@@ -220,7 +229,21 @@ pub fn min_cost_max_flow_bcc(
         path_iterations: solution.path_iterations(),
         gram_solves: solution.gram_solves(),
         rounds: net.ledger().total_rounds() - rounds_before,
-    }
+    })
+}
+
+/// Panicking variant of [`try_min_cost_max_flow_bcc`], kept for the
+/// pre-`Session` API.
+///
+/// # Panics
+///
+/// Panics if the instance is empty or its LP encoding is rejected.
+pub fn min_cost_max_flow_bcc(
+    net: &mut Network,
+    instance: &FlowInstance,
+    options: &McmfOptions,
+) -> McmfResult {
+    try_min_cost_max_flow_bcc(net, instance, options).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -233,10 +256,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn diamond() -> FlowInstance {
-        let g = DiGraph::from_arcs(
-            4,
-            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)],
-        );
+        let g = DiGraph::from_arcs(4, [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)]);
         FlowInstance::new(g, 0, 3)
     }
 
@@ -299,7 +319,10 @@ mod tests {
                 ..McmfOptions::default()
             };
             let result = min_cost_max_flow_bcc(&mut net, &inst, &options);
-            assert!(result.rounded_feasible, "trial {trial} rounded flow infeasible");
+            assert!(
+                result.rounded_feasible,
+                "trial {trial} rounded flow infeasible"
+            );
             assert_eq!(result.flow.value, baseline.value, "trial {trial} value");
             if result.flow.cost == baseline.cost {
                 exact_matches += 1;

@@ -147,7 +147,10 @@ impl FlowInstance {
     ///
     /// Panics if `source == sink` or either is out of range.
     pub fn new(graph: DiGraph, source: usize, sink: usize) -> Self {
-        assert!(source < graph.n() && sink < graph.n(), "terminal out of range");
+        assert!(
+            source < graph.n() && sink < graph.n(),
+            "terminal out of range"
+        );
         assert_ne!(source, sink, "source and sink must differ");
         FlowInstance {
             graph,
@@ -209,10 +212,7 @@ mod tests {
 
     fn diamond() -> FlowInstance {
         // 0 -> 1 -> 3 and 0 -> 2 -> 3.
-        let g = DiGraph::from_arcs(
-            4,
-            [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)],
-        );
+        let g = DiGraph::from_arcs(4, [(0, 1, 2, 1), (1, 3, 2, 1), (0, 2, 3, 5), (2, 3, 3, 5)]);
         FlowInstance::new(g, 0, 3)
     }
 

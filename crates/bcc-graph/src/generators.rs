@@ -131,7 +131,10 @@ pub fn random_connected(n: usize, p: f64, max_weight: u64, rng: &mut impl Rng) -
 /// Hamiltonian-cycle-style permutations (a standard light-weight expander
 /// construction). `d` must be even and `≥ 2`.
 pub fn random_regularish(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
-    assert!(d >= 2 && d % 2 == 0, "degree must be even and >= 2");
+    assert!(
+        d >= 2 && d.is_multiple_of(2),
+        "degree must be even and >= 2"
+    );
     assert!(n >= 3);
     let mut g = Graph::new(n);
     let mut seen: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
@@ -264,7 +267,11 @@ mod tests {
         assert!(inst.graph.max_capacity() <= 16);
         assert!(inst.graph.max_cost() <= 16);
         // Backbone means a positive max flow exists; check arc 0 -> 1 exists.
-        assert!(inst.graph.out_arcs(0).iter().any(|&a| inst.graph.arc(a).to == 1));
+        assert!(inst
+            .graph
+            .out_arcs(0)
+            .iter()
+            .any(|&a| inst.graph.arc(a).to == 1));
     }
 
     #[test]

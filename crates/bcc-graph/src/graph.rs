@@ -34,7 +34,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "vertex {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -153,7 +156,10 @@ impl Graph {
     /// Weighted degree of `v` (sum of incident edge weights) — the diagonal
     /// entry `L_{vv}` of the Laplacian.
     pub fn weighted_degree(&self, v: usize) -> f64 {
-        self.adjacency[v].iter().map(|&e| self.edges[e].weight).sum()
+        self.adjacency[v]
+            .iter()
+            .map(|&e| self.edges[e].weight)
+            .sum()
     }
 
     /// Largest edge weight, or `0.0` for an edgeless graph.

@@ -48,7 +48,8 @@ pub fn laplacian_norm(g: &Graph, x: &[f64]) -> f64 {
 pub fn laplacian_triplets(g: &Graph) -> Vec<(usize, usize, f64)> {
     let n = g.n();
     let mut diag = vec![0.0; n];
-    let mut off: std::collections::BTreeMap<(usize, usize), f64> = std::collections::BTreeMap::new();
+    let mut off: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
     for e in g.edges() {
         diag[e.u] += e.weight;
         diag[e.v] += e.weight;
@@ -110,7 +111,7 @@ mod tests {
     fn laplacian_of_triangle_matches_hand_computation() {
         let g = triangle();
         let dense = laplacian_dense(&g);
-        let expected = vec![
+        let expected = [
             vec![4.0, -1.0, -3.0],
             vec![-1.0, 3.0, -2.0],
             vec![-3.0, -2.0, 5.0],

@@ -30,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod sdd;
 pub mod solver;
 
+pub use error::LaplacianError;
 pub use sdd::{exact_sdd_solve, solve_sdd, NotSddError, SddMatrix, SddSolveMode};
 pub use solver::{cg_baseline, exact_solve, LaplacianSolve, LaplacianSolver};

@@ -206,7 +206,9 @@ pub fn solve_sdd(
     // physical rounds, charged below.
     let mut virtual_net = Network::clique(net.config(), gremban.n());
     let solver = match mode {
-        SddSolveMode::Full(config) => LaplacianSolver::preprocess(&mut virtual_net, &gremban, config),
+        SddSolveMode::Full(config) => {
+            LaplacianSolver::preprocess(&mut virtual_net, &gremban, config)
+        }
         SddSolveMode::ExactPreconditioner => LaplacianSolver::exact_preconditioner(&gremban),
     };
     // Right-hand side [b; -b].
@@ -255,7 +257,9 @@ mod tests {
         let mut row_sum = vec![0.0; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                if rng.gen::<f64>() < 0.4 {
+                // Always keep the path i — i+1 so the sparsity graph (and its
+                // Gremban double cover) is connected regardless of the seed.
+                if j == i + 1 || rng.gen::<f64>() < 0.4 {
                     let sign: f64 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
                     let v: f64 = sign * rng.gen_range(0.5..2.0);
                     triplets.push((i, j, v));
@@ -274,7 +278,8 @@ mod tests {
     fn rejects_non_dominant_matrices() {
         let err = SddMatrix::from_triplets(2, [(0, 0, 1.0), (1, 1, 1.0), (0, 1, -5.0)]);
         assert!(err.is_err());
-        let err2 = SddMatrix::from_triplets(2, [(0, 1, 1.0), (1, 0, 2.0), (0, 0, 3.0), (1, 1, 3.0)]);
+        let err2 =
+            SddMatrix::from_triplets(2, [(0, 1, 1.0), (1, 0, 2.0), (0, 0, 3.0), (1, 1, 3.0)]);
         assert!(err2.is_err());
     }
 
@@ -314,7 +319,10 @@ mod tests {
 
         let mut net = Network::clique(ModelConfig::bcc(), 8);
         let approx = solve_sdd(&mut net, &m, &b, 1e-6, &SddSolveMode::ExactPreconditioner);
-        assert!(vector::approx_eq(&approx, &x_true, 1e-3), "{approx:?} vs {x_true:?}");
+        assert!(
+            vector::approx_eq(&approx, &x_true, 1e-3),
+            "{approx:?} vs {x_true:?}"
+        );
         assert!(net.ledger().total_rounds() > 0);
     }
 
@@ -330,7 +338,10 @@ mod tests {
             .with_k(2);
         let mut net = Network::clique(ModelConfig::bcc(), 6);
         let approx = solve_sdd(&mut net, &m, &b, 1e-5, &SddSolveMode::Full(cfg));
-        assert!(vector::approx_eq(&approx, &x_true, 1e-2), "{approx:?} vs {x_true:?}");
+        assert!(
+            vector::approx_eq(&approx, &x_true, 1e-2),
+            "{approx:?} vs {x_true:?}"
+        );
     }
 
     #[test]

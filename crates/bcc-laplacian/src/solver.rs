@@ -19,6 +19,8 @@ use bcc_linalg::{chebyshev, vector, DenseMatrix};
 use bcc_runtime::{payload, Network};
 use bcc_sparsifier::{quality, sparsify_ad_hoc, SparsifierConfig, SparsifierOutput};
 
+use crate::error::LaplacianError;
+
 /// Result of one Laplacian solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaplacianSolve {
@@ -45,40 +47,79 @@ impl LaplacianSolver {
     /// Runs the preprocessing stage: a `(1 ± 1/2)`-spectral sparsifier of
     /// `graph` computed with `config`, charged on `net`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the graph is disconnected (the solver's error guarantee is
-    /// stated per connected component; callers should solve per component).
-    pub fn preprocess(net: &mut Network, graph: &Graph, config: &SparsifierConfig) -> Self {
-        assert!(graph.is_connected(), "the Laplacian solver expects a connected graph");
+    /// * [`LaplacianError::Disconnected`] — the solver's error guarantee is
+    ///   stated per connected component; callers should solve per component.
+    /// * [`LaplacianError::NetworkSizeMismatch`] — `net` does not simulate one
+    ///   processor per vertex.
+    pub fn try_preprocess(
+        net: &mut Network,
+        graph: &Graph,
+        config: &SparsifierConfig,
+    ) -> Result<Self, LaplacianError> {
+        if net.n() != graph.n() {
+            return Err(LaplacianError::NetworkSizeMismatch {
+                network: net.n(),
+                graph: graph.n(),
+            });
+        }
+        if !graph.is_connected() {
+            return Err(LaplacianError::Disconnected);
+        }
         let rounds_before = net.ledger().total_rounds();
         net.begin_phase("laplacian preprocessing");
         let SparsifierOutput { sparsifier, .. } = sparsify_ad_hoc(net, graph, config);
         let preprocessing_rounds = net.ledger().total_rounds() - rounds_before;
         let scaled = sparsifier.map_weights(|e| 1.5 * e.weight);
         let preconditioner = DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled));
-        LaplacianSolver {
+        Ok(LaplacianSolver {
             max_weight: graph.max_weight().max(1.0),
             graph: graph.clone(),
             sparsifier,
             preconditioner,
             preprocessing_rounds,
-        }
+        })
+    }
+
+    /// Panicking variant of [`LaplacianSolver::try_preprocess`], kept for the
+    /// pre-`Session` API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or the network size is wrong.
+    pub fn preprocess(net: &mut Network, graph: &Graph, config: &SparsifierConfig) -> Self {
+        Self::try_preprocess(net, graph, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds a solver whose "sparsifier" is the graph itself (no
     /// preprocessing rounds). Useful as a baseline and in tests: it makes the
     /// Chebyshev condition number exactly 3 with a perfect preconditioner.
-    pub fn exact_preconditioner(graph: &Graph) -> Self {
-        assert!(graph.is_connected(), "the Laplacian solver expects a connected graph");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaplacianError::Disconnected`] for a disconnected graph.
+    pub fn try_exact_preconditioner(graph: &Graph) -> Result<Self, LaplacianError> {
+        if !graph.is_connected() {
+            return Err(LaplacianError::Disconnected);
+        }
         let scaled = graph.map_weights(|e| 1.5 * e.weight);
-        LaplacianSolver {
+        Ok(LaplacianSolver {
             max_weight: graph.max_weight().max(1.0),
             graph: graph.clone(),
             sparsifier: graph.clone(),
             preconditioner: DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled)),
             preprocessing_rounds: 0,
-        }
+        })
+    }
+
+    /// Panicking variant of [`LaplacianSolver::try_exact_preconditioner`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn exact_preconditioner(graph: &Graph) -> Self {
+        Self::try_exact_preconditioner(graph).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The sparsifier computed during preprocessing.
@@ -117,12 +158,40 @@ impl LaplacianSolver {
     /// only solvable for such right-hand sides); the method projects `b`
     /// accordingly and returns a mean-zero solution.
     ///
+    /// # Errors
+    ///
+    /// * [`LaplacianError::InvalidEpsilon`] — `epsilon` outside `(0, 1/2]`.
+    /// * [`LaplacianError::DimensionMismatch`] — `b` has the wrong length.
+    pub fn try_solve(
+        &self,
+        net: &mut Network,
+        b: &[f64],
+        epsilon: f64,
+    ) -> Result<LaplacianSolve, LaplacianError> {
+        if !(epsilon > 0.0 && epsilon <= 0.5) {
+            return Err(LaplacianError::InvalidEpsilon { epsilon });
+        }
+        if b.len() != self.graph.n() {
+            return Err(LaplacianError::DimensionMismatch {
+                expected: self.graph.n(),
+                actual: b.len(),
+            });
+        }
+        Ok(self.solve_unchecked(net, b, epsilon))
+    }
+
+    /// Panicking variant of [`LaplacianSolver::try_solve`], kept for the
+    /// pre-`Session` API.
+    ///
     /// # Panics
     ///
     /// Panics if `epsilon` is not in `(0, 1/2]` or `b` has the wrong length.
     pub fn solve(&self, net: &mut Network, b: &[f64], epsilon: f64) -> LaplacianSolve {
-        assert!(epsilon > 0.0 && epsilon <= 0.5, "epsilon must lie in (0, 1/2]");
-        assert_eq!(b.len(), self.graph.n(), "dimension mismatch");
+        self.try_solve(net, b, epsilon)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn solve_unchecked(&self, net: &mut Network, b: &[f64], epsilon: f64) -> LaplacianSolve {
         let rounds_before = net.ledger().total_rounds();
         net.begin_phase("laplacian solve");
 
@@ -179,7 +248,8 @@ impl LaplacianSolver {
 pub fn exact_solve(graph: &Graph, b: &[f64]) -> Vec<f64> {
     let l = DenseMatrix::from_rows(&laplacian::laplacian_dense(graph));
     let b = vector::remove_mean(b);
-    l.solve_psd(&b, true).expect("regularized Laplacian solve succeeds")
+    l.solve_psd(&b, true)
+        .expect("regularized Laplacian solve succeeds")
 }
 
 /// Centralized conjugate-gradient baseline (no preconditioner).
@@ -243,7 +313,9 @@ mod tests {
     fn preprocessed_solver_works_on_random_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = generators::random_connected(24, 0.4, 4, &mut rng);
-        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 17).with_t(8).with_k(2);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 17)
+            .with_t(8)
+            .with_k(2);
         let mut net = bcc_net(g.n());
         let solver = LaplacianSolver::preprocess(&mut net, &g, &cfg);
         assert!(solver.preprocessing_rounds() > 0);
@@ -278,7 +350,11 @@ mod tests {
         assert!(solve.solution.iter().sum::<f64>().abs() < 1e-8);
         let cg = cg_baseline(&g, &b, 1e-10);
         assert!(cg.converged);
-        assert!(vector::approx_eq(&solve.solution, &vector::remove_mean(&cg.solution), 1e-4));
+        assert!(vector::approx_eq(
+            &solve.solution,
+            &vector::remove_mean(&cg.solution),
+            1e-4
+        ));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct ChebyshevSolve {
 /// Number of iterations Theorem 2.3 prescribes: `⌈√κ · ln(2/ε)⌉ + 1`.
 pub fn chebyshev_iteration_count(kappa: f64, epsilon: f64) -> usize {
     assert!(kappa >= 1.0, "kappa must be at least 1");
-    assert!(epsilon > 0.0 && epsilon <= 0.5, "epsilon must lie in (0, 1/2]");
+    assert!(
+        epsilon > 0.0 && epsilon <= 0.5,
+        "epsilon must lie in (0, 1/2]"
+    );
     (kappa.sqrt() * (2.0 / epsilon).ln()).ceil() as usize + 1
 }
 

@@ -112,7 +112,9 @@ impl DenseMatrix {
     /// Matrix–vector product `A x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect()
     }
 
     /// Transposed matrix–vector product `Aᵀ y`.
@@ -226,7 +228,11 @@ impl DenseMatrix {
             reg.add_to(i, i, lambda);
         }
         let x = reg.solve(b)?;
-        Some(if zero_mean { vector::remove_mean(&x) } else { x })
+        Some(if zero_mean {
+            vector::remove_mean(&x)
+        } else {
+            x
+        })
     }
 
     /// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite

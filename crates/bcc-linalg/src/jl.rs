@@ -188,13 +188,22 @@ mod tests {
                 within += 1;
             }
         }
-        assert!(within >= trials - 1, "only {within}/{trials} norms preserved");
+        assert!(
+            within >= trials - 1,
+            "only {within}/{trials} norms preserved"
+        );
     }
 
     #[test]
     fn sparse_sketch_has_expected_sparsity() {
-        let sketch =
-            JlSketch::from_shared_seed(SketchKind::SparseSigned { nonzeros_per_column: 3 }, 16, 40, 5);
+        let sketch = JlSketch::from_shared_seed(
+            SketchKind::SparseSigned {
+                nonzeros_per_column: 3,
+            },
+            16,
+            40,
+            5,
+        );
         for col in 0..40 {
             assert_eq!(sketch.columns[col].len(), 3);
         }

@@ -109,7 +109,10 @@ pub fn map(x: &[f64], f: impl Fn(f64) -> f64) -> Vec<f64> {
 /// Coordinate-wise median of three vectors (used by the Lewis-weight fixed
 /// point iteration, Algorithm 7).
 pub fn median3(a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
-    assert!(a.len() == b.len() && b.len() == c.len(), "dimension mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "dimension mismatch"
+    );
     a.iter()
         .zip(b)
         .zip(c)
@@ -120,7 +123,10 @@ pub fn median3(a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
 /// Median of three scalars.
 pub fn median3_scalar(x: f64, y: f64, z: f64) -> f64 {
     let mut v = [x, y, z];
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median3 requires comparable values"));
+    v.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("median3 requires comparable values")
+    });
     v[1]
 }
 
@@ -195,7 +201,10 @@ mod tests {
             assert_eq!(median3_scalar(perm.0, perm.1, perm.2), 2.0, "{perm:?}");
         }
         assert_eq!(median3_scalar(5.0, 5.0, 1.0), 5.0);
-        assert_eq!(median3(&[1.0, 9.0], &[2.0, 8.0], &[3.0, 7.0]), vec![2.0, 8.0]);
+        assert_eq!(
+            median3(&[1.0, 9.0], &[2.0, 8.0], &[3.0, 7.0]),
+            vec![2.0, 8.0]
+        );
     }
 
     #[test]

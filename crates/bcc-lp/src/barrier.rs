@@ -133,18 +133,27 @@ impl BarrierSystem {
     /// `φ'(x)` coordinate-wise.
     pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.barriers.len());
-        x.iter().zip(&self.barriers).map(|(&xi, b)| b.d1(xi)).collect()
+        x.iter()
+            .zip(&self.barriers)
+            .map(|(&xi, b)| b.d1(xi))
+            .collect()
     }
 
     /// `φ''(x)` coordinate-wise.
     pub fn hessian(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.barriers.len());
-        x.iter().zip(&self.barriers).map(|(&xi, b)| b.d2(xi)).collect()
+        x.iter()
+            .zip(&self.barriers)
+            .map(|(&xi, b)| b.d2(xi))
+            .collect()
     }
 
     /// Total barrier value `Σᵢ φᵢ(xᵢ)`.
     pub fn total_value(&self, x: &[f64]) -> f64 {
-        x.iter().zip(&self.barriers).map(|(&xi, b)| b.value(xi)).sum()
+        x.iter()
+            .zip(&self.barriers)
+            .map(|(&xi, b)| b.value(xi))
+            .sum()
     }
 
     /// Returns `true` if every coordinate is strictly inside its domain.
@@ -195,10 +204,16 @@ mod tests {
             for &x in &[1.0f64, 1.3, 1.9] {
                 let d1 = barrier.d1(x);
                 let num_d1 = numeric_derivative(|v| barrier.value(v), x);
-                assert!((d1 - num_d1).abs() < 1e-5, "{barrier:?} at {x}: {d1} vs {num_d1}");
+                assert!(
+                    (d1 - num_d1).abs() < 1e-5,
+                    "{barrier:?} at {x}: {d1} vs {num_d1}"
+                );
                 let d2 = barrier.d2(x);
                 let num_d2 = numeric_derivative(|v| barrier.d1(v), x);
-                assert!((d2 - num_d2).abs() < 1e-4, "{barrier:?} at {x}: {d2} vs {num_d2}");
+                assert!(
+                    (d2 - num_d2).abs() < 1e-4,
+                    "{barrier:?} at {x}: {d2} vs {num_d2}"
+                );
             }
         }
     }

@@ -1,0 +1,49 @@
+//! Typed errors of the LP solver.
+
+/// Errors raised by the LP solver on malformed instances or starting points.
+///
+/// The panicking [`crate::lp_solve`] is a thin wrapper over
+/// [`crate::try_lp_solve`], which surfaces these values; new code — in
+/// particular the `bcc_core::Session` facade — should call the fallible
+/// variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The instance is dimensionally inconsistent or has invalid bounds.
+    MalformedInstance(String),
+    /// The starting point is not strictly inside the box bounds.
+    NotInterior,
+    /// The starting point violates the equality constraints `Aᵀx = b`.
+    InfeasibleStart {
+        /// The `‖Aᵀx₀ − b‖_∞` residual observed.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::MalformedInstance(msg) => write!(f, "malformed LP instance: {msg}"),
+            LpError::NotInterior => write!(f, "x0 must be strictly interior"),
+            LpError::InfeasibleStart { residual } => write!(
+                f,
+                "x0 must satisfy the equality constraints (residual {residual})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = LpError::MalformedInstance("b must have length n".into());
+        assert!(err.to_string().contains("b must have length n"));
+        assert!(LpError::NotInterior.to_string().contains("interior"));
+        let err = LpError::InfeasibleStart { residual: 0.25 };
+        assert!(err.to_string().contains("0.25"));
+    }
+}

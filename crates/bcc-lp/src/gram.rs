@@ -28,7 +28,10 @@ impl<'a> ScaledMatrix<'a> {
     /// Panics if `d` has the wrong length or non-positive entries.
     pub fn new(a: &'a CsrMatrix, d: Vec<f64>) -> Self {
         assert_eq!(d.len(), a.rows(), "one scale per row expected");
-        assert!(d.iter().all(|&v| v > 0.0 && v.is_finite()), "scales must be positive");
+        assert!(
+            d.iter().all(|&v| v > 0.0 && v.is_finite()),
+            "scales must be positive"
+        );
         ScaledMatrix { a, d }
     }
 
@@ -164,12 +167,7 @@ mod tests {
         assert_eq!(m.m(), 4);
         assert_eq!(m.n(), 2);
         let x = vec![1.0, -1.0];
-        let expected: Vec<f64> = a
-            .matvec(&x)
-            .iter()
-            .zip(&d)
-            .map(|(v, di)| v * di)
-            .collect();
+        let expected: Vec<f64> = a.matvec(&x).iter().zip(&d).map(|(v, di)| v * di).collect();
         assert_eq!(m.apply(&x), expected);
         let y = vec![1.0, 0.0, -1.0, 2.0];
         // ⟨Mx, y⟩ = ⟨x, Mᵀy⟩.

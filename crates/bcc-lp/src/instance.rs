@@ -7,6 +7,8 @@
 
 use bcc_linalg::CsrMatrix;
 
+use crate::error::LpError;
+
 /// A linear program `min cᵀx  s.t.  Aᵀx = b, l ≤ x ≤ u`.
 #[derive(Debug, Clone)]
 pub struct LpInstance {
@@ -36,25 +38,73 @@ impl LpInstance {
     /// Validates dimensions and the requirement that every variable has at
     /// least one finite bound and `l < u`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::MalformedInstance`] with a descriptive message when
+    /// the instance is malformed.
+    pub fn try_validate(&self) -> Result<(), LpError> {
+        let malformed = |msg: String| Err(LpError::MalformedInstance(msg));
+        if self.b.len() != self.n() {
+            return malformed(format!(
+                "b must have length n = {}, got {}",
+                self.n(),
+                self.b.len()
+            ));
+        }
+        if self.c.len() != self.m() {
+            return malformed(format!(
+                "c must have length m = {}, got {}",
+                self.m(),
+                self.c.len()
+            ));
+        }
+        if self.lower.len() != self.m() {
+            return malformed(format!(
+                "l must have length m = {}, got {}",
+                self.m(),
+                self.lower.len()
+            ));
+        }
+        if self.upper.len() != self.m() {
+            return malformed(format!(
+                "u must have length m = {}, got {}",
+                self.m(),
+                self.upper.len()
+            ));
+        }
+        if let Some(i) = self.b.iter().position(|v| !v.is_finite()) {
+            return malformed(format!("b[{i}] = {} is not finite", self.b[i]));
+        }
+        if let Some(i) = self.c.iter().position(|v| !v.is_finite()) {
+            return malformed(format!("c[{i}] = {} is not finite", self.c[i]));
+        }
+        for i in 0..self.m() {
+            if !(self.lower[i].is_finite() || self.upper[i].is_finite()) {
+                return malformed(format!("variable {i} has no finite bound"));
+            }
+            // NaN bounds must be rejected too, so compare with the negation
+            // of `<` rather than `>=`.
+            if !matches!(
+                self.lower[i].partial_cmp(&self.upper[i]),
+                Some(std::cmp::Ordering::Less)
+            ) {
+                return malformed(format!(
+                    "variable {i}: lower bound {} is not below upper bound {}",
+                    self.lower[i], self.upper[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking variant of [`LpInstance::try_validate`].
+    ///
     /// # Panics
     ///
     /// Panics with a descriptive message when the instance is malformed.
     pub fn validate(&self) {
-        assert_eq!(self.b.len(), self.n(), "b must have length n");
-        assert_eq!(self.c.len(), self.m(), "c must have length m");
-        assert_eq!(self.lower.len(), self.m(), "l must have length m");
-        assert_eq!(self.upper.len(), self.m(), "u must have length m");
-        for i in 0..self.m() {
-            assert!(
-                self.lower[i].is_finite() || self.upper[i].is_finite(),
-                "variable {i} has no finite bound"
-            );
-            assert!(
-                self.lower[i] < self.upper[i],
-                "variable {i}: lower bound {} is not below upper bound {}",
-                self.lower[i],
-                self.upper[i]
-            );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 
@@ -87,8 +137,7 @@ impl LpInstance {
     /// Returns `true` if `x` lies strictly inside the box bounds (the
     /// interior `Ω°` required of the starting point).
     pub fn is_interior(&self, x: &[f64]) -> bool {
-        x.len() == self.m()
-            && (0..self.m()).all(|i| x[i] > self.lower[i] && x[i] < self.upper[i])
+        x.len() == self.m() && (0..self.m()).all(|i| x[i] > self.lower[i] && x[i] < self.upper[i])
     }
 
     /// The magnitude parameter

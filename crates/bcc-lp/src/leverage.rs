@@ -50,7 +50,10 @@ pub fn compute_leverage_scores(
     options: &LeverageOptions,
     gram_solver: &dyn GramSolver,
 ) -> Vec<f64> {
-    assert!(options.eta > 0.0 && options.eta < 1.0, "eta must lie in (0, 1)");
+    assert!(
+        options.eta > 0.0 && options.eta < 1.0,
+        "eta must lie in (0, 1)"
+    );
     let rows = m.m();
     net.begin_phase("leverage scores");
     // Shared randomness: Θ(log² m) bits sampled by the leader (Theorem 4.4).

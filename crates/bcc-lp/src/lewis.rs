@@ -120,7 +120,10 @@ pub fn lewis_weights(
     options: &LewisOptions,
     gram_solver: &dyn GramSolver,
 ) -> Vec<f64> {
-    assert!(options.p > 0.0 && options.p < 4.0, "the fixed point contracts only for p in (0, 4)");
+    assert!(
+        options.p > 0.0 && options.p < 4.0,
+        "the fixed point contracts only for p in (0, 4)"
+    );
     net.begin_phase("lewis weights");
     // Start from the leverage scores of M itself (the p = 2 weights).
     let mut w: Vec<f64> = leverage_of(net, m, &vec![1.0; m.m()], options, gram_solver, 0)
@@ -254,9 +257,13 @@ mod tests {
         let w = lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new());
         let sum: f64 = w.iter().sum();
         assert!(sum > 2.0 && sum < 10.0, "sum = {sum}");
-        let g = regularized_lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new());
+        let g =
+            regularized_lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new());
         let reg_sum: f64 = g.iter().sum();
-        assert!((reg_sum - (sum + 2.5)).abs() < 1.0, "regularized sum {reg_sum}");
+        assert!(
+            (reg_sum - (sum + 2.5)).abs() < 1.0,
+            "regularized sum {reg_sum}"
+        );
         assert!(g.iter().all(|&x| x >= regularization_constant(5, 25)));
     }
 
@@ -265,7 +272,12 @@ mod tests {
         let a = random_matrix(15, 3, 9);
         let m = ScaledMatrix::new(&a, vec![1.0; 15]);
         let mut net = Network::clique(ModelConfig::bcc(), 3);
-        let w = lewis_weights(&mut net, &m, &exact_options(15, 2.0), &DenseGramSolver::new());
+        let w = lewis_weights(
+            &mut net,
+            &m,
+            &exact_options(15, 2.0),
+            &DenseGramSolver::new(),
+        );
         let sigma = exact_leverage_scores(&m);
         for (wi, si) in w.iter().zip(&sigma) {
             assert!((wi - si).abs() < 1e-3, "{wi} vs {si}");
@@ -303,7 +315,10 @@ mod tests {
         let mut net = Network::clique(ModelConfig::bcc(), 4);
         // Start from the true weights: the clipped update must stay nearby.
         let w0 = lewis_weights(&mut net, &m, &exact_options(16, p), &DenseGramSolver::new());
-        let options = LewisOptions { iterations: 5, ..exact_options(16, p) };
+        let options = LewisOptions {
+            iterations: 5,
+            ..exact_options(16, p)
+        };
         let w = compute_apx_weights(&mut net, &m, &w0, &options, &DenseGramSolver::new());
         let r = p * p * (4.0 - p) / 2.0f64.powi(20);
         for (wi, w0i) in w.iter().zip(&w0) {
@@ -318,6 +333,11 @@ mod tests {
         let a = random_matrix(6, 2, 12);
         let m = ScaledMatrix::new(&a, vec![1.0; 6]);
         let mut net = Network::clique(ModelConfig::bcc(), 2);
-        let _ = lewis_weights(&mut net, &m, &exact_options(6, 4.5), &DenseGramSolver::new());
+        let _ = lewis_weights(
+            &mut net,
+            &m,
+            &exact_options(6, 4.5),
+            &DenseGramSolver::new(),
+        );
     }
 }

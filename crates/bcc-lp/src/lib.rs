@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod error;
 pub mod gram;
 pub mod instance;
 pub mod leverage;
@@ -49,7 +50,8 @@ pub mod mixed_ball;
 pub mod path_following;
 pub mod solver;
 
+pub use error::LpError;
 pub use gram::{DenseGramSolver, GramSolver, ScaledMatrix};
 pub use instance::LpInstance;
 pub use mixed_ball::{project_mixed_ball, MixedBallProjection};
-pub use solver::{lp_solve, LpOptions, LpSolution, WeightStrategy};
+pub use solver::{lp_solve, try_lp_solve, LpOptions, LpSolution, WeightStrategy};

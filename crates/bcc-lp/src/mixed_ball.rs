@@ -107,7 +107,11 @@ fn evaluate_split(a: &[f64], l: &[f64], s: f64) -> (Vec<f64>, f64, f64) {
             .map(|(&ai, &ci)| ai.signum() * ci)
             .collect();
         let value = vector::dot(&x, a).abs();
-        let x_signed: Vec<f64> = a.iter().zip(&caps).map(|(&ai, &ci)| if ai >= 0.0 { ci } else { -ci }).collect();
+        let x_signed: Vec<f64> = a
+            .iter()
+            .zip(&caps)
+            .map(|(&ai, &ci)| if ai >= 0.0 { ci } else { -ci })
+            .collect();
         let value_signed: f64 = x_signed.iter().zip(a).map(|(xi, ai)| xi * ai).sum();
         let _ = value;
         return (x_signed, value_signed, s);
@@ -140,7 +144,11 @@ fn evaluate_split(a: &[f64], l: &[f64], s: f64) -> (Vec<f64>, f64, f64) {
             f64::INFINITY
         };
         let lam = lam_sq.sqrt();
-        let lower = if rank == 0 { 0.0 } else { breakpoint(order[rank - 1]) };
+        let lower = if rank == 0 {
+            0.0
+        } else {
+            breakpoint(order[rank - 1])
+        };
         let upper = breakpoint(i);
         if lam >= lower - 1e-12 && lam <= upper + 1e-12 {
             lambda = Some(lam);
@@ -150,7 +158,7 @@ fn evaluate_split(a: &[f64], l: &[f64], s: f64) -> (Vec<f64>, f64, f64) {
         saturated_norm_sq += caps[i] * caps[i];
         remaining_a_sq -= a[i] * a[i];
     }
-    let lam = lambda.unwrap_or_else(|| {
+    let lam = lambda.unwrap_or({
         // Everything saturated (should have been caught by the box check).
         f64::INFINITY
     });
@@ -226,25 +234,43 @@ mod tests {
             let a: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
             let l: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 3.0 + 0.05).collect();
             let out = project_mixed_ball(&mut net(), &a, &l);
-            assert!(is_in_mixed_ball(&out.x, &l, 1e-6), "trial {trial} infeasible");
+            assert!(
+                is_in_mixed_ball(&out.x, &l, 1e-6),
+                "trial {trial} infeasible"
+            );
             // Candidate 1: pure ℓ₂ direction scaled to feasibility.
             let a_norm = vector::norm2(&a).max(1e-12);
             let unit: Vec<f64> = a.iter().map(|v| v / a_norm).collect();
-            let inf: f64 = unit.iter().zip(&l).map(|(x, li)| x.abs() / li).fold(0.0, f64::max);
+            let inf: f64 = unit
+                .iter()
+                .zip(&l)
+                .map(|(x, li)| x.abs() / li)
+                .fold(0.0, f64::max);
             let scale = 1.0 / (1.0 + inf);
             let cand1: Vec<f64> = unit.iter().map(|v| v * scale).collect();
             let val1 = vector::dot(&cand1, &a);
-            assert!(out.value >= val1 - 1e-6, "trial {trial}: {} < {val1}", out.value);
+            assert!(
+                out.value >= val1 - 1e-6,
+                "trial {trial}: {} < {val1}",
+                out.value
+            );
             // Candidate 2: random feasible points must not beat the optimum.
             for _ in 0..20 {
                 let dir: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
                 let norm = vector::norm2(&dir).max(1e-12);
-                let infd: f64 = dir.iter().zip(&l).map(|(x, li)| x.abs() / li).fold(0.0, f64::max);
+                let infd: f64 = dir
+                    .iter()
+                    .zip(&l)
+                    .map(|(x, li)| x.abs() / li)
+                    .fold(0.0, f64::max);
                 let s = 1.0 / (norm + infd).max(1e-12);
                 let cand: Vec<f64> = dir.iter().map(|v| v * s * 0.999).collect();
                 assert!(is_in_mixed_ball(&cand, &l, 1e-6));
                 let val = vector::dot(&cand, &a);
-                assert!(out.value >= val - 1e-6, "trial {trial}: random point beat the projection");
+                assert!(
+                    out.value >= val - 1e-6,
+                    "trial {trial}: random point beat the projection"
+                );
             }
         }
     }
@@ -268,7 +294,10 @@ mod tests {
         let _ = project_mixed_ball(&mut network, &a, &l);
         let rounds = network.ledger().total_rounds();
         assert!(rounds > 0);
-        assert!(rounds < m as u64 / 2, "rounds {rounds} should be far below m = {m}");
+        assert!(
+            rounds < m as u64 / 2,
+            "rounds {rounds} should be far below m = {m}"
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ pub fn centering_step(
     assert_eq!(x.len(), m);
     assert_eq!(w.len(), m);
     assert_eq!(cost.len(), m);
-    debug_assert!(barriers.in_domain(x), "centering requires an interior point");
+    debug_assert!(
+        barriers.in_domain(x),
+        "centering requires an interior point"
+    );
 
     let phi1 = barriers.gradient(x);
     let phi2 = barriers.hessian(x);
@@ -163,7 +166,10 @@ pub fn path_following(
     gram_solver: &dyn GramSolver,
     mut refresh_weights: impl FnMut(&mut Network, &[f64], &[f64]) -> Vec<f64>,
 ) -> (Vec<f64>, Vec<f64>, PathStats) {
-    assert!(t_start > 0.0 && t_end > 0.0, "path parameters must be positive");
+    assert!(
+        t_start > 0.0 && t_end > 0.0,
+        "path parameters must be positive"
+    );
     let mut stats = PathStats::default();
     let mut t = t_start;
     net.begin_phase("path following");
@@ -185,7 +191,9 @@ pub fn path_following(
                 break;
             }
         }
-        if (t - t_end).abs() <= f64::EPSILON * t_end || stats.newton_steps >= options.max_newton_steps {
+        if (t - t_end).abs() <= f64::EPSILON * t_end
+            || stats.newton_steps >= options.max_newton_steps
+        {
             break;
         }
         // Step size α = step_factor / √c₁ with c₁ = ‖w‖₁ (the weight-function
@@ -270,7 +278,10 @@ mod tests {
         }
         assert!(deltas.last().unwrap() < &1e-6, "deltas {deltas:?}");
         // The analytic center of the trig barrier on this slice is (0.5, 0.5).
-        assert!((x[0] - 0.5).abs() < 1e-3 && (x[1] - 0.5).abs() < 1e-3, "{x:?}");
+        assert!(
+            (x[0] - 0.5).abs() < 1e-3 && (x[1] - 0.5).abs() < 1e-3,
+            "{x:?}"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use bcc_linalg::vector;
 use bcc_runtime::Network;
 
 use crate::barrier::BarrierSystem;
+use crate::error::LpError;
 use crate::gram::{GramSolver, ScaledMatrix};
 use crate::instance::LpInstance;
 use crate::lewis::{self, LewisOptions};
@@ -156,6 +157,37 @@ impl LpSolution {
 /// Solves `min { cᵀx : Aᵀx = b, l ≤ x ≤ u }` from the interior point `x0`
 /// (Algorithm 9, `LPSolve`).
 ///
+/// # Errors
+///
+/// * [`LpError::MalformedInstance`] — inconsistent dimensions or bounds.
+/// * [`LpError::NotInterior`] — `x0` is not strictly inside the box bounds.
+/// * [`LpError::InfeasibleStart`] — `Aᵀx0 ≠ b` beyond a small tolerance.
+pub fn try_lp_solve(
+    net: &mut Network,
+    instance: &LpInstance,
+    x0: &[f64],
+    options: &LpOptions,
+    gram_solver: &dyn GramSolver,
+) -> Result<LpSolution, LpError> {
+    instance.try_validate()?;
+    if !instance.is_interior(x0) {
+        return Err(LpError::NotInterior);
+    }
+    let residual = vector::norm_inf(&instance.equality_residual(x0));
+    let tolerance = 1e-6 * (1.0 + vector::norm_inf(&instance.b));
+    // Negate `<` instead of testing `>=` so a NaN residual (or NaN data in
+    // `b`) is rejected rather than silently accepted.
+    if !matches!(
+        residual.partial_cmp(&tolerance),
+        Some(std::cmp::Ordering::Less)
+    ) {
+        return Err(LpError::InfeasibleStart { residual });
+    }
+    Ok(lp_solve_unchecked(net, instance, x0, options, gram_solver))
+}
+
+/// Panicking variant of [`try_lp_solve`], kept for the pre-`Session` API.
+///
 /// # Panics
 ///
 /// Panics if the instance is malformed, `x0` is not strictly interior, or
@@ -167,13 +199,16 @@ pub fn lp_solve(
     options: &LpOptions,
     gram_solver: &dyn GramSolver,
 ) -> LpSolution {
-    instance.validate();
-    assert!(instance.is_interior(x0), "x0 must be strictly interior");
-    let residual = vector::norm_inf(&instance.equality_residual(x0));
-    assert!(
-        residual < 1e-6 * (1.0 + vector::norm_inf(&instance.b)),
-        "x0 must satisfy the equality constraints (residual {residual})"
-    );
+    try_lp_solve(net, instance, x0, options, gram_solver).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn lp_solve_unchecked(
+    net: &mut Network,
+    instance: &LpInstance,
+    x0: &[f64],
+    options: &LpOptions,
+    gram_solver: &dyn GramSolver,
+) -> LpSolution {
     let rounds_before = net.ledger().total_rounds();
     net.begin_phase("lp solve");
 
@@ -257,11 +292,8 @@ mod tests {
     /// min Σ cᵢxᵢ over a path of 3 "edges" carrying one unit of demand with
     /// upper bounds; variables x₀..x₂, constraints x₀+x₁ = 1, x₁−x₂ = 0.3.
     fn second_lp() -> (LpInstance, Vec<f64>) {
-        let a = CsrMatrix::from_triplets(
-            3,
-            2,
-            &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 1, -1.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 1, -1.0)]);
         let lp = LpInstance {
             a,
             b: vec![1.0, 0.3],
@@ -279,9 +311,19 @@ mod tests {
         let lp = simple_lp();
         let mut net = Network::clique(ModelConfig::bcc(), 2);
         let options = LpOptions::new(1e-3, lp.m(), 1).with_uniform_weights();
-        let solution = lp_solve(&mut net, &lp, &[0.5, 0.5], &options, &DenseGramSolver::new());
+        let solution = lp_solve(
+            &mut net,
+            &lp,
+            &[0.5, 0.5],
+            &options,
+            &DenseGramSolver::new(),
+        );
         assert!(lp.is_feasible(&solution.x, 1e-6));
-        assert!(solution.objective < 5e-3, "objective {}", solution.objective);
+        assert!(
+            solution.objective < 5e-3,
+            "objective {}",
+            solution.objective
+        );
         assert!(solution.rounds > 0);
         assert!(solution.path_iterations() > 0);
     }
@@ -295,9 +337,19 @@ mod tests {
             lewis.exact_leverage = true;
             lewis.iterations = 6;
         }
-        let solution = lp_solve(&mut net, &lp, &[0.5, 0.5], &options, &DenseGramSolver::new());
+        let solution = lp_solve(
+            &mut net,
+            &lp,
+            &[0.5, 0.5],
+            &options,
+            &DenseGramSolver::new(),
+        );
         assert!(lp.is_feasible(&solution.x, 1e-6));
-        assert!(solution.objective < 5e-3, "objective {}", solution.objective);
+        assert!(
+            solution.objective < 5e-3,
+            "objective {}",
+            solution.objective
+        );
     }
 
     #[test]
@@ -346,7 +398,13 @@ mod tests {
         let lp = simple_lp();
         let mut net = Network::clique(ModelConfig::bcc(), 2);
         let options = LpOptions::new(1e-2, lp.m(), 5).with_uniform_weights();
-        let _ = lp_solve(&mut net, &lp, &[1.0, 0.0], &options, &DenseGramSolver::new());
+        let _ = lp_solve(
+            &mut net,
+            &lp,
+            &[1.0, 0.0],
+            &options,
+            &DenseGramSolver::new(),
+        );
     }
 
     #[test]
@@ -355,6 +413,12 @@ mod tests {
         let lp = simple_lp();
         let mut net = Network::clique(ModelConfig::bcc(), 2);
         let options = LpOptions::new(1e-2, lp.m(), 6).with_uniform_weights();
-        let _ = lp_solve(&mut net, &lp, &[0.4, 0.4], &options, &DenseGramSolver::new());
+        let _ = lp_solve(
+            &mut net,
+            &lp,
+            &[0.4, 0.4],
+            &options,
+            &DenseGramSolver::new(),
+        );
     }
 }

@@ -92,12 +92,10 @@ impl Engine {
         // Reuse Network's validation.
         let net = crate::Network::on_graph(cfg, adjacency)?;
         let n = net.n();
-        let topology = match net {
-            _ => {
-                // Network does not expose its topology; rebuild it from recipients.
-                let adj: Vec<Vec<usize>> = (0..n).map(|v| net.recipients(v)).collect();
-                Topology::Graph(adj)
-            }
+        let topology = {
+            // Network does not expose its topology; rebuild it from recipients.
+            let adj: Vec<Vec<usize>> = (0..n).map(|v| net.recipients(v)).collect();
+            Topology::Graph(adj)
         };
         Ok(Engine { cfg, topology, n })
     }
@@ -184,7 +182,10 @@ impl Engine {
                         let mut vertex_max = 0u64;
                         for (to, msg) in msgs {
                             if to >= self.n {
-                                return Err(RuntimeError::InvalidVertex { vertex: to, n: self.n });
+                                return Err(RuntimeError::InvalidVertex {
+                                    vertex: to,
+                                    n: self.n,
+                                });
                             }
                             if !self.is_neighbor(v, to) {
                                 return Err(RuntimeError::NotANeighbor { from: v, to });

@@ -46,7 +46,10 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "vertex {from} attempted to message non-neighbor {to}")
             }
             RuntimeError::InvalidVertex { vertex, n } => {
-                write!(f, "vertex {vertex} is out of range for an {n}-vertex network")
+                write!(
+                    f,
+                    "vertex {vertex} is out of range for an {n}-vertex network"
+                )
             }
             RuntimeError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
             RuntimeError::RoundLimitExceeded { limit } => {
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let err = RuntimeError::BroadcastViolation { vertex: 3, round: 7 };
+        let err = RuntimeError::BroadcastViolation {
+            vertex: 3,
+            round: 7,
+        };
         assert!(err.to_string().contains("vertex 3"));
         assert!(err.to_string().contains("round 7"));
         let err = RuntimeError::NotANeighbor { from: 1, to: 2 };

@@ -218,7 +218,10 @@ impl Network {
             let mut vertex_max = 0u64;
             for (to, m) in &msgs {
                 if *to >= self.n {
-                    return Err(RuntimeError::InvalidVertex { vertex: *to, n: self.n });
+                    return Err(RuntimeError::InvalidVertex {
+                        vertex: *to,
+                        n: self.n,
+                    });
                 }
                 if !self.are_connected(v, *to) {
                     return Err(RuntimeError::NotANeighbor { from: v, to: *to });
@@ -250,7 +253,10 @@ impl Network {
     /// (CONGEST models).
     pub fn broadcast_from(&mut self, source: usize, bits: u64) -> Result<(), RuntimeError> {
         if source >= self.n {
-            return Err(RuntimeError::InvalidVertex { vertex: source, n: self.n });
+            return Err(RuntimeError::InvalidVertex {
+                vertex: source,
+                n: self.n,
+            });
         }
         let rounds = self.cfg.rounds_for_bits(self.n, bits);
         self.ledger.charge(rounds, bits);
@@ -262,8 +268,7 @@ impl Network {
     /// vector" step; costs `⌈bits / B⌉` rounds).
     pub fn share_scalars(&mut self, bits_per_value: u64) {
         let rounds = self.cfg.rounds_for_bits(self.n, bits_per_value);
-        self.ledger
-            .charge(rounds, bits_per_value * self.n as u64);
+        self.ledger.charge(rounds, bits_per_value * self.n as u64);
     }
 
     /// Charges the rounds of every vertex broadcasting `counts[v]` values of
@@ -311,7 +316,10 @@ impl Network {
     /// identifier and returns the identifier of the elected leader (the
     /// highest identifier, as in Algorithm 6 of the paper).
     pub fn elect_leader(&mut self) -> usize {
-        self.ledger.charge(1, self.n as u64 * u64::from(crate::model::ceil_log2(self.n.max(2) as u64)));
+        self.ledger.charge(
+            1,
+            self.n as u64 * u64::from(crate::model::ceil_log2(self.n.max(2) as u64)),
+        );
         self.n - 1
     }
 }
@@ -349,19 +357,13 @@ mod tests {
         let mut net = Network::clique(ModelConfig::bcc(), 16); // B = 4 bits
         let msg = Message::new().with(Field::uint(1000, 1 << 12)); // 13 bits
         net.exchange(|_| Some(msg.clone()));
-        assert_eq!(net.ledger().total_rounds(), (13 + 3) / 4);
+        assert_eq!(net.ledger().total_rounds(), 13_u64.div_ceil(4));
     }
 
     #[test]
     fn silent_vertices_do_not_widen_the_round() {
         let mut net = Network::clique(ModelConfig::bcc(), 16);
-        let delivered = net.exchange(|v| {
-            if v == 0 {
-                Some(Field::id(0, 16))
-            } else {
-                None
-            }
-        });
+        let delivered = net.exchange(|v| if v == 0 { Some(Field::id(0, 16)) } else { None });
         assert_eq!(delivered[5].len(), 1);
         assert_eq!(net.ledger().total_rounds(), 1);
     }
@@ -390,7 +392,13 @@ mod tests {
         let adj = vec![vec![1], vec![0, 2], vec![1]];
         let mut net = Network::on_graph(ModelConfig::congest(), adj).unwrap();
         let err = net
-            .exchange_unicast(|v| if v == 0 { vec![(2, Field::flag(true))] } else { vec![] })
+            .exchange_unicast(|v| {
+                if v == 0 {
+                    vec![(2, Field::flag(true))]
+                } else {
+                    vec![]
+                }
+            })
             .unwrap_err();
         assert_eq!(err, RuntimeError::NotANeighbor { from: 0, to: 2 });
     }

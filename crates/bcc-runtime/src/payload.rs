@@ -26,7 +26,9 @@ pub fn bits_for_real(max_abs: f64, resolution: f64) -> u32 {
         max_abs.is_finite() && resolution.is_finite() && resolution > 0.0,
         "bits_for_real requires finite max_abs and positive resolution"
     );
-    let levels = (2.0 * max_abs.abs() / resolution).max(1.0).min(u64::MAX as f64 / 4.0);
+    let levels = (2.0 * max_abs.abs() / resolution)
+        .max(1.0)
+        .min(u64::MAX as f64 / 4.0);
     bits_for_range((levels.ceil() as u64).saturating_add(1))
 }
 
@@ -244,7 +246,7 @@ mod tests {
         let fine = bits_for_real(1.0, 1.0 / 1024.0);
         assert!(fine > coarse);
         // 2 * 1.0 / (1/1024) = 2048 levels -> 11-12 bits.
-        assert!(fine >= 11 && fine <= 13, "fine = {fine}");
+        assert!((11..=13).contains(&fine), "fine = {fine}");
     }
 
     #[test]

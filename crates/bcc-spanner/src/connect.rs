@@ -89,11 +89,7 @@ pub enum EdgeFate {
 }
 
 /// Applies the implicit-communication deduction rule.
-pub fn deduce_fate(
-    my_id: usize,
-    my_weight: f64,
-    accepted: Option<(usize, f64)>,
-) -> EdgeFate {
+pub fn deduce_fate(my_id: usize, my_weight: f64, accepted: Option<(usize, f64)>) -> EdgeFate {
     match accepted {
         None => EdgeFate::Deleted,
         Some((accepted_id, accepted_weight)) => {
@@ -130,7 +126,10 @@ mod tests {
     #[test]
     fn certain_edges_accept_the_lightest() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let out = connect(vec![cand(5, 3.0, 1.0), cand(2, 1.0, 1.0), cand(9, 2.0, 1.0)], &mut rng);
+        let out = connect(
+            vec![cand(5, 3.0, 1.0), cand(2, 1.0, 1.0), cand(9, 2.0, 1.0)],
+            &mut rng,
+        );
         assert_eq!(out.accepted.unwrap().neighbor, 2);
         assert!(out.rejected.is_empty());
     }

@@ -156,7 +156,11 @@ pub fn probabilistic_spanner(
     let n = graph.n();
     assert_eq!(weights.len(), graph.m(), "one weight per edge expected");
     assert_eq!(p.len(), graph.m(), "one probability per edge expected");
-    assert_eq!(active.len(), graph.m(), "one activity flag per edge expected");
+    assert_eq!(
+        active.len(),
+        graph.m(),
+        "one activity flag per edge expected"
+    );
     assert!(params.k >= 1, "k must be at least 1");
     for (idx, &prob) in p.iter().enumerate() {
         assert!(
@@ -193,7 +197,9 @@ pub fn probabilistic_spanner(
     };
     let _ = state.k;
     let _ = state.weight_bits;
-    let mut rngs: Vec<_> = (0..n).map(|v| bcc_runtime::vertex_rng(params.seed, v)).collect();
+    let mut rngs: Vec<_> = (0..n)
+        .map(|v| bcc_runtime::vertex_rng(params.seed, v))
+        .collect();
     let mut clusters_alive: BTreeSet<usize> = (0..n).collect();
 
     net.begin_phase("spanner");
@@ -208,8 +214,10 @@ pub fn probabilistic_spanner(
         // The center broadcasts the mark along the cluster tree (depth ≤ k−1)
         // and every clustered vertex announces (cluster id, mark bit) so that
         // neighbors can classify their incident clusters.
-        net.ledger_mut()
-            .charge((params.k as u64).saturating_sub(1).max(1), n as u64 * id_bits);
+        net.ledger_mut().charge(
+            (params.k as u64).saturating_sub(1).max(1),
+            n as u64 * id_bits,
+        );
         net.share_scalars(id_bits + 1);
 
         // ---- Step 2: connecting to marked clusters ------------------------
@@ -220,7 +228,9 @@ pub fn probabilistic_spanner(
         let mut next_cluster: Vec<Option<usize>> = state.cluster_of.clone();
         let mut step2_messages = vec![0usize; n];
         for v in 0..n {
-            let Some(cluster_v) = state.cluster_of[v] else { continue };
+            let Some(cluster_v) = state.cluster_of[v] else {
+                continue;
+            };
             if marked.contains(&cluster_v) {
                 continue;
             }
@@ -251,7 +261,9 @@ pub fn probabilistic_spanner(
         for smaller_ids in [true, false] {
             let mut step3_messages = vec![0usize; n];
             for v in 0..n {
-                let Some(cluster_v) = state.cluster_of[v] else { continue };
+                let Some(cluster_v) = state.cluster_of[v] else {
+                    continue;
+                };
                 if marked.contains(&cluster_v) {
                     continue;
                 }
@@ -262,10 +274,15 @@ pub fn probabilistic_spanner(
                     if marked.contains(&cu) || cu == cluster_v {
                         return None;
                     }
-                    let direction_ok = if smaller_ids { cu < cluster_v } else { cu > cluster_v };
+                    let direction_ok = if smaller_ids {
+                        cu < cluster_v
+                    } else {
+                        cu > cluster_v
+                    };
                     // Lexicographically smaller than the marked-cluster
                     // connection (strict, ties broken by neighbor id).
-                    let lighter = w < threshold_weight || (w == threshold_weight && u < threshold_id);
+                    let lighter =
+                        w < threshold_weight || (w == threshold_weight && u < threshold_id);
                     (direction_ok && lighter).then_some(cu)
                 });
                 step3_messages[v] = groups.len();
@@ -294,7 +311,8 @@ pub fn probabilistic_spanner(
     //      neighboring remaining cluster.
     // 4.2 / 4.3: vertices inside remaining clusters connect to neighboring
     //      remaining clusters with smaller / larger identifiers.
-    for (substep, in_cluster, smaller_ids) in [(1, false, false), (2, true, true), (3, true, false)] {
+    for (substep, in_cluster, smaller_ids) in [(1, false, false), (2, true, true), (3, true, false)]
+    {
         let mut messages = vec![0usize; n];
         for v in 0..n {
             let my_cluster = state.cluster_of[v].filter(|c| clusters_alive.contains(c));
@@ -445,8 +463,12 @@ mod tests {
             &active,
             SpannerParams { k, seed: 21 },
         );
-        let touched: std::collections::BTreeSet<usize> =
-            out.f_plus.iter().chain(out.f_minus.iter()).copied().collect();
+        let touched: std::collections::BTreeSet<usize> = out
+            .f_plus
+            .iter()
+            .chain(out.f_minus.iter())
+            .copied()
+            .collect();
         let mut reference_edges = out.f_plus.clone();
         reference_edges.extend((0..g.m()).filter(|e| !touched.contains(e)));
         let reference = g.subgraph(&reference_edges);

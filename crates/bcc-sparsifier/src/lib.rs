@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod quality;
 pub mod sparsify;
 
 pub use config::SparsifierConfig;
-pub use sparsify::{sparsify_a_priori, sparsify_ad_hoc, SparsifierOutput};
+pub use error::SparsifierError;
+pub use sparsify::{sparsify_a_priori, sparsify_ad_hoc, try_sparsify_ad_hoc, SparsifierOutput};

@@ -21,6 +21,7 @@ use bcc_spanner::{bundle_spanner, SpannerParams};
 use rand::Rng;
 
 use crate::config::SparsifierConfig;
+use crate::error::SparsifierError;
 
 /// The result of a sparsification run.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,12 +88,41 @@ impl<'a> Driver<'a> {
     }
 }
 
+/// Fallible variant of [`sparsify_ad_hoc`]: validates the input before
+/// charging any rounds.
+///
+/// # Errors
+///
+/// * [`SparsifierError::EmptyGraph`] — the graph has no edges.
+/// * [`SparsifierError::NetworkSizeMismatch`] — `net` does not simulate one
+///   processor per vertex.
+pub fn try_sparsify_ad_hoc(
+    net: &mut Network,
+    graph: &Graph,
+    config: &SparsifierConfig,
+) -> Result<SparsifierOutput, SparsifierError> {
+    if net.n() != graph.n() {
+        return Err(SparsifierError::NetworkSizeMismatch {
+            network: net.n(),
+            graph: graph.n(),
+        });
+    }
+    if graph.m() == 0 {
+        return Err(SparsifierError::EmptyGraph);
+    }
+    Ok(sparsify_ad_hoc(net, graph, config))
+}
+
 /// Algorithm 5: spectral sparsification with ad-hoc sampling in the Broadcast
 /// CONGEST model (Theorem 1.2).
 ///
 /// Rounds are charged on `net` (the bundle-spanner calls dominate,
 /// `O(log⁵(n)/ε² · log(nU/ε))` with the paper's constants).
-pub fn sparsify_ad_hoc(net: &mut Network, graph: &Graph, config: &SparsifierConfig) -> SparsifierOutput {
+pub fn sparsify_ad_hoc(
+    net: &mut Network,
+    graph: &Graph,
+    config: &SparsifierConfig,
+) -> SparsifierOutput {
     let n = graph.n();
     let m = graph.m();
     let mut driver = Driver::new(graph);
@@ -271,7 +301,9 @@ mod tests {
     fn ad_hoc_sparsifier_is_connected_and_spectrally_close() {
         let mut rng = ChaCha8Rng::seed_from_u64(100);
         let g = generators::random_connected(30, 0.5, 4, &mut rng);
-        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 7).with_t(6).with_k(2);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 7)
+            .with_t(6)
+            .with_k(2);
         let mut net = bc_network(&g);
         let out = sparsify_ad_hoc(&mut net, &g, &cfg);
         assert!(out.sparsifier.is_connected());
@@ -286,7 +318,9 @@ mod tests {
     fn a_priori_sparsifier_is_connected_and_spectrally_close() {
         let mut rng = ChaCha8Rng::seed_from_u64(101);
         let g = generators::random_connected(30, 0.5, 4, &mut rng);
-        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 8).with_t(6).with_k(2);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 8)
+            .with_t(6)
+            .with_k(2);
         let mut net = bc_network(&g);
         let out = sparsify_a_priori(&mut net, &g, &cfg);
         assert!(out.sparsifier.is_connected());
@@ -332,7 +366,9 @@ mod tests {
     #[test]
     fn edge_origin_and_orientation_are_consistent() {
         let g = generators::complete(15);
-        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 6).with_t(2).with_k(2);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 6)
+            .with_t(2)
+            .with_k(2);
         let mut net = bc_network(&g);
         let out = sparsify_ad_hoc(&mut net, &g, &cfg);
         assert_eq!(out.edge_origin.len(), out.sparsifier.m());
@@ -344,7 +380,10 @@ mod tests {
             // Weights are the original weight times a power of 4.
             let ratio = h_edge.weight / g_edge.weight;
             let log4 = ratio.log2() / 2.0;
-            assert!((log4 - log4.round()).abs() < 1e-9, "ratio {ratio} not a power of 4");
+            assert!(
+                (log4 - log4.round()).abs() < 1e-9,
+                "ratio {ratio} not a power of 4"
+            );
             // The responsible vertex is an endpoint.
             assert!(out.added_by[i] == g_edge.u || out.added_by[i] == g_edge.v);
         }
@@ -358,12 +397,17 @@ mod tests {
         // The bridge edge of a barbell has huge effective resistance; every
         // spanner must keep it, so it can never be sampled away.
         let g = generators::barbell(6, 1);
-        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 11).with_t(2).with_k(2);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, 11)
+            .with_t(2)
+            .with_k(2);
         for seed in 0..5u64 {
             let cfg = SparsifierConfig { seed, ..cfg };
             let mut net = bc_network(&g);
             let out = sparsify_ad_hoc(&mut net, &g, &cfg);
-            assert!(out.sparsifier.is_connected(), "seed {seed} disconnected the barbell");
+            assert!(
+                out.sparsifier.is_connected(),
+                "seed {seed} disconnected the barbell"
+            );
         }
     }
 }

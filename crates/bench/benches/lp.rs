@@ -7,7 +7,9 @@ fn bench_lp(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("e6_leverage_scores", |b| b.iter(|| bench::e6_leverage(1)));
     group.bench_function("e7_mixed_ball", |b| b.iter(|| bench::e7_mixed_ball(1)));
-    group.bench_function("e8_lp_iterations_n5", |b| b.iter(|| bench::e8_lp_iterations(&[5], 1)));
+    group.bench_function("e8_lp_iterations_n5", |b| {
+        b.iter(|| bench::e8_lp_iterations(&[5], 1))
+    });
     group.finish();
 }
 

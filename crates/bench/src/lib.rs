@@ -92,9 +92,17 @@ pub fn e1_spanner(sizes: &[usize], ks: &[usize], seed: u64) -> Table {
         for &k in ks {
             let mut net =
                 Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap();
-            let out = baswana_sen_spanner(&mut net, &g, SpannerParams { k, seed: seed + k as u64 });
+            let out = baswana_sen_spanner(
+                &mut net,
+                &g,
+                SpannerParams {
+                    k,
+                    seed: seed + k as u64,
+                },
+            );
             let spanner = g.subgraph(&out.f_plus);
-            let stretch = bcc_core::spanner::verify::max_stretch(&spanner, &g).unwrap_or(f64::INFINITY);
+            let stretch =
+                bcc_core::spanner::verify::max_stretch(&spanner, &g).unwrap_or(f64::INFINITY);
             let bound = bcc_core::spanner::verify::expected_size_bound(n, k, 2.0);
             table.push(vec![
                 n.to_string(),
@@ -129,7 +137,10 @@ pub fn e2_equivalence(trials: usize, seed: u64) -> Table {
     let mut marg_adhoc = vec![0.0f64; g.m()];
     let mut marg_apriori = vec![0.0f64; g.m()];
     for t in 0..trials {
-        let cfg_t = SparsifierConfig { seed: seed + 1000 + t as u64, ..cfg };
+        let cfg_t = SparsifierConfig {
+            seed: seed + 1000 + t as u64,
+            ..cfg
+        };
         let mut net1 =
             Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap();
         let adhoc = bcc_core::sparsifier::sparsify_ad_hoc(&mut net1, &g, &cfg_t);
@@ -171,12 +182,23 @@ pub fn e3_sparsifier(sizes: &[usize], epsilons: &[f64], seed: u64) -> Table {
     let mut table = Table::new(
         "E3",
         "Spectral sparsifier (Alg. 5): size, certified (1±ε), Broadcast CONGEST rounds",
-        &["graph", "n", "m", "eps target", "|H|", "eps achieved", "rounds"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "eps target",
+            "|H|",
+            "eps achieved",
+            "rounds",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for &n in sizes {
         let families: Vec<(&str, Graph)> = vec![
-            ("erdos-renyi", generators::random_connected(n, 0.4, 8, &mut rng)),
+            (
+                "erdos-renyi",
+                generators::random_connected(n, 0.4, 8, &mut rng),
+            ),
             ("barbell", generators::barbell(n / 2, 1)),
         ];
         for (name, g) in families {
@@ -218,9 +240,14 @@ pub fn e4_laplacian(seed: u64) -> Table {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for (name, g) in [
         ("grid 6x6", generators::grid(6, 6)),
-        ("erdos-renyi n=40", generators::random_connected(40, 0.3, 8, &mut rng)),
+        (
+            "erdos-renyi n=40",
+            generators::random_connected(40, 0.3, 8, &mut rng),
+        ),
     ] {
-        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, seed).with_t(6).with_k(2);
+        let cfg = SparsifierConfig::laboratory(g.n(), g.m(), 0.5, seed)
+            .with_t(6)
+            .with_k(2);
         let mut net = Network::clique(ModelConfig::bcc(), g.n());
         let solver = LaplacianSolver::preprocess(&mut net, &g, &cfg);
         let raw: Vec<f64> = (0..g.n()).map(|_| rng.gen::<f64>() - 0.5).collect();
@@ -252,12 +279,16 @@ pub fn e5_chebyshev() -> Table {
             // Diagonal test pair: A = diag(uniform in [1, kappa]), B = kappa·I ⇒ A ≼ B ≼ κ·A.
             let n = 64;
             let mut rng = ChaCha8Rng::seed_from_u64(kappa as u64 + (1.0 / eps) as u64);
-            let diag: Vec<f64> = (0..n).map(|_| 1.0 + (kappa - 1.0) * rng.gen::<f64>()).collect();
+            let diag: Vec<f64> = (0..n)
+                .map(|_| 1.0 + (kappa - 1.0) * rng.gen::<f64>())
+                .collect();
             let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
-            let apply_a = |x: &[f64]| -> Vec<f64> { x.iter().zip(&diag).map(|(v, d)| v * d).collect() };
+            let apply_a =
+                |x: &[f64]| -> Vec<f64> { x.iter().zip(&diag).map(|(v, d)| v * d).collect() };
             let solve_b = |r: &[f64]| -> Vec<f64> { r.iter().map(|v| v / kappa).collect() };
-            let result =
-                bcc_core::linalg::chebyshev::preconditioned_chebyshev(apply_a, solve_b, kappa, &b, eps);
+            let result = bcc_core::linalg::chebyshev::preconditioned_chebyshev(
+                apply_a, solve_b, kappa, &b, eps,
+            );
             let rel = result.residual_norm / vector::norm2(&b);
             table.push(vec![
                 fmt_f(kappa),
@@ -275,7 +306,14 @@ pub fn e6_leverage(seed: u64) -> Table {
     let mut table = Table::new(
         "E6",
         "Leverage scores via shared-seed JL sketches: mean relative error vs η",
-        &["m", "n", "eta", "sketch dim k", "mean rel err", "max rel err"],
+        &[
+            "m",
+            "n",
+            "eta",
+            "sketch dim k",
+            "mean rel err",
+            "max rel err",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let m = 60;
@@ -339,7 +377,11 @@ pub fn e7_mixed_ball(seed: u64) -> Table {
         for _ in 0..200 {
             let dir: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
             let norm = vector::norm2(&dir);
-            let inf: f64 = dir.iter().zip(&l).map(|(x, li)| x.abs() / li).fold(0.0, f64::max);
+            let inf: f64 = dir
+                .iter()
+                .zip(&l)
+                .map(|(x, li)| x.abs() / li)
+                .fold(0.0, f64::max);
             let scale = 0.999 / (norm + inf).max(1e-12);
             let value: f64 = dir.iter().zip(&a).map(|(d, ai)| d * scale * ai).sum();
             best_random = best_random.max(value);
@@ -360,12 +402,21 @@ pub fn e8_lp_iterations(sizes: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
         "E8",
         "LP solver iterations: Lewis weights (√n shape) vs uniform weights (√m shape)",
-        &["|V|", "n (constraints)", "m (vars)", "iters Lewis", "iters uniform", "sqrt n", "sqrt m"],
+        &[
+            "|V|",
+            "n (constraints)",
+            "m (vars)",
+            "iters Lewis",
+            "iters uniform",
+            "sqrt n",
+            "sqrt m",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for &v in sizes {
         let instance = generators::random_flow_instance(v, 0.3, 3, &mut rng);
-        let flow_lp = bcc_core::flow::build_flow_lp(&instance, &bcc_core::flow::FlowLpConfig::default());
+        let flow_lp =
+            bcc_core::flow::build_flow_lp(&instance, &bcc_core::flow::FlowLpConfig::default());
         let solver = bcc_core::flow::SddGramSolver::new(1e-8);
         let mut iterations = Vec::new();
         for uniform in [false, true] {
@@ -376,7 +427,8 @@ pub fn e8_lp_iterations(sizes: &[usize], seed: u64) -> Table {
                 let mut lewis = bcc_core::lp::lewis::LewisOptions::laboratory(flow_lp.lp.m(), seed);
                 lewis.iterations = 4;
                 lewis.max_sketch_dimension = Some(8);
-                options.strategy = bcc_core::lp::WeightStrategy::RegularizedLewis { options: lewis };
+                options.strategy =
+                    bcc_core::lp::WeightStrategy::RegularizedLewis { options: lewis };
                 options.path.weight_refresh_sweeps = 1;
             }
             let mut net = Network::clique(ModelConfig::bcc(), instance.graph.n());
@@ -408,7 +460,16 @@ pub fn e9_flow(sizes: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
         "E9",
         "Min-cost max-flow (BCC) vs SSP baseline: exactness and rounds",
-        &["|V|", "|E|", "value bcc", "value ssp", "cost bcc", "cost ssp", "exact", "rounds"],
+        &[
+            "|V|",
+            "|E|",
+            "value bcc",
+            "value ssp",
+            "cost bcc",
+            "cost ssp",
+            "exact",
+            "rounds",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for &v in sizes {
@@ -418,7 +479,10 @@ pub fn e9_flow(sizes: &[usize], seed: u64) -> Table {
         let result = bcc_core::flow::min_cost_max_flow_bcc(
             &mut net,
             &instance,
-            &McmfOptions { seed, ..McmfOptions::default() },
+            &McmfOptions {
+                seed,
+                ..McmfOptions::default()
+            },
         );
         let exact = result.flow.value == baseline.value && result.flow.cost == baseline.cost;
         table.push(vec![
@@ -435,7 +499,21 @@ pub fn e9_flow(sizes: &[usize], seed: u64) -> Table {
     table
 }
 
-/// E10 — the Figure-1 pipeline end-to-end with its per-phase round breakdown.
+/// Drives one theorem pipeline generically — the harness does not know which
+/// theorem is underneath.
+fn drive<A: bcc_core::BccAlgorithm>(
+    algorithm: &A,
+    session: &mut bcc_core::Session,
+    input: &A::Input,
+) -> bcc_core::Outcome<A::Output> {
+    algorithm
+        .run(session, input)
+        .unwrap_or_else(|e| panic!("pipeline {} rejected its input: {e}", algorithm.name()))
+}
+
+/// E10 — the Figure-1 pipeline end-to-end with its per-phase round breakdown,
+/// every stage driven through the generic [`bcc_core::BccAlgorithm`] trait on
+/// one shared [`bcc_core::Session`].
 pub fn e10_pipeline(seed: u64) -> Table {
     let mut table = Table::new(
         "E10",
@@ -443,20 +521,46 @@ pub fn e10_pipeline(seed: u64) -> Table {
         &["stage", "rounds"],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut session = bcc_core::Session::builder().seed(seed).build();
     let g = generators::random_connected(32, 0.3, 4, &mut rng);
-    let (_h, sparsify_report) = bcc_core::spectral_sparsify(&g, 0.5, seed);
-    table.push(vec!["spectral sparsifier (BC)".into(), sparsify_report.total_rounds.to_string()]);
+
+    let sparsify = drive(
+        &bcc_core::SparsifyAlgorithm { epsilon: 0.5 },
+        &mut session,
+        &g,
+    );
+    table.push(vec![
+        "spectral sparsifier (BC)".into(),
+        sparsify.report.total_rounds.to_string(),
+    ]);
+
     let mut b = vec![0.0; g.n()];
     b[0] = 1.0;
     b[g.n() - 1] = -1.0;
-    let (_x, lap_report) = bcc_core::solve_laplacian_bcc(&g, &b, 1e-6, seed);
-    table.push(vec!["laplacian solver (BCC)".into(), lap_report.total_rounds.to_string()]);
+    let problem = bcc_core::LaplacianProblem { graph: g, b };
+    let laplacian = drive(
+        &bcc_core::LaplacianAlgorithm { epsilon: 1e-6 },
+        &mut session,
+        &problem,
+    );
+    table.push(vec![
+        "laplacian solver (BCC)".into(),
+        laplacian.report.total_rounds.to_string(),
+    ]);
+
     let instance = generators::random_flow_instance(6, 0.3, 3, &mut rng);
-    let (result, flow_report) = bcc_core::min_cost_max_flow_bcc(&instance, seed);
-    table.push(vec!["min-cost max-flow (BCC)".into(), flow_report.total_rounds.to_string()]);
+    let flow = drive(&bcc_core::McmfAlgorithm, &mut session, &instance);
+    table.push(vec![
+        "min-cost max-flow (BCC)".into(),
+        flow.report.total_rounds.to_string(),
+    ]);
     table.push(vec![
         "  of which LP path iterations".into(),
-        result.path_iterations.to_string(),
+        flow.value.path_iterations.to_string(),
+    ]);
+    table.push(vec![
+        "session cumulative".into(),
+        session.cumulative_report().total_rounds.to_string(),
     ]);
     table
 }
@@ -472,13 +576,20 @@ pub fn a1_bundle_ablation(seed: u64) -> Table {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for n in [24usize, 40] {
         let g = generators::random_connected(n, 0.5, 4, &mut rng);
-        let base = SparsifierConfig::laboratory(g.n(), g.m(), 1.0, seed).with_t(2).with_k(3);
-        let mut net1 = Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap();
+        let base = SparsifierConfig::laboratory(g.n(), g.m(), 1.0, seed)
+            .with_t(2)
+            .with_k(3);
+        let mut net1 =
+            Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap();
         let fixed = bcc_core::sparsifier::sparsify_ad_hoc(&mut net1, &g, &base);
         // "Growing t": emulate Koutis–Xu by using t scaled with the iteration
         // count (a larger constant bundle here).
-        let grown = SparsifierConfig { t: base.t * base.iterations.max(1), ..base };
-        let mut net2 = Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap();
+        let grown = SparsifierConfig {
+            t: base.t * base.iterations.max(1),
+            ..base
+        };
+        let mut net2 =
+            Network::on_graph(ModelConfig::broadcast_congest(), g.adjacency_lists()).unwrap();
         let growing = bcc_core::sparsifier::sparsify_ad_hoc(&mut net2, &g, &grown);
         table.push(vec![
             n.to_string(),
@@ -510,13 +621,18 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e5" => vec![e5_chebyshev()],
         "e6" => vec![e6_leverage(seed)],
         "e7" => vec![e7_mixed_ball(seed)],
-        "e8" | "a2" => vec![e8_lp_iterations(if quick { &[5, 6] } else { &[5, 6, 8] }, seed)],
+        "e8" | "a2" => vec![e8_lp_iterations(
+            if quick { &[5, 6] } else { &[5, 6, 8] },
+            seed,
+        )],
         "e9" => vec![e9_flow(if quick { &[5, 6] } else { &[5, 6, 8] }, seed)],
         "e10" => vec![e10_pipeline(seed)],
         "a1" => vec![a1_bundle_ablation(seed)],
         "all" => {
             let mut tables = Vec::new();
-            for id in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1"] {
+            for id in [
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1",
+            ] {
                 tables.extend(run_experiment(id, quick));
             }
             tables

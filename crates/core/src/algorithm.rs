@@ -1,0 +1,173 @@
+//! A uniform interface over the paper's four theorem pipelines.
+//!
+//! [`BccAlgorithm`] lets harnesses (the `bench` crate, the examples) drive
+//! every pipeline through one generic entry point and collect structured
+//! [`RoundReport`]s without knowing which theorem is underneath — the shape a
+//! serving system needs to meter heterogeneous traffic uniformly.
+
+use bcc_graph::{FlowInstance, Graph};
+use bcc_laplacian::LaplacianSolve;
+use bcc_lp::{LpInstance, LpSolution};
+use bcc_sparsifier::SparsifierOutput;
+
+use crate::error::Error;
+use crate::session::{LpRequest, Outcome, Session};
+
+/// One of the paper's theorem pipelines, drivable generically by a harness.
+pub trait BccAlgorithm {
+    /// The problem the pipeline consumes.
+    type Input;
+    /// The solution it produces.
+    type Output;
+
+    /// Short machine-usable name (e.g. `"sparsify"`).
+    fn name(&self) -> &'static str;
+
+    /// The theorem of the paper this pipeline realizes.
+    fn theorem(&self) -> &'static str;
+
+    /// Runs the pipeline on a session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's [`Error`] for malformed input.
+    fn run(
+        &self,
+        session: &mut Session,
+        input: &Self::Input,
+    ) -> Result<Outcome<Self::Output>, Error>;
+}
+
+/// Theorem 1.2: spectral sparsification in the Broadcast CONGEST model.
+#[derive(Debug, Clone, Copy)]
+pub struct SparsifyAlgorithm {
+    /// Target quality `ε`.
+    pub epsilon: f64,
+}
+
+impl BccAlgorithm for SparsifyAlgorithm {
+    type Input = Graph;
+    type Output = SparsifierOutput;
+
+    fn name(&self) -> &'static str {
+        "sparsify"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 1.2 (spectral sparsifier, Broadcast CONGEST)"
+    }
+
+    fn run(
+        &self,
+        session: &mut Session,
+        input: &Graph,
+    ) -> Result<Outcome<SparsifierOutput>, Error> {
+        session.sparsify(input, self.epsilon)
+    }
+}
+
+/// A Laplacian system `L_G x = b`.
+#[derive(Debug, Clone)]
+pub struct LaplacianProblem {
+    /// The graph whose Laplacian is solved.
+    pub graph: Graph,
+    /// Right-hand side (projected to mean zero by the solver).
+    pub b: Vec<f64>,
+}
+
+/// Theorem 1.3: the Laplacian solver in the Broadcast Congested Clique.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplacianAlgorithm {
+    /// Solve accuracy `ε ∈ (0, 1/2]`.
+    pub epsilon: f64,
+}
+
+impl BccAlgorithm for LaplacianAlgorithm {
+    type Input = LaplacianProblem;
+    type Output = LaplacianSolve;
+
+    fn name(&self) -> &'static str {
+        "laplacian"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 1.3 (Laplacian solver, BCC)"
+    }
+
+    fn run(
+        &self,
+        session: &mut Session,
+        input: &LaplacianProblem,
+    ) -> Result<Outcome<LaplacianSolve>, Error> {
+        let mut prepared = session
+            .laplacian(&input.graph)
+            .epsilon(self.epsilon)
+            .preprocess()?;
+        // Charge the session even when the solve fails — the preprocessing
+        // rounds were simulated either way.
+        let result = prepared.solve(&input.b);
+        let full_cost = prepared.report();
+        prepared.finish(session);
+        let outcome = result?;
+        Ok(Outcome {
+            value: outcome.value,
+            // This request's cost is preprocessing plus its one solve.
+            report: full_cost,
+        })
+    }
+}
+
+/// An LP together with its interior starting point and options.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// The instance `min { cᵀx : Aᵀx = b, l ≤ x ≤ u }`.
+    pub instance: LpInstance,
+    /// The request (starting point, options, Gram solver choice).
+    pub request: LpRequest,
+}
+
+/// Theorem 1.4: the Lee–Sidford interior point LP solver in the BCC.
+#[derive(Debug, Clone, Copy)]
+pub struct LpAlgorithm;
+
+impl BccAlgorithm for LpAlgorithm {
+    type Input = LpProblem;
+    type Output = LpSolution;
+
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 1.4 (LP solver, BCC)"
+    }
+
+    fn run(&self, session: &mut Session, input: &LpProblem) -> Result<Outcome<LpSolution>, Error> {
+        session.lp(&input.instance, &input.request)
+    }
+}
+
+/// Theorem 1.1: exact minimum cost maximum flow in the BCC.
+#[derive(Debug, Clone, Copy)]
+pub struct McmfAlgorithm;
+
+impl BccAlgorithm for McmfAlgorithm {
+    type Input = FlowInstance;
+    type Output = bcc_flow::McmfResult;
+
+    fn name(&self) -> &'static str {
+        "min-cost max-flow"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 1.1 (min-cost max-flow, BCC)"
+    }
+
+    fn run(
+        &self,
+        session: &mut Session,
+        input: &FlowInstance,
+    ) -> Result<Outcome<bcc_flow::McmfResult>, Error> {
+        session.min_cost_max_flow(input)
+    }
+}

@@ -1,0 +1,116 @@
+//! The unified error type of the facade.
+
+use bcc_flow::FlowError;
+use bcc_laplacian::LaplacianError;
+use bcc_lp::LpError;
+use bcc_runtime::RuntimeError;
+use bcc_sparsifier::SparsifierError;
+
+/// Unified error of every [`crate::Session`] entry point.
+///
+/// Each algorithm crate reports malformed input through its own typed error
+/// (`RuntimeError`, `SparsifierError`, `LaplacianError`, `LpError`,
+/// `FlowError`); this enum wraps them behind `From` impls so `?` composes
+/// across the whole pipeline, plus facade-level validation variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The simulated network rejected the request (invalid topology,
+    /// broadcast violation, round budget, ...).
+    Runtime(RuntimeError),
+    /// The sparsifier rejected the input graph.
+    Sparsifier(SparsifierError),
+    /// The Laplacian solver rejected the input (disconnected graph, wrong
+    /// right-hand-side length, bad accuracy).
+    Laplacian(LaplacianError),
+    /// The LP solver rejected the instance or starting point.
+    Lp(LpError),
+    /// The min-cost max-flow pipeline rejected the instance.
+    Flow(FlowError),
+    /// A requested accuracy parameter is outside its valid range.
+    InvalidEpsilon {
+        /// The rejected value.
+        epsilon: f64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Runtime(e) => write!(f, "runtime: {e}"),
+            Error::Sparsifier(e) => write!(f, "sparsifier: {e}"),
+            Error::Laplacian(e) => write!(f, "laplacian solver: {e}"),
+            Error::Lp(e) => write!(f, "lp solver: {e}"),
+            Error::Flow(e) => write!(f, "min-cost max-flow: {e}"),
+            Error::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon must be positive and finite, got {epsilon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Runtime(e) => Some(e),
+            Error::Sparsifier(e) => Some(e),
+            Error::Laplacian(e) => Some(e),
+            Error::Lp(e) => Some(e),
+            Error::Flow(e) => Some(e),
+            Error::InvalidEpsilon { .. } => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl From<SparsifierError> for Error {
+    fn from(e: SparsifierError) -> Self {
+        Error::Sparsifier(e)
+    }
+}
+
+impl From<LaplacianError> for Error {
+    fn from(e: LaplacianError) -> Self {
+        Error::Laplacian(e)
+    }
+}
+
+impl From<LpError> for Error {
+    fn from(e: LpError) -> Self {
+        Error::Lp(e)
+    }
+}
+
+impl From<FlowError> for Error {
+    fn from(e: FlowError) -> Self {
+        Error::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wrapping_preserves_the_source_chain() {
+        let err: Error = LaplacianError::Disconnected.into();
+        assert!(matches!(err, Error::Laplacian(_)));
+        assert!(err.to_string().contains("connected"));
+        assert!(err.source().is_some());
+
+        let err: Error = RuntimeError::InvalidVertex { vertex: 9, n: 4 }.into();
+        assert!(err.to_string().contains("runtime"));
+
+        let err: Error = FlowError::Lp(LpError::NotInterior).into();
+        assert!(err.to_string().contains("min-cost max-flow"));
+
+        let err = Error::InvalidEpsilon { epsilon: -1.0 };
+        assert!(err.to_string().contains("-1"));
+        assert!(err.source().is_none());
+    }
+}

@@ -2,34 +2,53 @@
 //!
 //! Facade crate for the reproduction of *"The Laplacian Paradigm in the
 //! Broadcast Congested Clique"* (Forster & de Vos, PODC 2022): re-exports the
-//! whole workspace and provides one-call pipeline functions mirroring the
-//! paper's four theorems.
+//! whole workspace and serves the paper's four theorems through one typed,
+//! fallible, reusable pipeline API — [`Session`].
 //!
 //! | Paper result | Entry point |
 //! |---|---|
-//! | Theorem 1.2 (spectral sparsifier, Broadcast CONGEST) | [`spectral_sparsify`] |
-//! | Theorem 1.3 (Laplacian solver, BCC) | [`solve_laplacian_bcc`] |
-//! | Theorem 1.4 (LP solver, BCC) | [`bcc_lp::lp_solve`] |
-//! | Theorem 1.1 (min-cost max-flow, BCC) | [`min_cost_max_flow_bcc`] |
+//! | Theorem 1.2 (spectral sparsifier, Broadcast CONGEST) | [`Session::sparsify`] |
+//! | Theorem 1.3 (Laplacian solver, BCC) | [`Session::laplacian`] → [`PreparedLaplacian`] |
+//! | Theorem 1.4 (LP solver, BCC) | [`Session::lp`] |
+//! | Theorem 1.1 (min-cost max-flow, BCC) | [`Session::min_cost_max_flow`] |
+//!
+//! Every entry point validates its input and returns
+//! `Result<`[`Outcome`]`<T>, `[`Error`]`>` — malformed input (disconnected
+//! graphs, mismatched dimensions, infeasible starting points, invalid
+//! topologies) surfaces as a typed error instead of a panic, and every
+//! [`Outcome`] carries a structured, serializable [`RoundReport`] with the
+//! per-phase round/bit accounting the theorems bound.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use bcc_core::prelude::*;
+//! use bcc_core::Session;
 //!
-//! // A weighted graph and a Laplacian system on it.
+//! // A session owns the model configuration, the master seed and a
+//! // cumulative cost ledger; it serves any number of requests.
+//! let mut session = Session::builder().seed(42).build();
+//!
+//! // Theorem 1.3: preprocess a graph once, then solve many right-hand
+//! // sides — the preprocessing rounds are charged exactly once.
 //! let graph = bcc_core::graph::generators::grid(4, 4);
-//! let (solution, report) = bcc_core::solve_laplacian_bcc(&graph, &demand_vector(&graph), 1e-6, 42);
-//! assert!(report.total_rounds > 0);
-//! assert_eq!(solution.len(), graph.n());
+//! let mut prepared = session.laplacian(&graph).preprocess().unwrap();
+//! let mut b = vec![0.0; graph.n()];
+//! b[0] = 1.0;
+//! b[graph.n() - 1] = -1.0;
+//! let solve = prepared.solve(&b).unwrap();
+//! assert_eq!(solve.value.solution.len(), graph.n());
+//! assert!(solve.report.has_phase("laplacian solve"));
+//! assert!(prepared.preprocessing_report().total_rounds > 0);
 //!
-//! fn demand_vector(g: &bcc_core::graph::Graph) -> Vec<f64> {
-//!     let mut b = vec![0.0; g.n()];
-//!     b[0] = 1.0;
-//!     b[g.n() - 1] = -1.0;
-//!     b
-//! }
+//! // Malformed input is an error, not a panic.
+//! let disconnected = bcc_core::graph::Graph::from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)]);
+//! assert!(session.laplacian(&disconnected).preprocess().is_err());
 //! ```
+//!
+//! The pre-`Session` free functions ([`spectral_sparsify`],
+//! [`solve_laplacian_bcc`], [`min_cost_max_flow_bcc`]) remain as thin
+//! panicking wrappers over `Session` for backwards compatibility; prefer the
+//! session API in new code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,8 +62,27 @@ pub use bcc_runtime as runtime;
 pub use bcc_spanner as spanner;
 pub use bcc_sparsifier as sparsifier;
 
+pub mod algorithm;
+pub mod error;
+pub mod report;
+pub mod session;
+
+pub use algorithm::{
+    BccAlgorithm, LaplacianAlgorithm, LaplacianProblem, LpAlgorithm, LpProblem, McmfAlgorithm,
+    SparsifyAlgorithm,
+};
+pub use error::Error;
+pub use report::RoundReport;
+pub use session::{
+    GramChoice, LaplacianRequest, LpRequest, Outcome, PreparedLaplacian, Session, SessionBuilder,
+};
+
 /// Commonly used types, re-exported for `use bcc_core::prelude::*`.
 pub mod prelude {
+    pub use crate::algorithm::BccAlgorithm;
+    pub use crate::error::Error;
+    pub use crate::report::RoundReport;
+    pub use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
     pub use bcc_flow::{min_cost_max_flow_bcc, ssp_min_cost_max_flow, McmfOptions};
     pub use bcc_graph::{DiGraph, FlowInstance, Graph};
     pub use bcc_laplacian::LaplacianSolver;
@@ -54,78 +92,86 @@ pub mod prelude {
     pub use bcc_sparsifier::{sparsify_ad_hoc, SparsifierConfig};
 }
 
-/// A compact summary of the communication cost of a pipeline run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RoundReport {
-    /// Total rounds charged.
-    pub total_rounds: u64,
-    /// Total bits written to the blackboard / links.
-    pub total_bits: u64,
-    /// Human-readable per-phase breakdown.
-    pub breakdown: String,
-}
-
-impl RoundReport {
-    fn from_ledger(ledger: &bcc_runtime::RoundLedger) -> Self {
-        RoundReport {
-            total_rounds: ledger.total_rounds(),
-            total_bits: ledger.total_bits(),
-            breakdown: ledger.report(),
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// Legacy one-call pipeline functions (pre-`Session` API).
+// ---------------------------------------------------------------------------
 
 /// Computes a spectral sparsifier of `graph` in the Broadcast CONGEST model
 /// (Theorem 1.2) with laboratory parameters, returning the sparsifier and the
 /// round report.
+///
+/// Legacy wrapper over [`Session::sparsify`]; results are identical to the
+/// session API at equal seeds. Prefer `Session` in new code — it reports
+/// malformed input as [`Error`] instead of panicking.
+///
+/// # Panics
+///
+/// Panics when the session API would return an error (invalid topology,
+/// empty graph, non-positive `epsilon`).
 pub fn spectral_sparsify(
     graph: &bcc_graph::Graph,
     epsilon: f64,
     seed: u64,
 ) -> (bcc_graph::Graph, RoundReport) {
-    let cfg = bcc_sparsifier::SparsifierConfig::laboratory(graph.n(), graph.m().max(2), epsilon, seed);
-    let mut net = bcc_runtime::Network::on_graph(
-        bcc_runtime::ModelConfig::broadcast_congest(),
-        graph.adjacency_lists(),
-    )
-    .expect("graph adjacency lists form a valid topology");
-    let out = bcc_sparsifier::sparsify_ad_hoc(&mut net, graph, &cfg);
-    (out.sparsifier, RoundReport::from_ledger(net.ledger()))
+    let mut session = Session::builder().seed(seed).build();
+    let outcome = session
+        .sparsify(graph, epsilon)
+        .unwrap_or_else(|e| panic!("spectral_sparsify: {e}"));
+    (outcome.value.sparsifier, outcome.report)
 }
 
 /// Solves the Laplacian system `L_G x = b` in the Broadcast Congested Clique
 /// (Theorem 1.3), returning the solution and the round report (preprocessing
 /// plus solve).
+///
+/// Legacy wrapper over [`Session::laplacian`]; results are identical to the
+/// session API at equal seeds. Prefer `Session` in new code — it separates
+/// preprocessing from per-instance solves ([`PreparedLaplacian::solve_many`])
+/// and reports malformed input as [`Error`] instead of panicking.
+///
+/// # Panics
+///
+/// Panics when the session API would return an error (disconnected graph,
+/// wrong right-hand-side length, non-positive `epsilon`).
 pub fn solve_laplacian_bcc(
     graph: &bcc_graph::Graph,
     b: &[f64],
     epsilon: f64,
     seed: u64,
 ) -> (Vec<f64>, RoundReport) {
-    let cfg = bcc_sparsifier::SparsifierConfig::laboratory(graph.n(), graph.m().max(2), 0.5, seed)
-        .with_t(6)
-        .with_k(2);
-    let mut net = bcc_runtime::Network::clique(bcc_runtime::ModelConfig::bcc(), graph.n());
-    let solver = bcc_laplacian::LaplacianSolver::preprocess(&mut net, graph, &cfg);
-    let solve = solver.solve(&mut net, b, epsilon.min(0.5));
-    (solve.solution, RoundReport::from_ledger(net.ledger()))
+    let session = Session::builder().seed(seed).build();
+    let mut prepared = session
+        .laplacian(graph)
+        .epsilon(epsilon.min(0.5))
+        .preprocess()
+        .unwrap_or_else(|e| panic!("solve_laplacian_bcc: {e}"));
+    let outcome = prepared
+        .solve(b)
+        .unwrap_or_else(|e| panic!("solve_laplacian_bcc: {e}"));
+    (outcome.value.solution, prepared.report())
 }
 
 /// Computes an exact minimum cost maximum flow in the Broadcast Congested
 /// Clique (Theorem 1.1) with default laboratory options, returning the result
 /// and the round report.
+///
+/// Legacy wrapper over [`Session::min_cost_max_flow`]; results are identical
+/// to the session API at equal seeds. Prefer `Session` in new code — it
+/// reports malformed input as [`Error`] instead of panicking.
+///
+/// # Panics
+///
+/// Panics when the session API would return an error (empty instance,
+/// rejected LP encoding).
 pub fn min_cost_max_flow_bcc(
     instance: &bcc_graph::FlowInstance,
     seed: u64,
 ) -> (bcc_flow::McmfResult, RoundReport) {
-    let mut net = bcc_runtime::Network::clique(bcc_runtime::ModelConfig::bcc(), instance.graph.n());
-    let options = bcc_flow::McmfOptions {
-        seed,
-        ..bcc_flow::McmfOptions::default()
-    };
-    let result = bcc_flow::min_cost_max_flow_bcc(&mut net, instance, &options);
-    let report = RoundReport::from_ledger(net.ledger());
-    (result, report)
+    let mut session = Session::builder().seed(seed).build();
+    let outcome = session
+        .min_cost_max_flow(instance)
+        .unwrap_or_else(|e| panic!("min_cost_max_flow_bcc: {e}"));
+    (outcome.value, outcome.report)
 }
 
 #[cfg(test)]
@@ -139,7 +185,8 @@ mod tests {
         assert!(h.is_connected());
         assert!(h.m() <= g.m());
         assert!(report.total_rounds > 0);
-        assert!(report.breakdown.contains("TOTAL"));
+        assert!(report.has_phase("sparsifier"));
+        assert!(report.to_string().contains("TOTAL"));
     }
 
     #[test]
@@ -166,5 +213,69 @@ mod tests {
         assert_eq!(result.flow.value, baseline.value);
         assert_eq!(result.flow.cost, baseline.cost);
         assert!(report.total_rounds > 0);
+    }
+
+    #[test]
+    fn session_accumulates_cumulative_telemetry() {
+        let mut session = Session::builder().seed(9).build();
+        let g = bcc_graph::generators::complete(12);
+        let first = session.sparsify(&g, 0.5).unwrap();
+        let after_one = session.cumulative_report();
+        assert_eq!(after_one.total_rounds, first.report.total_rounds);
+        let second = session.sparsify(&g, 1.0).unwrap();
+        let after_two = session.cumulative_report();
+        assert_eq!(
+            after_two.total_rounds,
+            first.report.total_rounds + second.report.total_rounds
+        );
+    }
+
+    #[test]
+    fn algorithms_run_generically_over_one_session() {
+        fn drive<A: BccAlgorithm>(
+            algorithm: &A,
+            session: &mut Session,
+            input: &A::Input,
+        ) -> (String, u64) {
+            let outcome = algorithm
+                .run(session, input)
+                .unwrap_or_else(|e| panic!("{e}"));
+            (algorithm.name().to_string(), outcome.report.total_rounds)
+        }
+
+        let mut session = Session::builder().seed(4).build();
+        let graph = bcc_graph::generators::grid(3, 4);
+        let mut b = vec![0.0; graph.n()];
+        b[0] = 1.0;
+        b[11] = -1.0;
+
+        let (name, rounds) = drive(&SparsifyAlgorithm { epsilon: 0.5 }, &mut session, &graph);
+        assert_eq!(name, "sparsify");
+        assert!(rounds > 0);
+
+        let problem = LaplacianProblem {
+            graph: graph.clone(),
+            b,
+        };
+        let (name, rounds) = drive(
+            &LaplacianAlgorithm { epsilon: 1e-4 },
+            &mut session,
+            &problem,
+        );
+        assert_eq!(name, "laplacian");
+        assert!(rounds > 0);
+
+        let flow = bcc_graph::DiGraph::from_arcs(3, [(0, 1, 2, 1), (1, 2, 2, 1)]);
+        let instance = bcc_graph::FlowInstance::new(flow, 0, 2);
+        let (name, rounds) = drive(&McmfAlgorithm, &mut session, &instance);
+        assert_eq!(name, "min-cost max-flow");
+        assert!(rounds > 0);
+
+        // All three requests accumulated on the session ledger.
+        assert!(session.cumulative_report().total_rounds > 0);
+        assert_eq!(
+            McmfAlgorithm.theorem(),
+            "Theorem 1.1 (min-cost max-flow, BCC)"
+        );
     }
 }

@@ -1,0 +1,195 @@
+//! Structured communication-cost reports.
+//!
+//! Every pipeline run charges rounds on a [`bcc_runtime::RoundLedger`]; a
+//! [`RoundReport`] is the caller-facing snapshot of that ledger: totals plus a
+//! structured per-phase breakdown in ledger order, serializable for cost
+//! telemetry (e.g. `BENCH_*.json` trajectories) and renderable as the classic
+//! human-readable table through its [`Display`] impl.
+
+use std::fmt::{self, Display};
+
+use bcc_runtime::{PhaseStats, RoundLedger};
+use serde::{Deserialize, Serialize};
+
+/// A compact, structured summary of the communication cost of a pipeline run.
+///
+/// # Examples
+///
+/// ```
+/// use bcc_core::RoundReport;
+/// use bcc_runtime::RoundLedger;
+///
+/// let mut ledger = RoundLedger::new();
+/// ledger.begin_phase("solve");
+/// ledger.charge(7, 70);
+/// let report = RoundReport::from_ledger(&ledger);
+/// assert_eq!(report.total_rounds, 7);
+/// assert_eq!(report.phase("solve").unwrap().bits, 70);
+/// assert!(report.to_string().contains("TOTAL"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Total rounds charged.
+    pub total_rounds: u64,
+    /// Total bits written to the blackboard / links.
+    pub total_bits: u64,
+    /// Total number of communication operations.
+    pub total_operations: u64,
+    /// Per-phase statistics in the order the phases were first started.
+    pub breakdown: Vec<(String, PhaseStats)>,
+}
+
+impl RoundReport {
+    /// Snapshots a ledger into a report.
+    pub fn from_ledger(ledger: &RoundLedger) -> Self {
+        RoundReport {
+            total_rounds: ledger.total_rounds(),
+            total_bits: ledger.total_bits(),
+            total_operations: ledger.total_operations(),
+            breakdown: ledger
+                .phase_names()
+                .map(|name| {
+                    let stats = ledger
+                        .phase_stats(name)
+                        .expect("phase listed by the ledger exists");
+                    (name.to_owned(), stats)
+                })
+                .collect(),
+        }
+    }
+
+    /// Statistics of a named phase, if that phase was charged.
+    pub fn phase(&self, name: &str) -> Option<PhaseStats> {
+        self.breakdown
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, stats)| *stats)
+    }
+
+    /// Returns `true` if the run charged a phase with this name.
+    pub fn has_phase(&self, name: &str) -> bool {
+        self.phase(name).is_some()
+    }
+
+    /// Names of the charged phases in ledger order.
+    pub fn phase_names(&self) -> impl Iterator<Item = &str> {
+        self.breakdown.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// The cost charged since an earlier snapshot of the same ledger:
+    /// phase-wise saturating difference, keeping only phases that charged
+    /// something in between.
+    pub fn since(&self, baseline: &RoundReport) -> RoundReport {
+        let breakdown = self
+            .breakdown
+            .iter()
+            .filter_map(|(name, stats)| {
+                let before = baseline.phase(name).unwrap_or_default();
+                let delta = PhaseStats {
+                    rounds: stats.rounds.saturating_sub(before.rounds),
+                    bits: stats.bits.saturating_sub(before.bits),
+                    operations: stats.operations.saturating_sub(before.operations),
+                };
+                (delta != PhaseStats::default()).then(|| (name.clone(), delta))
+            })
+            .collect();
+        RoundReport {
+            total_rounds: self.total_rounds.saturating_sub(baseline.total_rounds),
+            total_bits: self.total_bits.saturating_sub(baseline.total_bits),
+            total_operations: self
+                .total_operations
+                .saturating_sub(baseline.total_operations),
+            breakdown,
+        }
+    }
+}
+
+impl Display for RoundReport {
+    /// Renders the pre-redesign human-readable table: one row per phase plus
+    /// a `TOTAL` row.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<36} {:>12} {:>16} {:>10}",
+            "phase", "rounds", "bits", "ops"
+        )?;
+        for (name, stats) in &self.breakdown {
+            writeln!(
+                f,
+                "{:<36} {:>12} {:>16} {:>10}",
+                name, stats.rounds, stats.bits, stats.operations
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<36} {:>12} {:>16} {:>10}",
+            "TOTAL", self.total_rounds, self.total_bits, self.total_operations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ledger() -> RoundLedger {
+        let mut ledger = RoundLedger::new();
+        ledger.begin_phase("preprocess");
+        ledger.charge(3, 120);
+        ledger.begin_phase("solve");
+        ledger.charge(2, 40);
+        ledger.begin_phase("preprocess");
+        ledger.charge(1, 10);
+        ledger
+    }
+
+    #[test]
+    fn snapshot_preserves_ledger_order_and_totals() {
+        let report = RoundReport::from_ledger(&sample_ledger());
+        assert_eq!(report.total_rounds, 6);
+        assert_eq!(report.total_bits, 170);
+        assert_eq!(report.total_operations, 3);
+        let names: Vec<_> = report.phase_names().collect();
+        assert_eq!(names, vec!["preprocess", "solve"]);
+        assert_eq!(report.phase("preprocess").unwrap().rounds, 4);
+        assert_eq!(report.phase("solve").unwrap().rounds, 2);
+        assert!(report.has_phase("solve"));
+        assert!(!report.has_phase("rounding"));
+    }
+
+    #[test]
+    fn display_matches_the_ledger_table() {
+        let ledger = sample_ledger();
+        let report = RoundReport::from_ledger(&ledger);
+        assert_eq!(report.to_string(), ledger.report());
+    }
+
+    #[test]
+    fn since_yields_the_phase_wise_delta() {
+        let mut ledger = sample_ledger();
+        let before = RoundReport::from_ledger(&ledger);
+        ledger.begin_phase("solve");
+        ledger.charge(5, 50);
+        let after = RoundReport::from_ledger(&ledger);
+        let delta = after.since(&before);
+        assert_eq!(delta.total_rounds, 5);
+        assert_eq!(delta.total_bits, 50);
+        assert_eq!(delta.total_operations, 1);
+        // Only the phase that charged in between survives.
+        let names: Vec<_> = delta.phase_names().collect();
+        assert_eq!(names, vec!["solve"]);
+        assert_eq!(delta.phase("solve").unwrap().rounds, 5);
+        // A no-op interval yields an empty delta.
+        let nothing = after.since(&after);
+        assert_eq!(nothing.total_rounds, 0);
+        assert!(nothing.breakdown.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = RoundReport::from_ledger(&sample_ledger());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RoundReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

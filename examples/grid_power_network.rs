@@ -1,14 +1,16 @@
-//! Domain example: electrical potentials on a grid "power network".
+//! Domain example: electrical potentials on a grid "power network", served
+//! through the `Session` API.
 //!
 //! Run with `cargo run --example grid_power_network --release`.
 //!
 //! A `rows × cols` grid of substations with heterogeneous line conductances is
 //! a classic Laplacian-paradigm workload: injecting one unit of current at a
 //! corner and extracting it at the opposite corner, the vertex potentials are
-//! the solution of `L x = b`. The example compares the Broadcast Congested
-//! Clique solver of Theorem 1.3 (sparsifier preprocessing + preconditioned
-//! Chebyshev) against the centralized conjugate-gradient baseline, and prints
-//! the effective resistance between the two corners.
+//! the solution of `L x = b`. Power studies solve *many* injection patterns on
+//! one fixed grid (cf. repeated optimal-power-flow solves), which is exactly
+//! the preprocess-once / solve-many split of Theorem 1.3: the example runs a
+//! batch of three injection scenarios against a single preprocessing pass and
+//! cross-checks the first against the centralized conjugate-gradient baseline.
 
 use bcc_core::prelude::*;
 use bcc_core::{graph::laplacian, linalg::vector};
@@ -27,42 +29,65 @@ fn main() {
     let n = graph.n();
     println!("power grid: {rows} x {cols}, {} lines", graph.m());
 
-    // Current injection: +1 at the top-left corner, -1 at the bottom-right.
-    let mut current = vec![0.0; n];
-    current[0] = 1.0;
-    current[n - 1] = -1.0;
+    // Three injection scenarios: corner-to-corner, corner-to-center, and
+    // edge-to-edge.
+    let mut scenarios: Vec<Vec<f64>> = Vec::new();
+    for (source, sink) in [(0, n - 1), (0, n / 2), (cols - 1, n - cols)] {
+        let mut current = vec![0.0; n];
+        current[source] = 1.0;
+        current[sink] = -1.0;
+        scenarios.push(current);
+    }
 
-    // Broadcast Congested Clique solve (Theorem 1.3).
-    let cfg = SparsifierConfig::laboratory(n, graph.m(), 0.5, seed).with_t(6).with_k(2);
-    let mut net = Network::clique(ModelConfig::bcc(), n);
-    let solver = LaplacianSolver::preprocess(&mut net, &graph, &cfg);
-    let solve = solver.solve(&mut net, &current, 1e-8);
+    // Broadcast Congested Clique solve (Theorem 1.3): preprocess once, then
+    // serve every scenario off the same sparsifier.
+    let session = Session::builder().seed(seed).build();
+    let mut prepared = session
+        .laplacian(&graph)
+        .epsilon(1e-8)
+        .preprocess()
+        .expect("the grid is connected");
+    let batch = prepared
+        .solve_many(&scenarios)
+        .expect("every scenario has one entry per substation");
+    let preprocessing_rounds = prepared.preprocessing_report().total_rounds;
+    let solve_rounds = batch
+        .report
+        .phase("laplacian solve")
+        .map_or(0, |s| s.rounds);
     println!(
-        "BCC solver: sparsifier {} of {} edges (epsilon {:.3}), preprocessing rounds = {}, solve rounds = {}",
-        solver.sparsifier().m(),
+        "BCC solver: sparsifier {} of {} lines (epsilon {:.3}), {} preprocessing rounds charged once, {} solve rounds across {} scenarios",
+        prepared.solver().sparsifier().m(),
         graph.m(),
-        solver.sparsifier_epsilon(),
-        solver.preprocessing_rounds(),
-        solve.rounds
+        prepared.solver().sparsifier_epsilon(),
+        preprocessing_rounds,
+        solve_rounds,
+        batch.value.len(),
     );
 
-    // Centralized CG baseline.
-    let cg = bcc_core::laplacian::cg_baseline(&graph, &current, 1e-10);
+    // Centralized CG baseline for the first scenario.
+    let cg = bcc_core::laplacian::cg_baseline(&graph, &scenarios[0], 1e-10);
     println!(
         "CG baseline: {} iterations, residual {:.2e}",
         cg.iterations, cg.residual_norm
     );
 
     // Agreement and the effective corner-to-corner resistance x_s - x_t.
-    let difference = vector::sub(&solve.solution, &vector::remove_mean(&cg.solution));
+    let solution = &batch.value[0].solution;
+    let difference = vector::sub(solution, &vector::remove_mean(&cg.solution));
     println!(
         "max disagreement between the two solvers: {:.2e}",
         vector::norm_inf(&difference)
     );
-    let resistance = solve.solution[0] - solve.solution[n - 1];
+    let resistance = solution[0] - solution[n - 1];
     println!("effective resistance corner-to-corner: {resistance:.4}");
 
-    // Sanity: the residual of the BCC solution.
-    let residual = vector::sub(&laplacian::laplacian_apply(&graph, &solve.solution), &current);
-    println!("|L x - b|_inf = {:.2e}", vector::norm_inf(&residual));
+    // Sanity: the residual of every BCC solution.
+    for (scenario, solve) in scenarios.iter().zip(&batch.value) {
+        let residual = vector::sub(
+            &laplacian::laplacian_apply(&graph, &solve.solution),
+            scenario,
+        );
+        println!("|L x - b|_inf = {:.2e}", vector::norm_inf(&residual));
+    }
 }

@@ -1,4 +1,5 @@
-//! Ablation example: Lewis-weight versus uniform-weight path following.
+//! Ablation example: Lewis-weight versus uniform-weight path following,
+//! served through the `Session` API.
 //!
 //! Run with `cargo run --example lp_ablation --release`.
 //!
@@ -9,18 +10,22 @@
 //! counts side by side (experiment A2 of EXPERIMENTS.md runs the full sweep).
 
 use bcc_core::prelude::*;
-use bcc_flow::{build_flow_lp, FlowLpConfig, SddGramSolver};
+use bcc_flow::{build_flow_lp, FlowLpConfig};
 use bcc_lp::WeightStrategy;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    println!("{:<10} {:>6} {:>6} {:>18} {:>18}", "instance", "n", "m", "iters (Lewis)", "iters (uniform)");
+    let mut session = Session::builder().seed(3).build();
+    println!(
+        "{:<10} {:>6} {:>6} {:>18} {:>18}",
+        "instance", "n", "m", "iters (Lewis)", "iters (uniform)"
+    );
     for (label, vertices) in [("tiny", 5usize), ("small", 6), ("medium", 7)] {
-        let instance = bcc_core::graph::generators::random_flow_instance(vertices, 0.25, 3, &mut rng);
+        let instance =
+            bcc_core::graph::generators::random_flow_instance(vertices, 0.25, 3, &mut rng);
         let flow_lp = build_flow_lp(&instance, &FlowLpConfig::default());
-        let solver = SddGramSolver::new(1e-8);
 
         let mut iterations = Vec::new();
         for uniform in [false, true] {
@@ -34,15 +39,12 @@ fn main() {
                 options.strategy = WeightStrategy::RegularizedLewis { options: lewis };
                 options.path.weight_refresh_sweeps = 1;
             }
-            let mut net = Network::clique(ModelConfig::bcc(), instance.graph.n());
-            let solution = lp_solve(
-                &mut net,
-                &flow_lp.lp,
-                &flow_lp.interior_point,
-                &options,
-                &solver,
-            );
-            iterations.push(solution.path_iterations());
+            let request =
+                LpRequest::new(flow_lp.interior_point.clone(), options).with_sdd_gram(1e-8);
+            let solution = session
+                .lp(&flow_lp.lp, &request)
+                .expect("the flow LP ships a valid interior point");
+            iterations.push(solution.value.path_iterations());
         }
         println!(
             "{:<10} {:>6} {:>6} {:>18} {:>18}",
@@ -53,5 +55,8 @@ fn main() {
             iterations[1]
         );
     }
-    println!("\nLewis weights track Θ(√n) while uniform weights track Θ(√m): the gap widens with density.");
+    println!(
+        "\nLewis weights track Θ(√n) while uniform weights track Θ(√m): the gap widens with density."
+    );
+    println!("cumulative session cost:\n{}", session.cumulative_report());
 }

@@ -1,4 +1,5 @@
-//! Domain example: minimum cost routing of traffic through a transit network.
+//! Domain example: minimum cost routing of traffic through a transit network,
+//! served through the `Session` API.
 //!
 //! Run with `cargo run --example mincost_routing --release`.
 //!
@@ -44,16 +45,18 @@ fn main() {
     );
 
     // Broadcast Congested Clique algorithm (Theorem 1.1).
-    let mut net = Network::clique(ModelConfig::bcc(), instance.graph.n());
-    let options = McmfOptions::default();
-    let result = min_cost_max_flow_bcc(&mut net, &instance, &options);
+    let mut session = Session::builder().seed(7).build();
+    let outcome = session
+        .min_cost_max_flow(&instance)
+        .expect("the transit network has links");
+    let result = &outcome.value;
     println!(
         "BCC algorithm: value = {}, cost = {}, feasible after rounding = {}",
         result.flow.value, result.flow.cost, result.rounded_feasible
     );
     println!(
         "  path iterations = {}, Laplacian solves = {}, rounds = {}",
-        result.path_iterations, result.gram_solves, result.rounds
+        result.path_iterations, result.gram_solves, outcome.report.total_rounds
     );
     println!("per-link flows (BCC / baseline):");
     for (i, arc) in instance.graph.arcs().iter().enumerate() {

@@ -1,12 +1,14 @@
-//! Quickstart: the full Figure-1 pipeline on a small random graph.
+//! Quickstart: the full Figure-1 pipeline on a small random graph, served
+//! through the `Session` API.
 //!
 //! Run with `cargo run --example quickstart --release`.
 //!
 //! The example (1) computes a spectral sparsifier of a random weighted graph
-//! in the Broadcast CONGEST model, (2) solves a Laplacian system on it in the
-//! Broadcast Congested Clique, and (3) computes an exact minimum cost maximum
-//! flow on a random capacitated digraph — reporting the number of rounds each
-//! stage charged, which is the quantity the paper's theorems bound.
+//! in the Broadcast CONGEST model, (2) solves a batch of Laplacian systems on
+//! it in the Broadcast Congested Clique — preprocessing once and amortizing
+//! it over every right-hand side — and (3) computes an exact minimum cost
+//! maximum flow on a random capacitated digraph. Every request returns a
+//! structured `RoundReport`; the session accumulates the cost of all of them.
 
 use bcc_core::prelude::*;
 use rand::SeedableRng;
@@ -15,6 +17,7 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     let seed = 42;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut session = Session::builder().seed(seed).build();
 
     // ----------------------------------------------------------------- (1)
     let graph = bcc_core::graph::generators::random_connected(48, 0.3, 8, &mut rng);
@@ -24,38 +27,63 @@ fn main() {
         graph.m(),
         graph.total_weight()
     );
-    let (sparsifier, report) = bcc_core::spectral_sparsify(&graph, 0.5, seed);
-    let eps = bcc_core::sparsifier::quality::achieved_epsilon(&graph, &sparsifier);
+    let sparsify = session
+        .sparsify(&graph, 0.5)
+        .expect("the input graph is connected and non-empty");
+    let eps = bcc_core::sparsifier::quality::achieved_epsilon(&graph, &sparsify.value.sparsifier);
     println!(
         "sparsifier: {} of {} edges, achieved epsilon = {:.3}, rounds = {}",
-        sparsifier.m(),
+        sparsify.value.sparsifier.m(),
         graph.m(),
         eps,
-        report.total_rounds
+        sparsify.report.total_rounds
     );
 
     // ----------------------------------------------------------------- (2)
-    let mut demand = vec![0.0; graph.n()];
-    demand[0] = 1.0;
-    demand[graph.n() - 1] = -1.0;
-    let (potentials, report) = bcc_core::solve_laplacian_bcc(&graph, &demand, 1e-8, seed);
+    // Preprocess once, then serve several demand vectors on the same grid —
+    // the repeated-traffic pattern Theorem 1.3's preprocessing/solve split is
+    // built for.
+    let mut prepared = session
+        .laplacian(&graph)
+        .epsilon(1e-8)
+        .preprocess()
+        .expect("the input graph is connected");
+    let demands: Vec<Vec<f64>> = (1..4)
+        .map(|k| {
+            let mut b = vec![0.0; graph.n()];
+            b[0] = 1.0;
+            b[graph.n() - k] = -1.0;
+            b
+        })
+        .collect();
+    let batch = prepared.solve_many(&demands).expect("dimensions match");
     let residual = bcc_core::linalg::vector::sub(
-        &bcc_core::graph::laplacian::laplacian_apply(&graph, &potentials),
-        &demand,
+        &bcc_core::graph::laplacian::laplacian_apply(&graph, &batch.value[0].solution),
+        &demands[0],
     );
     println!(
-        "laplacian solve: residual |L x - b|_inf = {:.2e}, rounds = {}",
+        "laplacian batch: {} solves after one preprocessing ({} preprocessing rounds, {} solve rounds), residual |L x - b|_inf = {:.2e}",
+        batch.value.len(),
+        prepared.preprocessing_report().total_rounds,
+        batch.report.total_rounds,
         bcc_core::linalg::vector::norm_inf(&residual),
-        report.total_rounds
     );
+    prepared.finish(&mut session);
 
     // ----------------------------------------------------------------- (3)
     let instance = bcc_core::graph::generators::random_flow_instance(6, 0.3, 4, &mut rng);
     let baseline = ssp_min_cost_max_flow(&instance);
-    let (result, report) = bcc_core::min_cost_max_flow_bcc(&instance, seed);
+    let flow = session
+        .min_cost_max_flow(&instance)
+        .expect("the instance has arcs");
     println!(
         "min-cost max-flow: value = {} (baseline {}), cost = {} (baseline {}), rounds = {}",
-        result.flow.value, baseline.value, result.flow.cost, baseline.cost, report.total_rounds
+        flow.value.flow.value,
+        baseline.value,
+        flow.value.flow.cost,
+        baseline.cost,
+        flow.report.total_rounds
     );
-    println!("round breakdown of the flow computation:\n{}", report.breakdown);
+    println!("round breakdown of the flow computation:\n{}", flow.report);
+    println!("cumulative session cost:\n{}", session.cumulative_report());
 }

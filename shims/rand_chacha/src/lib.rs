@@ -1,0 +1,186 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate: a faithful implementation of the ChaCha8 stream cipher (Bernstein,
+//! 2008) behind the [`rand::RngCore`] / [`rand::SeedableRng`] traits.
+//!
+//! The keystream follows RFC 7539 word layout (constants, 256-bit key, 64-bit
+//! block counter, 64-bit stream id) with 8 rounds. Output is consumed as
+//! little-endian 32-bit words of consecutive blocks, so every seed yields one
+//! deterministic, platform-independent stream. See `shims/README.md` for why
+//! this crate exists; it is *not* guaranteed to be bit-identical to the
+//! upstream `rand_chacha` stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+
+/// The ChaCha quarter round.
+#[inline]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic random number generator backed by the ChaCha cipher with 8
+/// rounds.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut a = ChaCha8Rng::seed_from_u64(42);
+/// let mut b = ChaCha8Rng::seed_from_u64(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, block counter, stream id.
+    input: [u32; WORDS_PER_BLOCK],
+    /// Keystream of the current block.
+    buffer: [u32; WORDS_PER_BLOCK],
+    /// Next unconsumed word of `buffer`; `WORDS_PER_BLOCK` forces a refill.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+
+    fn refill(&mut self) {
+        let mut working = self.input;
+        for _ in 0..Self::ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, inp)) in self.buffer.iter_mut().zip(working.iter().zip(&self.input)) {
+            *out = w.wrapping_add(*inp);
+        }
+        // Advance the 64-bit block counter (words 12 and 13).
+        let counter = (u64::from(self.input[13]) << 32 | u64::from(self.input[12])).wrapping_add(1);
+        self.input[12] = counter as u32;
+        self.input[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    /// The 64-bit word position within the keystream (consumed words).
+    pub fn word_pos(&self) -> u128 {
+        let counter = u64::from(self.input[13]) << 32 | u64::from(self.input[12]);
+        // `counter` counts blocks already generated; subtract the unconsumed
+        // remainder of the current buffer.
+        (counter as u128) * WORDS_PER_BLOCK as u128 - (WORDS_PER_BLOCK - self.index) as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut input = [0u32; WORDS_PER_BLOCK];
+        // "expand 32-byte k"
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646E;
+        input[2] = 0x7962_2D32;
+        input[3] = 0x6B20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Block counter (12, 13) and stream id (14, 15) start at zero.
+        let mut rng = ChaCha8Rng {
+            input,
+            buffer: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index == WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32();
+        let hi = self.next_u32();
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_crosses_block_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // 16 words per block; draw 40 words and check the position tracker.
+        for _ in 0..40 {
+            let _ = rng.next_u32();
+        }
+        assert_eq!(rng.word_pos(), 40);
+    }
+
+    #[test]
+    fn uniformity_smoke_test() {
+        // Mean of uniform [0,1) draws concentrates near 1/2.
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        // Bits of next_u32 are balanced.
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        let frac = ones as f64 / (1000.0 * 32.0);
+        assert!((frac - 0.5).abs() < 0.02, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn reference_quarter_round_vector() {
+        // RFC 7539 §2.1.1 test vector.
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for the [`serde_derive`](https://crates.io/crates/serde_derive)
+//! proc-macro crate, written directly against `proc_macro` (the real crate's
+//! dependencies `syn`/`quote` are unavailable without network access).
+//!
+//! Supported input shapes — which cover every `#[derive(Serialize,
+//! Deserialize)]` in this workspace:
+//!
+//! * non-generic **structs with named fields** → serialized as an object;
+//! * non-generic **enums with unit and struct variants** → unit variants
+//!   serialize as the variant-name string, struct variants as a single-key
+//!   object `{"Variant": {fields...}}` (serde's external tagging).
+//!
+//! Tuple structs/variants and generics produce a compile error pointing here,
+//! so a future change that needs them fails loudly instead of misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives the shim `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the shim `serde::Deserialize` (conversion from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let generated = match parse_input(input) {
+        Ok(Input::Struct(parsed)) => match mode {
+            Mode::Serialize => struct_serialize(&parsed),
+            Mode::Deserialize => struct_deserialize(&parsed),
+        },
+        Ok(Input::Enum(parsed)) => match mode {
+            Mode::Serialize => enum_serialize(&parsed),
+            Mode::Deserialize => enum_deserialize(&parsed),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    generated.parse().expect("generated code parses")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn object_literal(fields: &[String], access_prefix: &str) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), serde::Serialize::to_value({access_prefix}{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+            {pushes}\
+            serde::Value::Object(fields) }}"
+    )
+}
+
+fn struct_serialize(parsed: &NamedStruct) -> String {
+    let name = &parsed.name;
+    let body = object_literal(&parsed.fields, "&self.");
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(parsed: &NamedStruct) -> String {
+    let name = &parsed.name;
+    let reads: String = parsed
+        .fields
+        .iter()
+        .map(|f| format!("{f}: serde::__field(value, {f:?})?,\n"))
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 if value.as_object().is_none() {{\n\
+                     return Err(serde::Error::custom(\
+                         format!(\"expected object for struct `{name}`\")));\n\
+                 }}\n\
+                 Ok({name} {{ {reads} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(parsed: &Enum) -> String {
+    let name = &parsed.name;
+    let arms: String = parsed
+        .variants
+        .iter()
+        .map(|variant| {
+            let v = &variant.name;
+            match &variant.fields {
+                None => format!("{name}::{v} => serde::Value::String({v:?}.to_string()),\n"),
+                Some(fields) => {
+                    let bindings = fields.join(", ");
+                    let inner = object_literal(fields, "");
+                    format!(
+                        "{name}::{v} {{ {bindings} }} => serde::Value::Object(vec![\
+                             ({v:?}.to_string(), {inner})]),\n"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(parsed: &Enum) -> String {
+    let name = &parsed.name;
+    let unit_arms: String = parsed
+        .variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| format!("{0:?} => return Ok({name}::{0}),\n", v.name))
+        .collect();
+    let struct_arms: String = parsed
+        .variants
+        .iter()
+        .filter_map(|variant| {
+            let fields = variant.fields.as_ref()?;
+            let v = &variant.name;
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__field(inner, {f:?})?,\n"))
+                .collect();
+            Some(format!("{v:?} => return Ok({name}::{v} {{ {reads} }}),\n"))
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 if let serde::Value::String(tag) = value {{\n\
+                     match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => return Err(serde::Error::custom(\
+                             format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(entries) = value.as_object() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {struct_arms}\
+                             other => return Err(serde::Error::custom(\
+                                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(serde::Error::custom(\
+                     format!(\"expected enum `{name}` as a string or single-key object\")))\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+enum Input {
+    Struct(NamedStruct),
+    Enum(Enum),
+}
+
+struct NamedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+struct Enum {
+    name: String,
+    variants: Vec<Variant>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde shim derive does not support generic type `{name}` \
+                     (see shims/README.md)"
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive does not support tuple struct `{name}` \
+                     (see shims/README.md)"
+                ))
+            }
+            Some(_) => continue,
+            None => return Err(format!("type `{name}` has no body")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct(NamedStruct {
+            fields: parse_named_fields(&name, body.stream())?,
+            name,
+        })),
+        "enum" => Ok(Input::Enum(Enum {
+            variants: parse_variants(&name, body.stream())?,
+            name,
+        })),
+        other => Err(format!(
+            "serde shim derive supports only structs and enums, found `{other}`"
+        )),
+    }
+}
+
+/// Parses `field: Type, ...` from the body of a struct or struct variant.
+fn parse_named_fields(owner: &str, stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(fields),
+            other => return Err(format!("expected field name in `{owner}`, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}` of `{owner}` \
+                     (tuple fields are unsupported, see shims/README.md), found {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // Consume the type up to the next comma at angle-bracket depth 0.
+        // Parenthesized/bracketed sub-trees arrive as single groups, so only
+        // `<`/`>` need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => return Ok(fields),
+            }
+        }
+    }
+}
+
+/// Parses `Variant, Variant { field: Type, ... }, ...` from an enum body.
+fn parse_variants(owner: &str, stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(variants),
+            other => {
+                return Err(format!(
+                    "expected variant name in enum `{owner}`, found {other:?}"
+                ))
+            }
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                tokens.next();
+                Some(parse_named_fields(&format!("{owner}::{name}"), stream)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive does not support tuple variant `{owner}::{name}` \
+                     (see shims/README.md)"
+                ))
+            }
+            _ => None,
+        };
+        variants.push(Variant {
+            name: name.clone(),
+            fields,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive does not support explicit discriminants in `{owner}`"
+                ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token after variant `{owner}::{name}`: {other:?}"
+                ))
+            }
+            None => return Ok(variants),
+        }
+    }
+}

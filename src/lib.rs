@@ -1,3 +1,6 @@
 //! Workspace root crate: thin re-export of [`bcc_core`] so that examples and
 //! integration tests in this repository have a single import path.
+//!
+//! Start with [`bcc_core::Session`] — the typed, fallible, reusable pipeline
+//! API over the paper's four theorems.
 pub use bcc_core::*;

@@ -1,0 +1,311 @@
+//! Integration tests of the `bcc_core::Session` API: equivalence with the
+//! legacy free functions, typed error paths on malformed input, and the
+//! preprocess-once / solve-many amortization of Theorem 1.3.
+
+use bcc_core::prelude::*;
+use bcc_core::{graph::generators, Error};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+// ---------------------------------------------------------------------------
+// Equivalence: the legacy free functions are wrappers over `Session`, so at
+// equal seeds the results must be bit-identical.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_sparsify_is_bit_identical_to_the_legacy_function() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let graph = generators::random_connected(30, 0.4, 6, &mut rng);
+    for seed in [1u64, 7, 2022] {
+        let (legacy, legacy_report) = bcc_core::spectral_sparsify(&graph, 0.5, seed);
+        let mut session = Session::builder().seed(seed).build();
+        let outcome = session.sparsify(&graph, 0.5).unwrap();
+        assert_eq!(outcome.value.sparsifier, legacy, "seed {seed}");
+        assert_eq!(outcome.report, legacy_report, "seed {seed}");
+    }
+}
+
+#[test]
+fn session_laplacian_is_bit_identical_to_the_legacy_function() {
+    let graph = generators::grid(5, 4);
+    let mut b = vec![0.0; graph.n()];
+    b[0] = 2.0;
+    b[19] = -2.0;
+    for seed in [3u64, 42] {
+        let (legacy, legacy_report) = bcc_core::solve_laplacian_bcc(&graph, &b, 1e-6, seed);
+        let session = Session::builder().seed(seed).build();
+        let mut prepared = session
+            .laplacian(&graph)
+            .epsilon(1e-6)
+            .preprocess()
+            .unwrap();
+        let outcome = prepared.solve(&b).unwrap();
+        assert_eq!(outcome.value.solution, legacy, "seed {seed}");
+        assert_eq!(prepared.report(), legacy_report, "seed {seed}");
+    }
+}
+
+#[test]
+fn session_flow_is_bit_identical_to_the_legacy_function() {
+    let mut rng = ChaCha8Rng::seed_from_u64(55);
+    let instance = generators::random_flow_instance(5, 0.3, 3, &mut rng);
+    let (legacy, legacy_report) = bcc_core::min_cost_max_flow_bcc(&instance, 13);
+    let mut session = Session::builder().seed(13).build();
+    let outcome = session.min_cost_max_flow(&instance).unwrap();
+    assert_eq!(outcome.value.flow, legacy.flow);
+    assert_eq!(outcome.value.fractional, legacy.fractional);
+    assert_eq!(outcome.value.rounds, legacy.rounds);
+    assert_eq!(outcome.report, legacy_report);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: malformed input returns `Err`, never panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disconnected_graph_returns_a_typed_error() {
+    let disconnected = Graph::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+    let session = Session::new();
+    let err = session.laplacian(&disconnected).preprocess().unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Laplacian(bcc_core::laplacian::LaplacianError::Disconnected)
+    ));
+    assert!(err.to_string().contains("connected"));
+}
+
+#[test]
+fn mismatched_rhs_length_returns_a_typed_error() {
+    let graph = generators::grid(3, 3);
+    let session = Session::new();
+    let mut prepared = session.laplacian(&graph).preprocess().unwrap();
+    let err = prepared.solve(&[1.0, -1.0]).unwrap_err();
+    match err {
+        Error::Laplacian(bcc_core::laplacian::LaplacianError::DimensionMismatch {
+            expected,
+            actual,
+        }) => {
+            assert_eq!(expected, 9);
+            assert_eq!(actual, 2);
+        }
+        other => panic!("expected a dimension mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_epsilon_values_return_typed_errors() {
+    let graph = generators::grid(3, 3);
+    let mut session = Session::new();
+    assert!(matches!(
+        session.sparsify(&graph, 0.0),
+        Err(Error::InvalidEpsilon { .. })
+    ));
+    assert!(matches!(
+        session.sparsify(&graph, f64::NAN),
+        Err(Error::InvalidEpsilon { .. })
+    ));
+    let mut prepared = session.laplacian(&graph).preprocess().unwrap();
+    let b = vec![0.0; 9];
+    assert!(matches!(
+        prepared.solve_with_epsilon(&b, 0.9),
+        Err(Error::Laplacian(
+            bcc_core::laplacian::LaplacianError::InvalidEpsilon { .. }
+        ))
+    ));
+}
+
+#[test]
+fn empty_graph_and_empty_instance_return_typed_errors() {
+    let mut session = Session::new();
+    let empty = Graph::new(4);
+    assert!(matches!(
+        session.sparsify(&empty, 0.5),
+        Err(Error::Sparsifier(
+            bcc_core::sparsifier::SparsifierError::EmptyGraph
+        ))
+    ));
+    let instance = FlowInstance::new(DiGraph::new(3), 0, 2);
+    assert!(matches!(
+        session.min_cost_max_flow(&instance),
+        Err(Error::Flow(bcc_core::flow::FlowError::EmptyInstance))
+    ));
+}
+
+#[test]
+fn non_interior_lp_start_returns_a_typed_error() {
+    use bcc_core::linalg::CsrMatrix;
+    let lp = LpInstance {
+        a: CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]),
+        b: vec![1.0],
+        c: vec![0.0, 1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![1.0, 1.0],
+    };
+    let mut session = Session::new();
+    let options = LpOptions::new(1e-3, lp.m(), 1).with_uniform_weights();
+    // On the boundary: not strictly interior.
+    let request = LpRequest::new(vec![1.0, 0.0], options.clone());
+    assert!(matches!(
+        session.lp(&lp, &request),
+        Err(Error::Lp(bcc_core::lp::LpError::NotInterior))
+    ));
+    // Interior but off the equality manifold.
+    let request = LpRequest::new(vec![0.4, 0.4], options.clone());
+    assert!(matches!(
+        session.lp(&lp, &request),
+        Err(Error::Lp(bcc_core::lp::LpError::InfeasibleStart { .. }))
+    ));
+    // A malformed instance (inverted bounds).
+    let mut bad = lp.clone();
+    bad.lower[0] = 2.0;
+    let request = LpRequest::new(vec![0.5, 0.5], options);
+    assert!(matches!(
+        session.lp(&bad, &request),
+        Err(Error::Lp(bcc_core::lp::LpError::MalformedInstance(_)))
+    ));
+}
+
+#[test]
+fn nan_demand_vector_is_rejected_not_solved() {
+    use bcc_core::linalg::CsrMatrix;
+    let lp = LpInstance {
+        a: CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]),
+        b: vec![f64::NAN],
+        c: vec![0.0, 1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![1.0, 1.0],
+    };
+    let mut session = Session::new();
+    let options = LpOptions::new(1e-3, lp.m(), 1).with_uniform_weights();
+    let request = LpRequest::new(vec![0.5, 0.5], options);
+    // NaN data must be rejected up front, not flow through the solver as a
+    // NaN "solution" (`norm_inf` ignores NaN, so the residual gate alone
+    // would not catch it).
+    assert!(matches!(
+        session.lp(&lp, &request),
+        Err(Error::Lp(bcc_core::lp::LpError::MalformedInstance(_)))
+    ));
+}
+
+#[test]
+fn session_lp_solves_a_valid_instance() {
+    use bcc_core::linalg::CsrMatrix;
+    let lp = LpInstance {
+        a: CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]),
+        b: vec![1.0],
+        c: vec![0.0, 1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![1.0, 1.0],
+    };
+    let mut session = Session::new();
+    let options = LpOptions::new(1e-3, lp.m(), 1).with_uniform_weights();
+    let request = LpRequest::new(vec![0.5, 0.5], options);
+    let outcome = session.lp(&lp, &request).unwrap();
+    assert!(lp.is_feasible(&outcome.value.x, 1e-6));
+    assert!(outcome.value.objective < 5e-3);
+    assert!(outcome.report.has_phase("lp solve"));
+}
+
+// ---------------------------------------------------------------------------
+// Amortization: preprocess once, solve many.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn solve_many_amortizes_one_preprocessing_over_the_batch() {
+    let graph = generators::grid(5, 5);
+    let session = Session::builder().seed(9).build();
+
+    // Serve a batch of four right-hand sides off one preprocessing pass.
+    let mut prepared = session
+        .laplacian(&graph)
+        .epsilon(1e-6)
+        .preprocess()
+        .unwrap();
+    let preprocessing = prepared.preprocessing_report().clone();
+    let preprocessing_rounds = preprocessing.total_rounds;
+    assert!(preprocessing_rounds > 0);
+
+    let batch: Vec<Vec<f64>> = (1..5)
+        .map(|k| {
+            let mut b = vec![0.0; graph.n()];
+            b[0] = 1.0;
+            b[graph.n() - k] = -1.0;
+            b
+        })
+        .collect();
+    let outcome = prepared.solve_many(&batch).unwrap();
+    assert_eq!(outcome.value.len(), 4);
+    assert_eq!(prepared.solves(), 4);
+
+    // The batch outcome's report covers the solves alone — preprocessing
+    // does not leak into per-request metering.
+    let phases: Vec<_> = outcome.report.phase_names().collect();
+    assert_eq!(phases, vec!["laplacian solve"]);
+    let solve_rounds = outcome.report.total_rounds;
+    assert!(solve_rounds > 0);
+
+    // The handle's cumulative ledger charges the preprocessing phases exactly
+    // once: every phase charged during preprocessing has identical stats
+    // after the batch, and the only growth is the per-solve phase.
+    let cumulative = prepared.report();
+    for (name, stats) in &preprocessing.breakdown {
+        assert_eq!(
+            cumulative.phase(name),
+            Some(*stats),
+            "preprocessing phase {name} must be charged exactly once"
+        );
+    }
+    assert_eq!(
+        cumulative.total_rounds,
+        preprocessing_rounds + solve_rounds,
+        "every charged round is either preprocessing (once) or per-solve"
+    );
+
+    // Each additional solve is far cheaper than preprocessing…
+    assert!(solve_rounds / 4 < preprocessing_rounds);
+    // …and every solution meets the accuracy contract.
+    for (b, solve) in batch.iter().zip(&outcome.value) {
+        assert!(prepared.solver().relative_error(b, &solve.solution) < 1e-5);
+    }
+}
+
+#[test]
+fn round_reports_round_trip_through_json_for_cost_telemetry() {
+    let mut session = Session::builder().seed(5).build();
+    let graph = generators::complete(10);
+    let outcome = session.sparsify(&graph, 0.5).unwrap();
+    assert!(!outcome.report.breakdown.is_empty());
+
+    let json = serde_json::to_string(&outcome.report).unwrap();
+    let back: RoundReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outcome.report);
+
+    // Pretty output (the future BENCH_*.json shape) round-trips too.
+    let pretty = serde_json::to_string_pretty(&session.cumulative_report()).unwrap();
+    let back: RoundReport = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(back, session.cumulative_report());
+}
+
+#[test]
+fn solve_many_matches_sequential_solves_bit_for_bit() {
+    let graph = generators::grid(4, 4);
+    let session = Session::builder().seed(21).build();
+    let batch: Vec<Vec<f64>> = (0..3)
+        .map(|k| {
+            let mut b = vec![0.0; graph.n()];
+            b[k] = 1.0;
+            b[15 - k] = -1.0;
+            b
+        })
+        .collect();
+
+    let mut many = session.laplacian(&graph).preprocess().unwrap();
+    let batched = many.solve_many(&batch).unwrap();
+
+    let mut sequential = session.laplacian(&graph).preprocess().unwrap();
+    for (b, from_batch) in batch.iter().zip(&batched.value) {
+        let solo = sequential.solve(b).unwrap();
+        assert_eq!(solo.value.solution, from_batch.solution);
+    }
+    assert_eq!(sequential.report(), many.report());
+}
