@@ -13,7 +13,7 @@ use bcc_graph::FlowInstance;
 use bcc_laplacian::{solve_sdd, SddMatrix, SddSolveMode};
 use bcc_linalg::CsrMatrix;
 use bcc_lp::gram::GramSolver;
-use bcc_lp::{try_lp_solve, LpOptions, WeightStrategy};
+use bcc_lp::{try_lp_solve, LpError, LpOptions, WeightStrategy};
 use bcc_runtime::Network;
 
 use crate::baselines::IntegralFlow;
@@ -61,7 +61,7 @@ impl Default for McmfOptions {
 }
 
 /// Result of the Broadcast Congested Clique min-cost max-flow computation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McmfResult {
     /// The exact integral min-cost max-flow (after rounding).
     pub flow: IntegralFlow,
@@ -105,7 +105,13 @@ impl SddGramSolver {
 }
 
 impl GramSolver for SddGramSolver {
-    fn solve(&self, net: &mut Network, a: &CsrMatrix, d: &[f64], y: &[f64]) -> Vec<f64> {
+    fn solve(
+        &self,
+        net: &mut Network,
+        a: &CsrMatrix,
+        d: &[f64],
+        y: &[f64],
+    ) -> Result<Vec<f64>, LpError> {
         // Assemble AᵀDA as symmetric triplets. For the Section-5 matrix this
         // is B·D₁·Bᵀ + D₂ + D₃ + e_t·D₄·e_tᵀ — diagonally dominant with
         // non-positive off-diagonals (Lemma 5.1); assembling it row-by-row
@@ -123,9 +129,14 @@ impl GramSolver for SddGramSolver {
                 }
             }
         }
-        let matrix = SddMatrix::from_triplets(n, triplets)
-            .expect("AᵀDA of the flow LP is symmetric diagonally dominant");
-        solve_sdd(net, &matrix, y, self.precision, &self.mode)
+        // Lemma 5.1 guarantees diagonal dominance for the Section-5 flow LP;
+        // on a general LP the precondition can fail, which surfaces as a
+        // typed error the LP driver propagates instead of a panic.
+        let matrix = SddMatrix::from_triplets(n, triplets).map_err(|e| LpError::GramSolve {
+            solver: self.name(),
+            message: format!("AᵀDA is not symmetric diagonally dominant: {e}"),
+        })?;
+        Ok(solve_sdd(net, &matrix, y, self.precision, &self.mode))
     }
 
     fn name(&self) -> &'static str {
@@ -271,9 +282,29 @@ mod tests {
         let y = gram.matvec(&x_true);
         let mut net = Network::clique(ModelConfig::bcc(), inst.graph.n());
         let solver = SddGramSolver::new(1e-9);
-        let x = solver.solve(&mut net, &flow_lp.lp.a, &d, &y);
+        let x = solver.solve(&mut net, &flow_lp.lp.a, &d, &y).unwrap();
         assert!(bcc_linalg::vector::approx_eq(&x, &x_true, 1e-4), "{x:?}");
         assert_eq!(solver.name(), "gremban-laplacian");
+    }
+
+    #[test]
+    fn sdd_gram_solver_rejects_non_sdd_systems_with_a_typed_error() {
+        // A single row (1, 2) makes AᵀDA = [[1, 2], [2, 4]]: row 0 has
+        // diagonal 1 < off-diagonal sum 2, so the matrix is not diagonally
+        // dominant and the reduction's precondition fails.
+        let a = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 2.0)]);
+        let mut net = Network::clique(ModelConfig::bcc(), 2);
+        let solver = SddGramSolver::new(1e-9);
+        let err = solver
+            .solve(&mut net, &a, &[1.0], &[1.0, -1.0])
+            .unwrap_err();
+        match err {
+            LpError::GramSolve { solver, message } => {
+                assert_eq!(solver, "gremban-laplacian");
+                assert!(message.contains("diagonally dominant"), "{message}");
+            }
+            other => panic!("expected a GramSolve error, got {other:?}"),
+        }
     }
 
     #[test]

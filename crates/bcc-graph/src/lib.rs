@@ -10,6 +10,8 @@
 //!   graphs (the input of the minimum cost maximum flow problem).
 //! * [`laplacian`] — matrix-free Laplacian and incidence operators
 //!   (`L = Bᵀ W B`, Section 2.2 of the paper).
+//! * [`fingerprint`] — deterministic, edge-order-independent 128-bit graph
+//!   digests used as cache keys by batch-serving layers.
 //! * [`generators`] — deterministic and seeded-random graph families used by
 //!   the experiments in EXPERIMENTS.md.
 //! * [`traversal`] — centralized BFS/Dijkstra ground truth used for
@@ -30,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod digraph;
+pub mod fingerprint;
 pub mod generators;
 pub mod graph;
 pub mod laplacian;
 pub mod traversal;
 
 pub use digraph::{Arc, DiGraph, FlowInstance};
+pub use fingerprint::{fingerprint, GraphFingerprint};
 pub use graph::{Edge, Graph};

@@ -1,0 +1,137 @@
+//! Property tests of the graph fingerprint: equal graphs fingerprint equally,
+//! the digest ignores edge order and orientation, and any weight or topology
+//! perturbation produces a distinct digest.
+
+use bcc_graph::{fingerprint, Graph};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random weighted edge list on `n` vertices (possibly with parallel
+/// edges, as sparsifiers produce them).
+fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(usize, usize, f64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n - 1);
+            if v >= u {
+                v += 1;
+            }
+            let w = 0.25 + rng.gen::<f64>() * 4.0;
+            (u, v, w)
+        })
+        .collect()
+}
+
+/// Fisher–Yates shuffle driven by a seeded generator.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn equal_edge_multisets_fingerprint_equally(
+        n in 2usize..24,
+        m in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let edges = random_edges(n, m, seed);
+        let a = Graph::from_edges(n, edges.clone());
+        let b = Graph::from_edges(n, edges);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_is_edge_order_and_orientation_independent(
+        n in 2usize..24,
+        m in 1usize..40,
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let edges = random_edges(n, m, seed);
+        let reference = Graph::from_edges(n, edges.clone());
+        // Shuffle the insertion order and flip every edge's orientation.
+        let permuted: Vec<(usize, usize, f64)> = shuffled(&edges, shuffle_seed)
+            .into_iter()
+            .map(|(u, v, w)| (v, u, w))
+            .collect();
+        let reordered = Graph::from_edges(n, permuted);
+        prop_assert_eq!(fingerprint(&reference), fingerprint(&reordered));
+    }
+
+    #[test]
+    fn weight_perturbation_changes_the_fingerprint(
+        n in 2usize..24,
+        m in 1usize..40,
+        seed in any::<u64>(),
+        which in 0usize..40,
+        bump in 1u64..1_000_000,
+    ) {
+        let edges = random_edges(n, m, seed);
+        let base = Graph::from_edges(n, edges.clone());
+        // Perturb one weight by a representable amount (ULP stepping keeps
+        // the new weight finite, positive and distinct).
+        let mut perturbed = edges;
+        let target = which % perturbed.len();
+        let old = perturbed[target].2;
+        perturbed[target].2 = f64::from_bits(old.to_bits() + bump);
+        prop_assert!(perturbed[target].2 != old);
+        let changed = Graph::from_edges(n, perturbed);
+        prop_assert!(fingerprint(&base) != fingerprint(&changed));
+    }
+
+    #[test]
+    fn edge_change_changes_the_fingerprint(
+        n in 3usize..24,
+        m in 1usize..40,
+        seed in any::<u64>(),
+        which in 0usize..40,
+    ) {
+        let edges = random_edges(n, m, seed);
+        let base = Graph::from_edges(n, edges.clone());
+
+        // Dropping an edge changes the multiset, hence the digest.
+        let mut dropped = edges.clone();
+        dropped.remove(which % edges.len());
+        let smaller = Graph::from_edges(n, dropped);
+        prop_assert!(fingerprint(&base) != fingerprint(&smaller));
+
+        // Rewiring an endpoint of one edge changes the digest too.
+        let mut rewired = edges.clone();
+        let target = which % edges.len();
+        let (u, v, w) = rewired[target];
+        let mut v2 = (v + 1) % n;
+        if v2 == u {
+            v2 = (v2 + 1) % n;
+        }
+        rewired[target] = (u, v2, w);
+        let moved = Graph::from_edges(n, rewired);
+        // The rewired multiset differs unless an identical parallel edge
+        // already existed at the new location AND one at the old location —
+        // rule that out by comparing canonical multisets first.
+        let canon = |g: &Graph| {
+            let mut c: Vec<(usize, usize, u64)> = g
+                .edges()
+                .iter()
+                .map(|e| {
+                    let (a, b) = e.key();
+                    (a, b, e.weight.to_bits())
+                })
+                .collect();
+            c.sort_unstable();
+            c
+        };
+        if canon(&base) != canon(&moved) {
+            prop_assert!(fingerprint(&base) != fingerprint(&moved));
+        }
+    }
+}

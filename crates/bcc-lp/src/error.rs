@@ -17,6 +17,16 @@ pub enum LpError {
         /// The `‖Aᵀx₀ − b‖_∞` residual observed.
         residual: f64,
     },
+    /// The inner `(AᵀDA)⁻¹` oracle rejected a system — e.g. the Gram matrix
+    /// routed through the Gremban/Laplacian reduction is not symmetric
+    /// diagonally dominant (the reduction's precondition, Lemma 5.1), or a
+    /// dense solve found it singular.
+    GramSolve {
+        /// The [`crate::GramSolver::name`] of the failing oracle.
+        solver: &'static str,
+        /// What the oracle rejected.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for LpError {
@@ -28,6 +38,9 @@ impl std::fmt::Display for LpError {
                 f,
                 "x0 must satisfy the equality constraints (residual {residual})"
             ),
+            LpError::GramSolve { solver, message } => {
+                write!(f, "gram solver `{solver}` rejected a system: {message}")
+            }
         }
     }
 }
@@ -45,5 +58,11 @@ mod tests {
         assert!(LpError::NotInterior.to_string().contains("interior"));
         let err = LpError::InfeasibleStart { residual: 0.25 };
         assert!(err.to_string().contains("0.25"));
+        let err = LpError::GramSolve {
+            solver: "gremban-laplacian",
+            message: "row 3 is not diagonally dominant".into(),
+        };
+        assert!(err.to_string().contains("gremban-laplacian"));
+        assert!(err.to_string().contains("row 3"));
     }
 }

@@ -10,6 +10,8 @@
 use bcc_linalg::{CsrMatrix, DenseMatrix};
 use bcc_runtime::{payload, Network};
 
+use crate::error::LpError;
+
 /// `M = diag(d)·A` for a sparse `A` and positive diagonal `d` (length `m`).
 ///
 /// This is the shape of every matrix the LP solver needs: the rescaled
@@ -83,7 +85,21 @@ pub trait GramSolver {
     /// Solves `(Aᵀ·diag(d)·A) x = y`.
     ///
     /// `d` has length `m` (strictly positive), `y` length `n`.
-    fn solve(&self, net: &mut Network, a: &CsrMatrix, d: &[f64], y: &[f64]) -> Vec<f64>;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::GramSolve`] when the oracle's structural
+    /// precondition fails — e.g. `AᵀDA` is not symmetric diagonally dominant
+    /// for a solver routing through the Gremban/Laplacian reduction, or the
+    /// Gram matrix is singular for a dense solver. The LP driver propagates
+    /// the error instead of panicking.
+    fn solve(
+        &self,
+        net: &mut Network,
+        a: &CsrMatrix,
+        d: &[f64],
+        y: &[f64],
+    ) -> Result<Vec<f64>, LpError>;
 
     /// A short description used in experiment reports.
     fn name(&self) -> &'static str {
@@ -114,7 +130,13 @@ impl DenseGramSolver {
 }
 
 impl GramSolver for DenseGramSolver {
-    fn solve(&self, net: &mut Network, a: &CsrMatrix, d: &[f64], y: &[f64]) -> Vec<f64> {
+    fn solve(
+        &self,
+        net: &mut Network,
+        a: &CsrMatrix,
+        d: &[f64],
+        y: &[f64],
+    ) -> Result<Vec<f64>, LpError> {
         assert_eq!(d.len(), a.rows(), "dimension mismatch");
         assert_eq!(y.len(), a.cols(), "dimension mismatch");
         let bits = u64::from(payload::bits_for_real(1e9, 1e-9));
@@ -124,7 +146,10 @@ impl GramSolver for DenseGramSolver {
         let gram = a.gram_with_diagonal(d);
         gram.solve(y)
             .or_else(|| gram.solve_psd(y, false))
-            .expect("Gram matrix of a full-rank constraint matrix is invertible")
+            .ok_or_else(|| LpError::GramSolve {
+                solver: self.name(),
+                message: "AᵀDA is singular (rank-deficient constraint matrix)".into(),
+            })
     }
 
     fn name(&self) -> &'static str {
@@ -192,7 +217,7 @@ mod tests {
         let mut net = Network::clique(ModelConfig::bcc(), 4);
         let x_true = vec![2.0, -3.0];
         let y = dense_gram(&a, &d).matvec(&x_true);
-        let x = solver.solve(&mut net, &a, &d, &y);
+        let x = solver.solve(&mut net, &a, &d, &y).unwrap();
         assert!(vector::approx_eq(&x, &x_true, 1e-9));
         assert!(net.ledger().total_rounds() > 0);
         assert_eq!(solver.name(), "dense");

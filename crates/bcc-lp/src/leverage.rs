@@ -14,6 +14,7 @@
 use bcc_linalg::{DenseMatrix, JlSketch, SketchKind};
 use bcc_runtime::{Network, SharedRandomness};
 
+use crate::error::LpError;
 use crate::gram::{GramSolver, ScaledMatrix};
 
 /// Parameters of the leverage-score approximation.
@@ -44,12 +45,16 @@ impl LeverageOptions {
 /// Charges on `net`: one leader election plus the broadcast of `Θ(log² m)`
 /// shared bits, and `k` rounds of (matrix product + Gram solve), the latter
 /// through `gram_solver`.
+///
+/// # Errors
+///
+/// Propagates [`LpError::GramSolve`] from the inner `(AᵀDA)⁻¹` oracle.
 pub fn compute_leverage_scores(
     net: &mut Network,
     m: &ScaledMatrix<'_>,
     options: &LeverageOptions,
     gram_solver: &dyn GramSolver,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, LpError> {
     assert!(
         options.eta > 0.0 && options.eta < 1.0,
         "eta must lie in (0, 1)"
@@ -77,13 +82,13 @@ pub fn compute_leverage_scores(
         // p(j) = M (MᵀM)⁻¹ Mᵀ Q(j), evaluated right to left.
         let q_row = sketch.row(j);
         let mt_q = m.apply_transpose(&q_row);
-        let solved = gram_solver.solve(net, m.a(), &gram_scales, &mt_q);
+        let solved = gram_solver.solve(net, m.a(), &gram_scales, &mt_q)?;
         let p_j = m.apply(&solved);
         for (s, v) in sigma.iter_mut().zip(&p_j) {
             *s += v * v;
         }
     }
-    sigma
+    Ok(sigma)
 }
 
 /// Exact leverage scores via a dense pseudo-inverse (ground truth for tests
@@ -165,7 +170,8 @@ mod tests {
         let exact = exact_leverage_scores(&m);
         let mut net = Network::clique(ModelConfig::bcc(), 6);
         let options = LeverageOptions::new(0.5, 77);
-        let approx = compute_leverage_scores(&mut net, &m, &options, &DenseGramSolver::new());
+        let approx =
+            compute_leverage_scores(&mut net, &m, &options, &DenseGramSolver::new()).unwrap();
         // Average relative error well within the JL distortion.
         let mut total_rel = 0.0;
         for (e, ap) in exact.iter().zip(&approx) {
@@ -189,8 +195,9 @@ mod tests {
             max_sketch_dimension: Some(4),
             ..full
         };
-        let _ = compute_leverage_scores(&mut full_net, &m, &full, &DenseGramSolver::new());
-        let _ = compute_leverage_scores(&mut capped_net, &m, &capped, &DenseGramSolver::new());
+        let _ = compute_leverage_scores(&mut full_net, &m, &full, &DenseGramSolver::new()).unwrap();
+        let _ =
+            compute_leverage_scores(&mut capped_net, &m, &capped, &DenseGramSolver::new()).unwrap();
         assert!(capped_net.ledger().total_rounds() < full_net.ledger().total_rounds());
     }
 

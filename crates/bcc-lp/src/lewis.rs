@@ -21,6 +21,7 @@
 
 use bcc_runtime::Network;
 
+use crate::error::LpError;
 use crate::gram::{GramSolver, ScaledMatrix};
 use crate::leverage::{compute_leverage_scores, exact_leverage_scores, LeverageOptions};
 
@@ -74,7 +75,7 @@ fn leverage_of(
     options: &LewisOptions,
     gram_solver: &dyn GramSolver,
     call_index: usize,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, LpError> {
     // σ(W^{1/2 − 1/p} M): scale the rows of M by w_i^{1/2 − 1/p}.
     let exponent = 0.5 - 1.0 / options.p;
     let scales: Vec<f64> = m
@@ -85,7 +86,7 @@ fn leverage_of(
         .collect();
     let rescaled = ScaledMatrix::new(m.a(), scales);
     if options.exact_leverage {
-        exact_leverage_scores(&rescaled)
+        Ok(exact_leverage_scores(&rescaled))
     } else {
         let lev_options = LeverageOptions {
             eta: options.eta,
@@ -101,37 +102,45 @@ fn leverage_of(
 /// Computes the regularized `ℓ_p` Lewis weights `g = w_p(M) + n/(2m)` of
 /// `M = diag(d)·A` by damped fixed-point iteration started at the leverage
 /// scores of `M`.
+///
+/// # Errors
+///
+/// Propagates [`LpError::GramSolve`] from the leverage-score computation.
 pub fn regularized_lewis_weights(
     net: &mut Network,
     m: &ScaledMatrix<'_>,
     options: &LewisOptions,
     gram_solver: &dyn GramSolver,
-) -> Vec<f64> {
-    let raw = lewis_weights(net, m, options, gram_solver);
+) -> Result<Vec<f64>, LpError> {
+    let raw = lewis_weights(net, m, options, gram_solver)?;
     let c0 = regularization_constant(m.n(), m.m());
-    raw.into_iter().map(|w| w + c0).collect()
+    Ok(raw.into_iter().map(|w| w + c0).collect())
 }
 
 /// Computes (unregularized) `ℓ_p` Lewis weights by damped fixed-point
 /// iteration.
+///
+/// # Errors
+///
+/// Propagates [`LpError::GramSolve`] from the leverage-score computation.
 pub fn lewis_weights(
     net: &mut Network,
     m: &ScaledMatrix<'_>,
     options: &LewisOptions,
     gram_solver: &dyn GramSolver,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, LpError> {
     assert!(
         options.p > 0.0 && options.p < 4.0,
         "the fixed point contracts only for p in (0, 4)"
     );
     net.begin_phase("lewis weights");
     // Start from the leverage scores of M itself (the p = 2 weights).
-    let mut w: Vec<f64> = leverage_of(net, m, &vec![1.0; m.m()], options, gram_solver, 0)
+    let mut w: Vec<f64> = leverage_of(net, m, &vec![1.0; m.m()], options, gram_solver, 0)?
         .into_iter()
         .map(|s| s.clamp(1e-12, 1.0))
         .collect();
     for iteration in 0..options.iterations {
-        let sigma = leverage_of(net, m, &w, options, gram_solver, iteration + 1);
+        let sigma = leverage_of(net, m, &w, options, gram_solver, iteration + 1)?;
         // Damped multiplicative update: w ← (w^{?}σ)… the undamped fixed point
         // is w = σ(W^{1/2−1/p}M); take a half-step in log space for stability.
         for (wi, si) in w.iter_mut().zip(&sigma) {
@@ -139,20 +148,24 @@ pub fn lewis_weights(
             *wi = (wi.ln() * 0.5 + target.ln() * 0.5).exp();
         }
     }
-    w
+    Ok(w)
 }
 
 /// Algorithm 7 (`ComputeApxWeights`): the damped update clipped to the
 /// multiplicative trust region `(1 ± r)·w⁽⁰⁾`. Valid when
 /// `‖(w⁽⁰⁾)⁻¹(w_p(M) − w⁽⁰⁾)‖_∞` is already small (Lemma 4.6); the LP solver
 /// uses it for the per-step weight refresh ablation.
+///
+/// # Errors
+///
+/// Propagates [`LpError::GramSolve`] from the leverage-score computation.
 pub fn compute_apx_weights(
     net: &mut Network,
     m: &ScaledMatrix<'_>,
     w0: &[f64],
     options: &LewisOptions,
     gram_solver: &dyn GramSolver,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, LpError> {
     assert_eq!(w0.len(), m.m(), "one initial weight per row expected");
     let p = options.p;
     let big_l = 4.0f64.max(8.0 / p);
@@ -163,7 +176,7 @@ pub fn compute_apx_weights(
     let mut w = w0.to_vec();
     net.begin_phase("apx weights");
     for j in 0..iterations {
-        let sigma = leverage_of(net, m, &w, options, gram_solver, j + 100);
+        let sigma = leverage_of(net, m, &w, options, gram_solver, j + 100)?;
         for i in 0..w.len() {
             let lo = (1.0 - r) * w0[i];
             let hi = (1.0 + r) * w0[i];
@@ -171,7 +184,7 @@ pub fn compute_apx_weights(
             w[i] = bcc_linalg::vector::median3_scalar(lo, step, hi);
         }
     }
-    w
+    Ok(w)
 }
 
 /// The fixed-point residual `‖w − σ(W^{1/2−1/p}M)‖_∞ / ‖w‖_∞` — a measure of
@@ -241,7 +254,8 @@ mod tests {
         let m = ScaledMatrix::new(&a, vec![1.0; 18]);
         let p = paper_exponent(18);
         let mut net = Network::clique(ModelConfig::bcc(), 4);
-        let w = lewis_weights(&mut net, &m, &exact_options(18, p), &DenseGramSolver::new());
+        let w =
+            lewis_weights(&mut net, &m, &exact_options(18, p), &DenseGramSolver::new()).unwrap();
         let residual = fixed_point_residual(&m, &w, p);
         assert!(residual < 0.05, "residual {residual}");
     }
@@ -254,11 +268,13 @@ mod tests {
         let m = ScaledMatrix::new(&a, vec![1.0; 25]);
         let p = paper_exponent(25);
         let mut net = Network::clique(ModelConfig::bcc(), 5);
-        let w = lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new());
+        let w =
+            lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new()).unwrap();
         let sum: f64 = w.iter().sum();
         assert!(sum > 2.0 && sum < 10.0, "sum = {sum}");
         let g =
-            regularized_lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new());
+            regularized_lewis_weights(&mut net, &m, &exact_options(25, p), &DenseGramSolver::new())
+                .unwrap();
         let reg_sum: f64 = g.iter().sum();
         assert!(
             (reg_sum - (sum + 2.5)).abs() < 1.0,
@@ -277,7 +293,8 @@ mod tests {
             &m,
             &exact_options(15, 2.0),
             &DenseGramSolver::new(),
-        );
+        )
+        .unwrap();
         let sigma = exact_leverage_scores(&m);
         for (wi, si) in w.iter().zip(&sigma) {
             assert!((wi - si).abs() < 1e-3, "{wi} vs {si}");
@@ -290,14 +307,16 @@ mod tests {
         let m = ScaledMatrix::new(&a, vec![1.0; 20]);
         let p = paper_exponent(20);
         let mut net = Network::clique(ModelConfig::bcc(), 4);
-        let exact = lewis_weights(&mut net, &m, &exact_options(20, p), &DenseGramSolver::new());
+        let exact =
+            lewis_weights(&mut net, &m, &exact_options(20, p), &DenseGramSolver::new()).unwrap();
         let sketched_options = LewisOptions {
             exact_leverage: false,
             eta: 0.2,
             iterations: 15,
             ..exact_options(20, p)
         };
-        let sketched = lewis_weights(&mut net, &m, &sketched_options, &DenseGramSolver::new());
+        let sketched =
+            lewis_weights(&mut net, &m, &sketched_options, &DenseGramSolver::new()).unwrap();
         let mean_rel: f64 = exact
             .iter()
             .zip(&sketched)
@@ -314,12 +333,13 @@ mod tests {
         let p = paper_exponent(16);
         let mut net = Network::clique(ModelConfig::bcc(), 4);
         // Start from the true weights: the clipped update must stay nearby.
-        let w0 = lewis_weights(&mut net, &m, &exact_options(16, p), &DenseGramSolver::new());
+        let w0 =
+            lewis_weights(&mut net, &m, &exact_options(16, p), &DenseGramSolver::new()).unwrap();
         let options = LewisOptions {
             iterations: 5,
             ..exact_options(16, p)
         };
-        let w = compute_apx_weights(&mut net, &m, &w0, &options, &DenseGramSolver::new());
+        let w = compute_apx_weights(&mut net, &m, &w0, &options, &DenseGramSolver::new()).unwrap();
         let r = p * p * (4.0 - p) / 2.0f64.powi(20);
         for (wi, w0i) in w.iter().zip(&w0) {
             assert!(*wi >= (1.0 - r) * w0i - 1e-12);

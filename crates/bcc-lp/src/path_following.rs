@@ -15,6 +15,7 @@ use bcc_linalg::vector;
 use bcc_runtime::{payload, Network};
 
 use crate::barrier::BarrierSystem;
+use crate::error::LpError;
 use crate::gram::{GramSolver, ScaledMatrix};
 use crate::instance::LpInstance;
 
@@ -74,6 +75,10 @@ pub struct CenteringOutcome {
 ///
 /// Returns the new iterate and the centrality measure; the weight refresh is
 /// performed by the caller (strategy-dependent).
+///
+/// # Errors
+///
+/// Propagates [`LpError::GramSolve`] from the inner `(AᵀDA)⁻¹` oracle.
 pub fn centering_step(
     net: &mut Network,
     instance: &LpInstance,
@@ -83,7 +88,7 @@ pub fn centering_step(
     t: f64,
     cost: &[f64],
     gram_solver: &dyn GramSolver,
-) -> CenteringOutcome {
+) -> Result<CenteringOutcome, LpError> {
     let m = instance.m();
     assert_eq!(x.len(), m);
     assert_eq!(w.len(), m);
@@ -113,7 +118,7 @@ pub fn centering_step(
     let at_y = ax.apply_transpose(&y);
     // Gram diagonal: A_xᵀ W⁻¹ A_x = Aᵀ diag(1/(wᵢ·φ''ᵢ)) A.
     let gram_diag: Vec<f64> = (0..m).map(|i| 1.0 / (w[i] * phi2[i])).collect();
-    let z = gram_solver.solve(net, &instance.a, &gram_diag, &at_y);
+    let z = gram_solver.solve(net, &instance.a, &gram_diag, &at_y)?;
     let ax_z = ax.apply(&z);
     let projected: Vec<f64> = (0..m).map(|i| y[i] - ax_z[i] / w[i]).collect();
 
@@ -139,11 +144,11 @@ pub fn centering_step(
         step *= 0.5;
         damped = true;
     }
-    CenteringOutcome {
+    Ok(CenteringOutcome {
         x: x_new,
         delta,
         damped,
-    }
+    })
 }
 
 /// The path-following driver (Algorithm 10): repeatedly center, then move `t`
@@ -152,6 +157,11 @@ pub fn centering_step(
 /// `refresh_weights` is called after every accepted Newton step with the new
 /// iterate and the current weights and must return the refreshed weights (the
 /// caller encodes the weight strategy and charges its own communication).
+///
+/// # Errors
+///
+/// Propagates [`LpError::GramSolve`] from the centering steps and from the
+/// weight refresh.
 #[allow(clippy::too_many_arguments)]
 pub fn path_following(
     net: &mut Network,
@@ -164,8 +174,8 @@ pub fn path_following(
     cost: &[f64],
     options: &PathOptions,
     gram_solver: &dyn GramSolver,
-    mut refresh_weights: impl FnMut(&mut Network, &[f64], &[f64]) -> Vec<f64>,
-) -> (Vec<f64>, Vec<f64>, PathStats) {
+    mut refresh_weights: impl FnMut(&mut Network, &[f64], &[f64]) -> Result<Vec<f64>, LpError>,
+) -> Result<(Vec<f64>, Vec<f64>, PathStats), LpError> {
     assert!(
         t_start > 0.0 && t_end > 0.0,
         "path parameters must be positive"
@@ -178,11 +188,11 @@ pub fn path_following(
         // Center at the current t.
         let mut centering_steps = 0;
         loop {
-            let outcome = centering_step(net, instance, barriers, &x, &w, t, cost, gram_solver);
+            let outcome = centering_step(net, instance, barriers, &x, &w, t, cost, gram_solver)?;
             stats.newton_steps += 1;
             stats.gram_solves += 1;
             x = outcome.x;
-            w = refresh_weights(net, &x, &w);
+            w = refresh_weights(net, &x, &w)?;
             centering_steps += 1;
             if outcome.delta <= options.centering_tolerance
                 || centering_steps >= options.max_centering_steps
@@ -209,7 +219,7 @@ pub fn path_following(
         };
         stats.path_iterations += 1;
     }
-    (x, w, stats)
+    Ok((x, w, stats))
 }
 
 #[cfg(test)]
@@ -246,7 +256,8 @@ mod tests {
             0.1,
             &lp.c,
             &DenseGramSolver::new(),
-        );
+        )
+        .unwrap();
         let residual = lp.equality_residual(&outcome.x);
         assert!(residual[0].abs() < 1e-9, "residual {residual:?}");
         assert!(barriers.in_domain(&outcome.x));
@@ -272,7 +283,8 @@ mod tests {
                 1e-6,
                 &lp.c,
                 &DenseGramSolver::new(),
-            );
+            )
+            .unwrap();
             deltas.push(out.delta);
             x = out.x;
         }
@@ -301,8 +313,9 @@ mod tests {
             &lp.c,
             &options,
             &DenseGramSolver::new(),
-            |_, _, w| w.to_vec(),
-        );
+            |_, _, w| Ok(w.to_vec()),
+        )
+        .unwrap();
         // Optimum is (1, 0); with t_end = 2000 the gap is ≈ m/t ≈ 1e-3.
         assert!(x[1] < 0.01, "x = {x:?}");
         assert!(x[0] > 0.99);
@@ -332,8 +345,9 @@ mod tests {
             &lp.c,
             &options,
             &DenseGramSolver::new(),
-            |_, _, w| w.to_vec(),
-        );
+            |_, _, w| Ok(w.to_vec()),
+        )
+        .unwrap();
         assert!(stats.newton_steps <= 5);
     }
 }

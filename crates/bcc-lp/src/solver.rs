@@ -51,9 +51,9 @@ impl WeightStrategy {
         barriers: &BarrierSystem,
         x0: &[f64],
         gram_solver: &dyn GramSolver,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, LpError> {
         match self {
-            WeightStrategy::Uniform => vec![1.0; instance.m()],
+            WeightStrategy::Uniform => Ok(vec![1.0; instance.m()]),
             WeightStrategy::RegularizedLewis { options } => {
                 let phi2 = barriers.hessian(x0);
                 let scales: Vec<f64> = phi2.iter().map(|v| 1.0 / v.sqrt()).collect();
@@ -72,12 +72,12 @@ impl WeightStrategy {
         current: &[f64],
         sweeps: usize,
         gram_solver: &dyn GramSolver,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, LpError> {
         match self {
-            WeightStrategy::Uniform => current.to_vec(),
+            WeightStrategy::Uniform => Ok(current.to_vec()),
             WeightStrategy::RegularizedLewis { options } => {
                 if sweeps == 0 {
-                    return current.to_vec();
+                    return Ok(current.to_vec());
                 }
                 let refresh_options = LewisOptions {
                     iterations: sweeps,
@@ -126,7 +126,7 @@ impl LpOptions {
 }
 
 /// Result of [`lp_solve`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LpSolution {
     /// The returned feasible point `x ∈ Ω°` with `cᵀx ≤ OPT + ε` (up to the
     /// laboratory constants).
@@ -162,6 +162,8 @@ impl LpSolution {
 /// * [`LpError::MalformedInstance`] — inconsistent dimensions or bounds.
 /// * [`LpError::NotInterior`] — `x0` is not strictly inside the box bounds.
 /// * [`LpError::InfeasibleStart`] — `Aᵀx0 ≠ b` beyond a small tolerance.
+/// * [`LpError::GramSolve`] — the inner `(AᵀDA)⁻¹` oracle rejected a system
+///   (e.g. a non-SDD Gram matrix routed through the Gremban reduction).
 pub fn try_lp_solve(
     net: &mut Network,
     instance: &LpInstance,
@@ -183,7 +185,7 @@ pub fn try_lp_solve(
     ) {
         return Err(LpError::InfeasibleStart { residual });
     }
-    Ok(lp_solve_unchecked(net, instance, x0, options, gram_solver))
+    lp_solve_unchecked(net, instance, x0, options, gram_solver)
 }
 
 /// Panicking variant of [`try_lp_solve`], kept for the pre-`Session` API.
@@ -208,7 +210,7 @@ fn lp_solve_unchecked(
     x0: &[f64],
     options: &LpOptions,
     gram_solver: &dyn GramSolver,
-) -> LpSolution {
+) -> Result<LpSolution, LpError> {
     let rounds_before = net.ledger().total_rounds();
     net.begin_phase("lp solve");
 
@@ -219,7 +221,7 @@ fn lp_solve_unchecked(
     // Initial weights and the auxiliary cost d = −g(x₀)∘φ'(x₀).
     let w0 = options
         .strategy
-        .initial_weights(net, instance, &barriers, x0, gram_solver);
+        .initial_weights(net, instance, &barriers, x0, gram_solver)?;
     let phi1 = barriers.gradient(x0);
     let d: Vec<f64> = w0.iter().zip(&phi1).map(|(wi, gi)| -wi * gi).collect();
 
@@ -244,7 +246,7 @@ fn lp_solve_unchecked(
         &options.path,
         gram_solver,
         |net, x, w| strategy.refresh(net, instance, &barriers, x, w, sweeps, gram_solver),
-    );
+    )?;
 
     // Phase 2: from t1 up to t2 with the real cost.
     let (x_final, _w_final, phase2) = path_following(
@@ -259,15 +261,15 @@ fn lp_solve_unchecked(
         &options.path,
         gram_solver,
         |net, x, w| strategy.refresh(net, instance, &barriers, x, w, sweeps, gram_solver),
-    );
+    )?;
 
-    LpSolution {
+    Ok(LpSolution {
         objective: instance.objective(&x_final),
         x: x_final,
         phase1,
         phase2,
         rounds: net.ledger().total_rounds() - rounds_before,
-    }
+    })
 }
 
 #[cfg(test)]

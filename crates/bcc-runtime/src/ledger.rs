@@ -106,6 +106,28 @@ impl RoundLedger {
         self.order.iter().map(String::as_str)
     }
 
+    /// Merges one externally accumulated phase into this ledger: adds
+    /// `stats` to the named phase (creating it at the end of the phase order
+    /// if new) and to the totals, counting `stats.operations` operations.
+    ///
+    /// This is the primitive batch-serving layers use to fold a snapshot
+    /// report (a list of `(phase, stats)` pairs produced by a worker on its
+    /// own ledger) back into a cumulative ledger without access to the
+    /// worker's `RoundLedger` itself.
+    pub fn charge_phase(&mut self, name: &str, stats: PhaseStats) {
+        if !self.phases.contains_key(name) {
+            self.phases.insert(name.to_owned(), PhaseStats::default());
+            self.order.push(name.to_owned());
+        }
+        let mine = self.phases.get_mut(name).expect("phase just inserted");
+        mine.rounds += stats.rounds;
+        mine.bits += stats.bits;
+        mine.operations += stats.operations;
+        self.total.rounds += stats.rounds;
+        self.total.bits += stats.bits;
+        self.total.operations += stats.operations;
+    }
+
     /// Merges another ledger into this one (phase-wise addition). Useful when
     /// sub-algorithms run on their own [`crate::Network`] clone.
     pub fn absorb(&mut self, other: &RoundLedger) {
@@ -191,6 +213,36 @@ mod tests {
         assert_eq!(a.phase_stats("x").unwrap().rounds, 3);
         assert_eq!(a.phase_stats("y").unwrap().rounds, 3);
         assert_eq!(a.total_rounds(), 6);
+    }
+
+    #[test]
+    fn charge_phase_merges_external_stats() {
+        let mut ledger = RoundLedger::new();
+        ledger.begin_phase("solve");
+        ledger.charge(2, 20);
+        ledger.charge_phase(
+            "solve",
+            PhaseStats {
+                rounds: 3,
+                bits: 30,
+                operations: 2,
+            },
+        );
+        ledger.charge_phase(
+            "preprocess",
+            PhaseStats {
+                rounds: 1,
+                bits: 5,
+                operations: 1,
+            },
+        );
+        assert_eq!(ledger.phase_stats("solve").unwrap().rounds, 5);
+        assert_eq!(ledger.phase_stats("solve").unwrap().operations, 3);
+        assert_eq!(ledger.phase_stats("preprocess").unwrap().bits, 5);
+        assert_eq!(ledger.total_rounds(), 6);
+        assert_eq!(ledger.total_operations(), 4);
+        let names: Vec<_> = ledger.phase_names().collect();
+        assert_eq!(names, vec!["solve", "preprocess"]);
     }
 
     #[test]

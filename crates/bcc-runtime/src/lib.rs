@@ -53,4 +53,4 @@ pub use ledger::{PhaseStats, RoundLedger};
 pub use model::{ceil_log2, Model, ModelConfig};
 pub use network::{Network, Topology};
 pub use payload::{Field, Message, MessageSize};
-pub use shared_rand::{vertex_rng, SharedRandomness};
+pub use shared_rand::{splitmix64, vertex_rng, SharedRandomness};

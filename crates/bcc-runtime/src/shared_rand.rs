@@ -35,13 +35,20 @@ use crate::network::Network;
 /// assert_ne!(x, c.gen::<u64>());
 /// ```
 pub fn vertex_rng(master_seed: u64, vertex: usize) -> ChaCha8Rng {
-    // Mix the vertex id into the seed with a splitmix64-style finalizer so
-    // that consecutive vertices get unrelated streams.
-    let mut z = master_seed ^ (vertex as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Mix the vertex id into the seed so that consecutive vertices get
+    // unrelated streams.
+    let z = splitmix64(master_seed ^ (vertex as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    ChaCha8Rng::seed_from_u64(z)
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mix turning structured
+/// `(master, index)` combinations into unrelated seeds. Shared by
+/// [`vertex_rng`] and the batch engine's per-request seed derivation so the
+/// mixing constants live in exactly one place.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    ChaCha8Rng::seed_from_u64(z)
+    z ^ (z >> 31)
 }
 
 /// A polylogarithmic pool of random bits sampled by a leader vertex and

@@ -1,9 +1,28 @@
-//! Experiment runner: regenerates the tables recorded in EXPERIMENTS.md.
+//! Experiment runner: regenerates the tables recorded in EXPERIMENTS.md and
+//! the machine-readable `BENCH_*.json` cost trajectories.
 //!
-//! Usage: `cargo run -p bench --release --bin expts -- [e1|e2|...|e10|a1|a2|all] [--full]`
+//! Usage:
+//!   `cargo run -p bench --release --bin expts -- [e1|e2|...|e11|a1|a2|all] [--full]`
+//!   `cargo run -p bench --release --bin expts -- --quick-json`  (CI)
+//!   `cargo run -p bench --release --bin expts -- --full-json`
+//!
+//! The `--*-json` modes write `BENCH_pipelines.json` and `BENCH_batch.json`
+//! to the repository root (schema documented in `bench::trajectory`) and
+//! print the written paths.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick_json = args.iter().any(|a| a == "--quick-json");
+    let full_json = args.iter().any(|a| a == "--full-json");
+    if quick_json || full_json {
+        let root = bench::trajectory::repo_root();
+        let written = bench::trajectory::write_bench_json(&root, 2022, quick_json)
+            .unwrap_or_else(|e| panic!("writing BENCH_*.json failed: {e}"));
+        for path in written {
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
     let quick = !args.iter().any(|a| a == "--full");
     let ids: Vec<&str> = args
         .iter()

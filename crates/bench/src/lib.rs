@@ -1,11 +1,20 @@
 //! Experiment harness for EXPERIMENTS.md.
 //!
-//! Every experiment id (E1–E10, A1–A2) from DESIGN.md §5 has a function here
+//! Every experiment id (E1–E11, A1–A2) from DESIGN.md §5 has a function here
 //! that generates its workload, runs the algorithms and returns printable
 //! rows. The `expts` binary prints them as tables; the Criterion benches in
 //! `benches/` wrap the same functions for timing.
+//!
+//! Machine-readable cost trajectories live in [`trajectory`]: running
+//! `cargo run -p bench --release --bin expts -- --quick-json` (or
+//! `--full-json`) writes `BENCH_pipelines.json` and `BENCH_batch.json` to the
+//! repository root. The JSON schemas are documented in [`trajectory`] and
+//! golden-snapshot-tested so downstream consumers can rely on the field
+//! names across PRs.
 
 #![forbid(unsafe_code)]
+
+pub mod trajectory;
 
 use bcc_core::prelude::*;
 use bcc_core::{graph::generators, linalg::vector};
@@ -338,7 +347,8 @@ pub fn e6_leverage(seed: u64) -> Table {
             &scaled,
             &options,
             &bcc_core::lp::DenseGramSolver::new(),
-        );
+        )
+        .expect("dense gram solves of a full-rank sketch matrix succeed");
         let rels: Vec<f64> = exact
             .iter()
             .zip(&approx)
@@ -565,6 +575,45 @@ pub fn e10_pipeline(seed: u64) -> Table {
     table
 }
 
+/// E11 — batch serving: one mixed workload served by the `BatchEngine` cold
+/// (every distinct topology pays sparsifier preprocessing) and warm (the
+/// fingerprint-keyed cache serves every prepared solver), with the
+/// amortization visible in the round totals.
+pub fn e11_batch(seed: u64, quick: bool) -> Table {
+    let mut table = Table::new(
+        "E11",
+        "Batch engine: cold vs warm cache on one mixed workload (rounds, cache traffic)",
+        &[
+            "run",
+            "requests",
+            "failures",
+            "cache hits",
+            "cache misses",
+            "preprocessing rounds",
+            "total rounds",
+        ],
+    );
+    let t = trajectory::batch_trajectory(seed, quick);
+    for (name, report) in [("cold", &t.cold), ("warm", &t.warm)] {
+        let preprocessing: u64 = report
+            .preprocessing
+            .iter()
+            .filter(|p| !p.cached)
+            .map(|p| p.report.total_rounds)
+            .sum();
+        table.push(vec![
+            name.into(),
+            report.requests.to_string(),
+            report.failures.to_string(),
+            report.cache_hits.to_string(),
+            report.cache_misses.to_string(),
+            preprocessing.to_string(),
+            report.total.total_rounds.to_string(),
+        ]);
+    }
+    table
+}
+
 /// A1 — ablation: fixed `t` (Kyng et al.) vs growing `t` (original Koutis–Xu)
 /// bundle sizes.
 pub fn a1_bundle_ablation(seed: u64) -> Table {
@@ -601,7 +650,7 @@ pub fn a1_bundle_ablation(seed: u64) -> Table {
     table
 }
 
-/// Runs an experiment by its identifier ("e1" … "e10", "a1", "a2", "all"),
+/// Runs an experiment by its identifier ("e1" … "e11", "a1", "a2", "all"),
 /// using quick default parameters.
 pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
     let seed = 2022;
@@ -627,11 +676,12 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         )],
         "e9" => vec![e9_flow(if quick { &[5, 6] } else { &[5, 6, 8] }, seed)],
         "e10" => vec![e10_pipeline(seed)],
+        "e11" => vec![e11_batch(seed, quick)],
         "a1" => vec![a1_bundle_ablation(seed)],
         "all" => {
             let mut tables = Vec::new();
             for id in [
-                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1",
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1",
             ] {
                 tables.extend(run_experiment(id, quick));
             }

@@ -1,0 +1,314 @@
+//! Machine-readable `BENCH_*.json` cost trajectories.
+//!
+//! The experiment tables in [`crate`] are human-readable; serving systems and
+//! CI want the same round/bit accounting as JSON. This module emits two files
+//! into the repository root (see `write_bench_json`):
+//!
+//! * **`BENCH_pipelines.json`** — `Vec<PipelinePoint>`: one point per
+//!   (pipeline, instance size), each carrying the structured
+//!   [`RoundReport`] of that run. The cost *trajectory* of a pipeline is the
+//!   sequence of its points in instance-size order.
+//! * **`BENCH_batch.json`** — a [`BatchTrajectory`]: the full
+//!   [`BatchReport`] of one mixed batch served twice by a
+//!   [`bcc_core::BatchEngine`] (cold cache, then warm cache), demonstrating
+//!   the preprocessing amortization across requests.
+//!
+//! # Schema (`bcc-bench/v1`)
+//!
+//! `BENCH_pipelines.json` is a JSON array of objects with fields
+//! `{schema, pipeline, n, m, seed, total_rounds, total_bits,
+//! total_operations, report}`, where `report` is a serialized
+//! [`RoundReport`]: `{total_rounds, total_bits, total_operations,
+//! breakdown: [[phase, {rounds, bits, operations}], ...]}`.
+//!
+//! `BENCH_batch.json` is an object `{schema, seed, workers, cold, warm}`
+//! where `cold` and `warm` are serialized [`BatchReport`]s
+//! (`bcc-batch-report/v1`, see `bcc_core::batch`); `cold` pays every
+//! preprocessing, `warm` reuses the fingerprint-keyed cache.
+//!
+//! Field names in both files are covered by golden-snapshot tests
+//! (`tests/batch.rs` in the workspace root), so consumers may rely on them
+//! across PRs; incompatible changes bump the `schema` tags.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use bcc_core::batch::{BatchEngine, BatchReport, Request};
+use bcc_core::graph::generators;
+use bcc_core::prelude::*;
+use bcc_core::RoundReport;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag of every `BENCH_*.json` artifact this module writes.
+pub const BENCH_SCHEMA: &str = "bcc-bench/v1";
+
+/// One measured point of a pipeline's cost trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinePoint {
+    /// Schema tag (`"bcc-bench/v1"`).
+    pub schema: String,
+    /// Pipeline name: `sparsify`, `laplacian`, `lp` or `mcmf`.
+    pub pipeline: String,
+    /// Vertex count of the instance (constraint count for `lp`).
+    pub n: u64,
+    /// Edge count of the instance (variable count for `lp`).
+    pub m: u64,
+    /// Session seed of the run.
+    pub seed: u64,
+    /// Total rounds charged.
+    pub total_rounds: u64,
+    /// Total bits charged.
+    pub total_bits: u64,
+    /// Total communication operations.
+    pub total_operations: u64,
+    /// Full per-phase breakdown of the run.
+    pub report: RoundReport,
+}
+
+/// The `BENCH_batch.json` payload: one batch served cold, then warm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchTrajectory {
+    /// Schema tag (`"bcc-bench/v1"`).
+    pub schema: String,
+    /// Master seed of the engine.
+    pub seed: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// The first run: every distinct fingerprint pays preprocessing.
+    pub cold: BatchReport,
+    /// The second run of the same workload: preprocessing served from cache.
+    pub warm: BatchReport,
+}
+
+fn point(pipeline: &str, n: usize, m: usize, seed: u64, report: RoundReport) -> PipelinePoint {
+    PipelinePoint {
+        schema: BENCH_SCHEMA.to_string(),
+        pipeline: pipeline.to_string(),
+        n: n as u64,
+        m: m as u64,
+        seed,
+        total_rounds: report.total_rounds,
+        total_bits: report.total_bits,
+        total_operations: report.total_operations,
+        report,
+    }
+}
+
+/// Measures the cost trajectories of all four pipelines over growing
+/// instances (`quick` shrinks the instance list for CI).
+pub fn pipelines_trajectory(seed: u64, quick: bool) -> Vec<PipelinePoint> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut points = Vec::new();
+
+    // Theorem 1.2 — sparsify complete graphs.
+    let sparsify_sizes: &[usize] = if quick { &[12, 18] } else { &[12, 18, 26, 36] };
+    for &n in sparsify_sizes {
+        let g = generators::complete(n);
+        let mut session = Session::builder().seed(seed).build();
+        let outcome = session
+            .sparsify(&g, 0.5)
+            .expect("complete graph sparsifies");
+        points.push(point("sparsify", g.n(), g.m(), seed, outcome.report));
+    }
+
+    // Theorem 1.3 — preprocess + 3 solves on growing grids; the report is the
+    // prepared handle's cumulative cost (preprocessing charged once).
+    let grid_sides: &[usize] = if quick { &[4, 5] } else { &[4, 5, 6, 8] };
+    for &side in grid_sides {
+        let g = generators::grid(side, side);
+        let session = Session::builder().seed(seed).build();
+        let mut prepared = session
+            .laplacian(&g)
+            .preprocess()
+            .expect("grids are connected");
+        for k in 1..=3 {
+            let mut b = vec![0.0; g.n()];
+            b[0] = 1.0;
+            b[g.n() - k] = -1.0;
+            prepared.solve(&b).expect("well-formed right-hand side");
+        }
+        points.push(point("laplacian", g.n(), g.m(), seed, prepared.report()));
+    }
+
+    // Theorem 1.4 — the simple box LP at growing variable counts via chained
+    // unit-demand constraints.
+    let lp_vars: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    for &vars in lp_vars {
+        let triplets: Vec<(usize, usize, f64)> = (0..vars).map(|i| (i, i / 2, 1.0)).collect();
+        let constraints = vars.div_ceil(2);
+        let lp = LpInstance {
+            a: bcc_core::linalg::CsrMatrix::from_triplets(vars, constraints, &triplets),
+            b: vec![1.0; constraints],
+            c: (0..vars).map(|i| (i % 2) as f64).collect(),
+            lower: vec![0.0; vars],
+            upper: vec![1.0; vars],
+        };
+        let request = bcc_core::LpRequest::new(
+            vec![0.5; vars],
+            LpOptions::new(1e-3, lp.m(), seed).with_uniform_weights(),
+        );
+        let mut session = Session::builder().seed(seed).build();
+        let outcome = session.lp(&lp, &request).expect("interior start");
+        points.push(point("lp", lp.n(), lp.m(), seed, outcome.report));
+    }
+
+    // Theorem 1.1 — min-cost max-flow on random instances.
+    let flow_sizes: &[usize] = if quick { &[5] } else { &[5, 6, 8] };
+    for &n in flow_sizes {
+        let instance = generators::random_flow_instance(n, 0.3, 3, &mut rng);
+        let mut session = Session::builder().seed(seed).build();
+        let outcome = session
+            .min_cost_max_flow(&instance)
+            .expect("generated instances are non-empty");
+        points.push(point(
+            "mcmf",
+            instance.graph.n(),
+            instance.graph.m(),
+            seed,
+            outcome.report,
+        ));
+    }
+
+    points
+}
+
+/// The mixed workload of the batch experiment: Laplacian solves on a few
+/// repeated topologies (exercising the fingerprint cache) plus sparsify and
+/// flow traffic.
+pub fn batch_workload(seed: u64, quick: bool) -> Vec<Request> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBA7C);
+    let mut requests = Vec::new();
+    let grids: Vec<_> = if quick { vec![4, 5] } else { vec![4, 5, 6] };
+    let solves_per_grid = if quick { 4 } else { 8 };
+    for side in grids {
+        let g = generators::grid(side, side);
+        for k in 1..=solves_per_grid {
+            let mut b = vec![0.0; g.n()];
+            b[k % g.n()] = 1.0;
+            b[g.n() - 1 - (k % g.n())] -= 1.0;
+            if b.iter().all(|v| *v == 0.0) {
+                b[0] = 1.0;
+                b[g.n() - 1] = -1.0;
+            }
+            requests.push(Request::laplacian(g.clone(), b));
+        }
+    }
+    requests.push(Request::sparsify(generators::complete(14), 0.5));
+    requests.push(Request::sparsify(generators::complete(18), 1.0));
+    requests.push(Request::min_cost_max_flow(
+        generators::random_flow_instance(5, 0.3, 3, &mut rng),
+    ));
+    requests
+}
+
+/// Runs the batch experiment: the same workload served cold then warm by one
+/// engine, so the two [`BatchReport`]s exhibit the cache amortization.
+pub fn batch_trajectory(seed: u64, quick: bool) -> BatchTrajectory {
+    let requests = batch_workload(seed, quick);
+    let mut engine = BatchEngine::builder().seed(seed).build();
+    let cold = engine.run(&requests);
+    let warm = engine.run(&requests);
+    BatchTrajectory {
+        schema: BENCH_SCHEMA.to_string(),
+        seed,
+        workers: engine.workers() as u64,
+        cold: cold.report,
+        warm: warm.report,
+    }
+}
+
+/// Writes `BENCH_pipelines.json` and `BENCH_batch.json` into `dir`, returning
+/// the written paths. Each file is verified to parse back before returning.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a file that does not round-trip through the
+/// JSON parser is reported as [`io::ErrorKind::InvalidData`].
+pub fn write_bench_json(dir: &Path, seed: u64, quick: bool) -> io::Result<Vec<PathBuf>> {
+    let mut written = Vec::new();
+
+    let pipelines = pipelines_trajectory(seed, quick);
+    let path = dir.join("BENCH_pipelines.json");
+    let json = serde_json::to_string_pretty(&pipelines)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, format!("{json}\n"))?;
+    let back: Vec<PipelinePoint> = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if back != pipelines {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "BENCH_pipelines.json did not round-trip",
+        ));
+    }
+    written.push(path);
+
+    let batch = batch_trajectory(seed, quick);
+    let path = dir.join("BENCH_batch.json");
+    let json = serde_json::to_string_pretty(&batch)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, format!("{json}\n"))?;
+    let back: BatchTrajectory = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if back != batch {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "BENCH_batch.json did not round-trip",
+        ));
+    }
+    written.push(path);
+
+    Ok(written)
+}
+
+/// The repository root (two levels above this crate's manifest), where the
+/// `BENCH_*.json` artifacts live.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_trajectory_covers_all_four_pipelines() {
+        let points = pipelines_trajectory(7, true);
+        for pipeline in ["sparsify", "laplacian", "lp", "mcmf"] {
+            let of_kind: Vec<_> = points.iter().filter(|p| p.pipeline == pipeline).collect();
+            assert!(!of_kind.is_empty(), "missing {pipeline} points");
+            for p in of_kind {
+                assert_eq!(p.schema, BENCH_SCHEMA);
+                assert!(p.total_rounds > 0);
+                assert_eq!(p.total_rounds, p.report.total_rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_trajectory_shows_the_cache_amortization() {
+        let t = batch_trajectory(7, true);
+        assert_eq!(t.schema, BENCH_SCHEMA);
+        assert_eq!(t.cold.requests, t.warm.requests);
+        assert_eq!(t.cold.failures, 0);
+        assert!(t.cold.cache_misses > 0, "cold run pays preprocessing");
+        assert_eq!(t.warm.cache_misses, 0, "warm run is fully cached");
+        assert!(
+            t.warm.total.total_rounds < t.cold.total.total_rounds,
+            "the warm batch must be cheaper than the cold one"
+        );
+    }
+
+    #[test]
+    fn write_bench_json_round_trips_into_a_temp_dir() {
+        let dir = std::env::temp_dir().join("bcc-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let written = write_bench_json(&dir, 7, true).unwrap();
+        assert_eq!(written.len(), 2);
+        for path in written {
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.contains("bcc-bench/v1"), "{path:?} missing schema tag");
+        }
+    }
+}

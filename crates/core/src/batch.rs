@@ -1,0 +1,724 @@
+//! Batch serving of pipeline requests — a concurrent engine on top of
+//! [`Session`].
+//!
+//! A [`BatchEngine`] accepts a queue of heterogeneous [`Request`]s (one per
+//! paper pipeline: sparsify / Laplacian solve / LP / min-cost max-flow),
+//! executes them across a pool of scoped worker threads and routes every
+//! Laplacian solve through a **sharded cache of [`PreparedLaplacian`]
+//! handles keyed by the deterministic graph fingerprint** of
+//! [`bcc_graph::fingerprint`] — so repeated solves on the same topology pay
+//! the sparsifier preprocessing of Theorem 1.3 once across the whole batch,
+//! no matter which worker serves them.
+//!
+//! # Determinism contract
+//!
+//! Scheduling never leaks into results. Each request runs on its own
+//! [`Session`] whose seed is a pure function of the engine's master seed and
+//! the request index ([`BatchEngine::request_seed`]), and Laplacian
+//! preprocessing is seeded by the master seed alone (that is exactly what
+//! makes it shareable across the batch). Concretely, [`BatchEngine::run`] is
+//! bit-identical to this sequential loop:
+//!
+//! ```text
+//! for (i, request) in requests.iter().enumerate() {
+//!     match request {
+//!         // sparsify / lp / min-cost max-flow:
+//!         _ => Session::builder().model(model).seed(engine.request_seed(i))
+//!             .epsilon(epsilon).build().serve(request),
+//!         // laplacian solve: one prepared handle per distinct graph,
+//!         // preprocessed at the master seed, solves in index order:
+//!         Laplacian { graph, b, .. } => prepared_for(graph).solve(b),
+//!     }
+//! }
+//! ```
+//!
+//! `tests/batch.rs` enforces this equivalence for all four pipelines.
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_core::batch::{BatchEngine, Request};
+//! use bcc_core::graph::generators;
+//!
+//! let grid = generators::grid(4, 4);
+//! let mut b1 = vec![0.0; grid.n()];
+//! b1[0] = 1.0;
+//! b1[15] = -1.0;
+//! let mut b2 = vec![0.0; grid.n()];
+//! b2[3] = 1.0;
+//! b2[12] = -1.0;
+//!
+//! let mut engine = BatchEngine::builder().seed(2022).build();
+//! let output = engine.run(&[
+//!     Request::laplacian(grid.clone(), b1),
+//!     Request::laplacian(grid.clone(), b2), // same graph: preprocessing cached
+//!     Request::sparsify(generators::complete(12), 0.5),
+//! ]);
+//! assert!(output.results.iter().all(|r| r.is_ok()));
+//! // The two solves share one preprocessing pass.
+//! assert_eq!(output.report.preprocessing.len(), 1);
+//! assert_eq!(output.report.cache_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use bcc_flow::{McmfOptions, McmfResult};
+use bcc_graph::{fingerprint, FlowInstance, Graph, GraphFingerprint};
+use bcc_laplacian::LaplacianSolve;
+use bcc_lp::{LpInstance, LpSolution};
+use bcc_runtime::{ModelConfig, RoundLedger};
+use bcc_sparsifier::SparsifierOutput;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::report::RoundReport;
+use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
+
+/// One pipeline request in a batch.
+// Requests are queue items, not hot-loop values: the size skew between an
+// LP instance and a sparsify request does not matter at this granularity.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Theorem 1.2 — compute a `(1 ± ε)`-spectral sparsifier.
+    Sparsify {
+        /// The input graph.
+        graph: Graph,
+        /// Target accuracy `ε`.
+        epsilon: f64,
+    },
+    /// Theorem 1.3 — solve `L_G x = b`. Preprocessing is shared across the
+    /// batch through the fingerprint-keyed cache.
+    Laplacian {
+        /// The input graph (the cache key is its fingerprint).
+        graph: Graph,
+        /// The right-hand side.
+        b: Vec<f64>,
+        /// Per-solve accuracy; `None` uses the engine default.
+        epsilon: Option<f64>,
+    },
+    /// Theorem 1.4 — solve a linear program.
+    Lp {
+        /// The LP instance.
+        instance: LpInstance,
+        /// Starting point, options and Gram-solver choice.
+        request: LpRequest,
+    },
+    /// Theorem 1.1 — exact min-cost max-flow.
+    MinCostMaxFlow {
+        /// The flow instance.
+        instance: FlowInstance,
+        /// Explicit options; `None` derives laboratory options from the
+        /// request seed.
+        options: Option<McmfOptions>,
+    },
+}
+
+impl Request {
+    /// A sparsify request.
+    pub fn sparsify(graph: Graph, epsilon: f64) -> Self {
+        Request::Sparsify { graph, epsilon }
+    }
+
+    /// A Laplacian-solve request at the engine's default accuracy.
+    pub fn laplacian(graph: Graph, b: Vec<f64>) -> Self {
+        Request::Laplacian {
+            graph,
+            b,
+            epsilon: None,
+        }
+    }
+
+    /// A Laplacian-solve request at an explicit accuracy.
+    pub fn laplacian_with_epsilon(graph: Graph, b: Vec<f64>, epsilon: f64) -> Self {
+        Request::Laplacian {
+            graph,
+            b,
+            epsilon: Some(epsilon),
+        }
+    }
+
+    /// An LP request.
+    pub fn lp(instance: LpInstance, request: LpRequest) -> Self {
+        Request::Lp { instance, request }
+    }
+
+    /// A min-cost max-flow request with laboratory options.
+    pub fn min_cost_max_flow(instance: FlowInstance) -> Self {
+        Request::MinCostMaxFlow {
+            instance,
+            options: None,
+        }
+    }
+
+    /// The request's pipeline name, as recorded in [`RequestCost::kind`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Sparsify { .. } => "sparsify",
+            Request::Laplacian { .. } => "laplacian",
+            Request::Lp { .. } => "lp",
+            Request::MinCostMaxFlow { .. } => "mcmf",
+        }
+    }
+}
+
+/// The value computed by one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of a [`Request::Sparsify`].
+    Sparsify(SparsifierOutput),
+    /// Result of a [`Request::Laplacian`].
+    Laplacian(LaplacianSolve),
+    /// Result of a [`Request::Lp`].
+    Lp(LpSolution),
+    /// Result of a [`Request::MinCostMaxFlow`].
+    MinCostMaxFlow(McmfResult),
+}
+
+impl Response {
+    /// The sparsifier output, if this is a sparsify response.
+    pub fn as_sparsify(&self) -> Option<&SparsifierOutput> {
+        match self {
+            Response::Sparsify(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The Laplacian solve, if this is a Laplacian response.
+    pub fn as_laplacian(&self) -> Option<&LaplacianSolve> {
+        match self {
+            Response::Laplacian(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The LP solution, if this is an LP response.
+    pub fn as_lp(&self) -> Option<&LpSolution> {
+        match self {
+            Response::Lp(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The flow result, if this is a min-cost max-flow response.
+    pub fn as_min_cost_max_flow(&self) -> Option<&McmfResult> {
+        match self {
+            Response::MinCostMaxFlow(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Cost accounting of one distinct Laplacian preprocessing in a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessingCost {
+    /// Hex form of the graph fingerprint keying the cache entry.
+    pub fingerprint: String,
+    /// Number of requests in this batch routed through the entry.
+    pub requests: u64,
+    /// Whether the entry predated this batch (its preprocessing was charged
+    /// by an earlier batch and is *not* part of this report's totals).
+    pub cached: bool,
+    /// Communication cost of the preprocessing stage (sparsifier build).
+    pub report: RoundReport,
+}
+
+/// Cost accounting of one request in a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestCost {
+    /// Position in the submitted batch.
+    pub index: u64,
+    /// Pipeline name ([`Request::kind`]).
+    pub kind: String,
+    /// The derived per-request seed ([`BatchEngine::request_seed`]).
+    pub seed: u64,
+    /// Hex fingerprint of the request's graph (Laplacian requests only).
+    pub fingerprint: Option<String>,
+    /// Whether the request reused a prepared solver built for an earlier
+    /// request (or an earlier batch) instead of paying preprocessing itself.
+    pub cache_hit: bool,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// The display form of the error, for failed requests.
+    pub error: Option<String>,
+    /// Communication cost of this request alone (for Laplacian requests:
+    /// the solve, excluding shared preprocessing). Zero for failed requests:
+    /// partial work preceding a typed error is discarded, not metered.
+    pub report: RoundReport,
+}
+
+/// Aggregated, serializable accounting of one [`BatchEngine::run`] — the
+/// payload of the `BENCH_batch.json` trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Schema tag consumers can dispatch on (`"bcc-batch-report/v1"`).
+    pub schema: String,
+    /// Number of requests in the batch.
+    pub requests: u64,
+    /// Number of failed requests.
+    pub failures: u64,
+    /// Laplacian requests that reused a prepared solver.
+    pub cache_hits: u64,
+    /// Laplacian requests that paid preprocessing (first occurrence of a
+    /// fingerprint not seen in any earlier batch).
+    pub cache_misses: u64,
+    /// Total *accounted* communication cost of the batch: every successful
+    /// request's report plus each *newly built* preprocessing charged exactly
+    /// once. Failed requests contribute zero — the rounds a failing pipeline
+    /// spent before its typed error surface nowhere, because they stay on the
+    /// worker session that is discarded with the error (see
+    /// [`RequestCost::report`]).
+    pub total: RoundReport,
+    /// Per-distinct-fingerprint preprocessing costs, in first-use order.
+    pub preprocessing: Vec<PreprocessingCost>,
+    /// Per-request costs, in submission order.
+    pub per_request: Vec<RequestCost>,
+}
+
+/// The version tag written into [`BatchReport::schema`].
+pub const BATCH_REPORT_SCHEMA: &str = "bcc-batch-report/v1";
+
+/// Everything a batch run returns: the per-request results in submission
+/// order plus the aggregated [`BatchReport`].
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// One result per request, in submission order. Failures are isolated:
+    /// one malformed request does not poison the others.
+    pub results: Vec<Result<Outcome<Response>, Error>>,
+    /// Aggregated accounting of the run.
+    pub report: BatchReport,
+}
+
+/// Builder of a [`BatchEngine`].
+#[derive(Debug, Clone)]
+pub struct BatchEngineBuilder {
+    model: ModelConfig,
+    seed: u64,
+    epsilon: f64,
+    workers: Option<usize>,
+    shards: usize,
+}
+
+impl Default for BatchEngineBuilder {
+    fn default() -> Self {
+        BatchEngineBuilder {
+            model: ModelConfig::bcc(),
+            seed: 2022,
+            epsilon: 1e-6,
+            workers: None,
+            shards: 16,
+        }
+    }
+}
+
+impl BatchEngineBuilder {
+    /// Sets the clique model configuration of the worker sessions.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the master seed per-request seeds are derived from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the default solve accuracy of the worker sessions.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the worker-thread count (default: the machine's available
+    /// parallelism, capped at 8). A count of 1 degenerates to a sequential
+    /// loop — useful to observe the determinism contract directly.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the number of cache shards (default 16).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Copies model, seed and epsilon from an existing [`Session`], so the
+    /// engine serves exactly what that session would serve.
+    pub fn from_session(self, session: &Session) -> Self {
+        self.model(session.model())
+            .seed(session.seed())
+            .epsilon(session.epsilon())
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> BatchEngine {
+        let workers = self.workers.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(4)
+        });
+        BatchEngine {
+            model: self.model,
+            seed: self.seed,
+            epsilon: self.epsilon,
+            workers,
+            cache: (0..self.shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            ledger: RoundLedger::new(),
+        }
+    }
+}
+
+/// A cache entry: the prepared handle (or the typed preprocessing error,
+/// which is served to every request on that graph) plus its preprocessing
+/// cost snapshot.
+type CacheEntry = (Result<PreparedLaplacian, Error>, RoundReport);
+
+/// A concurrent batch server for the paper's four pipelines with a sharded,
+/// fingerprint-keyed [`PreparedLaplacian`] cache. See the [module
+/// documentation](self) for the determinism contract.
+#[derive(Debug)]
+pub struct BatchEngine {
+    model: ModelConfig,
+    seed: u64,
+    epsilon: f64,
+    workers: usize,
+    cache: Vec<Mutex<HashMap<u128, CacheEntry>>>,
+    ledger: RoundLedger,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        BatchEngine::builder().build()
+    }
+}
+
+impl BatchEngine {
+    /// Starts a builder with laboratory defaults (BCC model, seed 2022,
+    /// `ε = 1e-6`, 16 shards).
+    pub fn builder() -> BatchEngineBuilder {
+        BatchEngineBuilder::default()
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of prepared Laplacian solvers currently cached (including
+    /// cached preprocessing failures).
+    pub fn cached_graphs(&self) -> usize {
+        self.cache
+            .iter()
+            .map(|s| s.lock().expect("shard").len())
+            .sum()
+    }
+
+    /// Drops every cached prepared solver.
+    pub fn clear_cache(&mut self) {
+        for shard in &mut self.cache {
+            shard.get_mut().expect("shard").clear();
+        }
+    }
+
+    /// The deterministic seed of request `index`: a splitmix64 finalizer over
+    /// the master seed and the index. A sequential [`Session`] seeded with
+    /// this value reproduces the batch result of the request bit for bit
+    /// (Laplacian preprocessing uses the master seed instead — it is shared
+    /// across the whole batch).
+    pub fn request_seed(&self, index: usize) -> u64 {
+        bcc_runtime::splitmix64(
+            self.seed
+                .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    /// Cumulative communication cost of every batch this engine served
+    /// (per-request costs plus each preprocessing charged exactly once).
+    pub fn cumulative_report(&self) -> RoundReport {
+        RoundReport::from_ledger(&self.ledger)
+    }
+
+    fn worker_session(&self, seed: u64) -> Session {
+        Session::builder()
+            .model(self.model)
+            .seed(seed)
+            .epsilon(self.epsilon)
+            .build()
+    }
+
+    fn shard(&self, fp: GraphFingerprint) -> &Mutex<HashMap<u128, CacheEntry>> {
+        &self.cache[fp.shard(self.cache.len())]
+    }
+
+    fn cache_contains(&self, fp: GraphFingerprint) -> bool {
+        self.shard(fp)
+            .lock()
+            .expect("shard")
+            .contains_key(&fp.as_u128())
+    }
+
+    /// Clones only the prepared handle of a cache entry (the per-solve
+    /// working copy), not its preprocessing report.
+    fn prepared_for(&self, fp: GraphFingerprint) -> Option<Result<PreparedLaplacian, Error>> {
+        self.shard(fp)
+            .lock()
+            .expect("shard")
+            .get(&fp.as_u128())
+            .map(|(prepared, _)| prepared.clone())
+    }
+
+    /// Clones only the preprocessing report of a cache entry, leaving the
+    /// prepared solver (sparsifier + owned network) untouched.
+    fn preprocessing_report_of(&self, fp: GraphFingerprint) -> Option<RoundReport> {
+        self.shard(fp)
+            .lock()
+            .expect("shard")
+            .get(&fp.as_u128())
+            .map(|(_, report)| report.clone())
+    }
+
+    /// Builds (and caches) the prepared solver of one graph at the master
+    /// seed, exactly as `Session::laplacian(graph).preprocess()` would.
+    fn preprocess(&self, fp: GraphFingerprint, graph: &Graph) {
+        let session = self.worker_session(self.seed);
+        let entry: CacheEntry = match session.laplacian(graph).preprocess() {
+            Ok(prepared) => {
+                let report = prepared.preprocessing_report().clone();
+                (Ok(prepared), report)
+            }
+            Err(e) => (
+                Err(e),
+                RoundReport {
+                    total_rounds: 0,
+                    total_bits: 0,
+                    total_operations: 0,
+                    breakdown: Vec::new(),
+                },
+            ),
+        };
+        self.shard(fp)
+            .lock()
+            .expect("shard")
+            .insert(fp.as_u128(), entry);
+    }
+
+    fn execute(
+        &self,
+        index: usize,
+        request: &Request,
+        fp: Option<GraphFingerprint>,
+    ) -> Result<Outcome<Response>, Error> {
+        match request {
+            Request::Sparsify { graph, epsilon } => self
+                .worker_session(self.request_seed(index))
+                .sparsify(graph, *epsilon)
+                .map(|o| o.map(Response::Sparsify)),
+            Request::Laplacian { b, epsilon, .. } => {
+                let fp = fp.expect("laplacian requests are fingerprinted");
+                let prepared = self.prepared_for(fp).expect("stage 1 populated the cache");
+                let mut prepared = prepared?;
+                let outcome = match epsilon {
+                    Some(e) => prepared.solve_with_epsilon(b, *e),
+                    None => prepared.solve(b),
+                }?;
+                Ok(outcome.map(Response::Laplacian))
+            }
+            Request::Lp { instance, request } => self
+                .worker_session(self.request_seed(index))
+                .lp(instance, request)
+                .map(|o| o.map(Response::Lp)),
+            Request::MinCostMaxFlow { instance, options } => {
+                let mut session = self.worker_session(self.request_seed(index));
+                match options {
+                    Some(opts) => session.min_cost_max_flow_with(instance, opts),
+                    None => session.min_cost_max_flow(instance),
+                }
+                .map(|o| o.map(Response::MinCostMaxFlow))
+            }
+        }
+    }
+
+    /// Serves a batch: fingerprints the Laplacian requests, preprocesses each
+    /// *distinct, not-yet-cached* graph once (in parallel), then executes all
+    /// requests across the worker pool. Results come back in submission
+    /// order; a failing request yields `Err` in its slot without affecting
+    /// the others.
+    pub fn run(&mut self, requests: &[Request]) -> BatchOutput {
+        // Stage 0: fingerprint Laplacian requests (cheap, sequential).
+        let fps: Vec<Option<GraphFingerprint>> = requests
+            .iter()
+            .map(|r| match r {
+                Request::Laplacian { graph, .. } => Some(fingerprint(graph)),
+                _ => None,
+            })
+            .collect();
+
+        // Distinct fingerprints in first-occurrence order, with use counts
+        // and whether they predate this batch.
+        let mut order: Vec<GraphFingerprint> = Vec::new();
+        let mut uses: HashMap<u128, u64> = HashMap::new();
+        let mut first_graph: HashMap<u128, usize> = HashMap::new();
+        for (i, fp) in fps.iter().enumerate() {
+            if let Some(fp) = fp {
+                let count = uses.entry(fp.as_u128()).or_insert(0);
+                if *count == 0 {
+                    order.push(*fp);
+                    first_graph.insert(fp.as_u128(), i);
+                }
+                *count += 1;
+            }
+        }
+        let pre_cached: HashMap<u128, bool> = order
+            .iter()
+            .map(|fp| (fp.as_u128(), self.cache_contains(*fp)))
+            .collect();
+
+        // Stage 1: preprocess every distinct uncached graph once, in
+        // parallel. Preprocessing is a pure function of (master seed, graph),
+        // so scheduling cannot leak into the cached handles.
+        let to_build: Vec<GraphFingerprint> = order
+            .iter()
+            .filter(|fp| !pre_cached[&fp.as_u128()])
+            .copied()
+            .collect();
+        self.parallel(&to_build, |_, fp| {
+            let graph = match &requests[first_graph[&fp.as_u128()]] {
+                Request::Laplacian { graph, .. } => graph,
+                _ => unreachable!("fingerprints index laplacian requests"),
+            };
+            self.preprocess(*fp, graph);
+        });
+
+        // Stage 2: execute all requests across the pool.
+        let results: Vec<Result<Outcome<Response>, Error>> =
+            self.parallel(requests, |i, request| self.execute(i, request, fps[i]));
+
+        // Aggregate — deterministic: everything below depends only on the
+        // submission order and the (deterministic) per-request outcomes.
+        let mut seen: HashMap<u128, bool> = HashMap::new();
+        let mut ledger = RoundLedger::new();
+        let mut per_request = Vec::with_capacity(requests.len());
+        let mut failures = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
+            let fp = fps[i];
+            let cache_hit = match fp {
+                Some(fp) => {
+                    let first_use = !seen.contains_key(&fp.as_u128());
+                    seen.insert(fp.as_u128(), true);
+                    let hit = !first_use || pre_cached[&fp.as_u128()];
+                    if hit {
+                        cache_hits += 1;
+                    } else {
+                        cache_misses += 1;
+                    }
+                    hit
+                }
+                None => false,
+            };
+            let (ok, error, report) = match result {
+                Ok(outcome) => (true, None, outcome.report.clone()),
+                Err(e) => {
+                    failures += 1;
+                    (
+                        false,
+                        Some(e.to_string()),
+                        RoundReport::from_ledger(&RoundLedger::new()),
+                    )
+                }
+            };
+            for (name, stats) in &report.breakdown {
+                ledger.charge_phase(name, *stats);
+            }
+            per_request.push(RequestCost {
+                index: i as u64,
+                kind: request.kind().to_string(),
+                seed: self.request_seed(i),
+                fingerprint: fp.map(|f| f.to_hex()),
+                cache_hit,
+                ok,
+                error,
+                report,
+            });
+        }
+        let preprocessing: Vec<PreprocessingCost> = order
+            .iter()
+            .map(|fp| {
+                let cached = pre_cached[&fp.as_u128()];
+                let report = self
+                    .preprocessing_report_of(*fp)
+                    .expect("stage 1 populated the cache");
+                if !cached {
+                    for (name, stats) in &report.breakdown {
+                        ledger.charge_phase(name, *stats);
+                    }
+                }
+                PreprocessingCost {
+                    fingerprint: fp.to_hex(),
+                    requests: uses[&fp.as_u128()],
+                    cached,
+                    report,
+                }
+            })
+            .collect();
+
+        let total = RoundReport::from_ledger(&ledger);
+        self.ledger.absorb(&ledger);
+
+        BatchOutput {
+            results,
+            report: BatchReport {
+                schema: BATCH_REPORT_SCHEMA.to_string(),
+                requests: requests.len() as u64,
+                failures,
+                cache_hits,
+                cache_misses,
+                total,
+                preprocessing,
+                per_request,
+            },
+        }
+    }
+
+    /// Runs `f` over `items` on the worker pool, collecting results in item
+    /// order. With one worker this is a plain sequential loop.
+    fn parallel<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+        let workers = self.workers.min(items.len()).max(1);
+        if workers == 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new(items.iter().map(|_| None).collect());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    slots.lock().expect("result slots")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result slots")
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed by exactly one worker"))
+            .collect()
+    }
+}

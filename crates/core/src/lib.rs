@@ -63,6 +63,7 @@ pub use bcc_spanner as spanner;
 pub use bcc_sparsifier as sparsifier;
 
 pub mod algorithm;
+pub mod batch;
 pub mod error;
 pub mod report;
 pub mod session;
@@ -71,6 +72,7 @@ pub use algorithm::{
     BccAlgorithm, LaplacianAlgorithm, LaplacianProblem, LpAlgorithm, LpProblem, McmfAlgorithm,
     SparsifyAlgorithm,
 };
+pub use batch::{BatchEngine, BatchEngineBuilder, BatchOutput, BatchReport, Request, Response};
 pub use error::Error;
 pub use report::RoundReport;
 pub use session::{

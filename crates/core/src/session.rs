@@ -17,12 +17,13 @@
 //! exactly that request, so serving systems can meter communication cost by
 //! summing outcome reports.
 //!
-//! One scoping caveat: [`GramChoice::Sdd`] routes the LP's inner solves
-//! through the Gremban/Laplacian reduction, which requires `AᵀDA` to be
-//! symmetric diagonally dominant (true for the flow LPs of Section 5). On an
-//! LP without that structure the SDD assembly panics deep in the solver —
-//! use the [`GramChoice::Dense`] default for general LPs until a typed error
-//! is threaded through `GramSolver` (tracked in ROADMAP.md).
+//! [`GramChoice::Sdd`] routes the LP's inner solves through the
+//! Gremban/Laplacian reduction, which requires `AᵀDA` to be symmetric
+//! diagonally dominant (true for the flow LPs of Section 5). On an LP
+//! without that structure the solve returns
+//! `Error::Lp(LpError::GramSolve { .. })` — like every other malformed
+//! input, a typed error rather than a panic — so [`GramChoice::Dense`]
+//! remains the right default for general LPs.
 
 use bcc_flow::{try_min_cost_max_flow_bcc, McmfOptions, McmfResult};
 use bcc_graph::{FlowInstance, Graph};
@@ -178,6 +179,16 @@ impl Session {
         RoundReport::from_ledger(net.ledger())
     }
 
+    /// Merges an externally produced cost report into this session's
+    /// cumulative ledger, phase by phase — the plumbing batch engines use to
+    /// account work they executed on worker sessions (e.g. a
+    /// [`crate::batch::BatchReport`] total) against one serving session.
+    pub fn absorb_report(&mut self, report: &RoundReport) {
+        for (name, stats) in &report.breakdown {
+            self.ledger.charge_phase(name, *stats);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Theorem 1.2 — spectral sparsification.
     // ------------------------------------------------------------------
@@ -238,8 +249,10 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Lp`] when the instance is malformed or the starting
-    /// point is not strictly interior / not on the equality manifold.
+    /// Returns [`Error::Lp`] when the instance is malformed, the starting
+    /// point is not strictly interior / not on the equality manifold, or the
+    /// inner Gram oracle rejects a system ([`GramChoice::Sdd`] on an LP whose
+    /// `AᵀDA` is not symmetric diagonally dominant).
     pub fn lp(
         &mut self,
         instance: &LpInstance,
