@@ -128,6 +128,24 @@ impl RoundLedger {
         self.total.operations += stats.operations;
     }
 
+    /// Merges a whole snapshot breakdown — a list of `(phase, stats)` pairs,
+    /// e.g. a serialized report — into this ledger via
+    /// [`RoundLedger::charge_phase`].
+    ///
+    /// Because phase-wise addition is commutative, folding worker reports in
+    /// *submission* order through this method yields the same ledger no
+    /// matter in which order the workers actually completed — the property
+    /// streaming engines rely on to produce deterministic cumulative
+    /// accounting from out-of-order completions.
+    pub fn charge_phases<'a, I>(&mut self, phases: I)
+    where
+        I: IntoIterator<Item = (&'a str, PhaseStats)>,
+    {
+        for (name, stats) in phases {
+            self.charge_phase(name, stats);
+        }
+    }
+
     /// Merges another ledger into this one (phase-wise addition). Useful when
     /// sub-algorithms run on their own [`crate::Network`] clone.
     pub fn absorb(&mut self, other: &RoundLedger) {
@@ -243,6 +261,47 @@ mod tests {
         assert_eq!(ledger.total_operations(), 4);
         let names: Vec<_> = ledger.phase_names().collect();
         assert_eq!(names, vec!["solve", "preprocess"]);
+    }
+
+    #[test]
+    fn charge_phases_is_completion_order_independent() {
+        let reports = [
+            (
+                "solve",
+                PhaseStats {
+                    rounds: 2,
+                    bits: 20,
+                    operations: 1,
+                },
+            ),
+            (
+                "preprocess",
+                PhaseStats {
+                    rounds: 5,
+                    bits: 50,
+                    operations: 2,
+                },
+            ),
+            (
+                "solve",
+                PhaseStats {
+                    rounds: 1,
+                    bits: 10,
+                    operations: 1,
+                },
+            ),
+        ];
+        let mut in_order = RoundLedger::new();
+        in_order.charge_phases(reports.iter().map(|(n, s)| (*n, *s)));
+        let mut reversed = RoundLedger::new();
+        reversed.charge_phases(reports.iter().rev().map(|(n, s)| (*n, *s)));
+        assert_eq!(in_order.total_rounds(), reversed.total_rounds());
+        assert_eq!(in_order.phase_stats("solve"), reversed.phase_stats("solve"));
+        assert_eq!(
+            in_order.phase_stats("preprocess"),
+            reversed.phase_stats("preprocess")
+        );
+        assert_eq!(in_order.total_operations(), 4);
     }
 
     #[test]

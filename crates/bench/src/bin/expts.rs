@@ -5,15 +5,39 @@
 //!   `cargo run -p bench --release --bin expts -- [e1|e2|...|e11|a1|a2|all] [--full]`
 //!   `cargo run -p bench --release --bin expts -- --quick-json`  (CI)
 //!   `cargo run -p bench --release --bin expts -- --full-json`
+//!   `cargo run -p bench --release --bin expts -- --check-trend` (CI)
 //!
-//! The `--*-json` modes write `BENCH_pipelines.json` and `BENCH_batch.json`
-//! to the repository root (schema documented in `bench::trajectory`) and
-//! print the written paths.
+//! The `--*-json` modes write `BENCH_pipelines.json`, `BENCH_batch.json` and
+//! `BENCH_stream.json` to the repository root (schema documented in
+//! `bench::trajectory`) and print the written paths.
+//!
+//! `--check-trend` regenerates the quick trajectories in memory, compares
+//! them against the committed `BENCH_*.json` files without touching them,
+//! and exits non-zero on schema drift, disappeared trajectory points or a
+//! >2x regression in a tracked counter.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick_json = args.iter().any(|a| a == "--quick-json");
     let full_json = args.iter().any(|a| a == "--full-json");
+    if args.iter().any(|a| a == "--check-trend") {
+        let root = bench::trajectory::repo_root();
+        let issues = bench::trajectory::check_trend(&root, 2022, true)
+            .unwrap_or_else(|e| panic!("bench trend check could not run: {e}"));
+        if issues.is_empty() {
+            println!("bench trend check OK: committed BENCH_*.json are representative");
+            return;
+        }
+        eprintln!("bench trend check FAILED ({} issue(s)):", issues.len());
+        for issue in &issues {
+            eprintln!("  - {issue}");
+        }
+        eprintln!(
+            "if the cost change is intentional, regenerate the artifacts with \
+             `cargo run -p bench --release --bin expts -- --quick-json` and commit them"
+        );
+        std::process::exit(1);
+    }
     if quick_json || full_json {
         let root = bench::trajectory::repo_root();
         let written = bench::trajectory::write_bench_json(&root, 2022, quick_json)

@@ -1,8 +1,8 @@
-//! Machine-readable `BENCH_*.json` cost trajectories.
+//! Machine-readable `BENCH_*.json` cost trajectories and the CI trend check.
 //!
 //! The experiment tables in [`crate`] are human-readable; serving systems and
-//! CI want the same round/bit accounting as JSON. This module emits two files
-//! into the repository root (see `write_bench_json`):
+//! CI want the same round/bit accounting as JSON. This module emits three
+//! files into the repository root (see `write_bench_json`):
 //!
 //! * **`BENCH_pipelines.json`** — `Vec<PipelinePoint>`: one point per
 //!   (pipeline, instance size), each carrying the structured
@@ -12,6 +12,11 @@
 //!   [`BatchReport`] of one mixed batch served twice by a
 //!   [`bcc_core::BatchEngine`] (cold cache, then warm cache), demonstrating
 //!   the preprocessing amortization across requests.
+//! * **`BENCH_stream.json`** — a [`StreamTrajectory`]: the full
+//!   [`StreamReport`] of a mixed-priority workload submitted incrementally
+//!   to a [`bcc_core::StreamEngine`] and collected as completions arrive,
+//!   demonstrating that the streaming front-end meters exactly like the
+//!   batch one (same `RequestCost` / `PreprocessingCost` vocabulary).
 //!
 //! # Schema (`bcc-bench/v1`)
 //!
@@ -26,9 +31,27 @@
 //! (`bcc-batch-report/v1`, see `bcc_core::batch`); `cold` pays every
 //! preprocessing, `warm` reuses the fingerprint-keyed cache.
 //!
-//! Field names in both files are covered by golden-snapshot tests
-//! (`tests/batch.rs` in the workspace root), so consumers may rely on them
-//! across PRs; incompatible changes bump the `schema` tags.
+//! `BENCH_stream.json` is an object `{schema, seed, workers, report}` where
+//! `report` is a serialized [`StreamReport`] (`bcc-stream-report/v1`, see
+//! `bcc_core::stream`): request/priority/backpressure counters, the bounded
+//! cache's [`bcc_core::CacheStats`], the submission-order `per_request`
+//! costs and the once-per-fingerprint `preprocessing` costs.
+//!
+//! Field names in all three files are covered by golden-snapshot tests
+//! (`tests/batch.rs` and `tests/stream.rs` in the workspace root), so
+//! consumers may rely on them across PRs; incompatible changes bump the
+//! `schema` tags.
+//!
+//! # Trend check
+//!
+//! [`check_trend`] is the CI guard over these artifacts: it regenerates the
+//! quick trajectories in memory and compares them against the *committed*
+//! `BENCH_*.json` files, reporting an issue for schema drift, disappeared
+//! trajectory points, or a >2x regression in any tracked counter (total
+//! rounds / total bits). Because every trajectory is deterministic, an
+//! unchanged tree always passes; the check exists so a PR that regresses a
+//! pipeline's communication cost (or forgets to regenerate the committed
+//! artifacts after an intentional change) fails loudly.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -36,7 +59,7 @@ use std::path::{Path, PathBuf};
 use bcc_core::batch::{BatchEngine, BatchReport, Request};
 use bcc_core::graph::generators;
 use bcc_core::prelude::*;
-use bcc_core::RoundReport;
+use bcc_core::{RoundReport, StreamReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -80,6 +103,21 @@ pub struct BatchTrajectory {
     pub cold: BatchReport,
     /// The second run of the same workload: preprocessing served from cache.
     pub warm: BatchReport,
+}
+
+/// The `BENCH_stream.json` payload: one mixed-priority workload submitted
+/// incrementally to a [`StreamEngine`] serve scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamTrajectory {
+    /// Schema tag (`"bcc-bench/v1"`).
+    pub schema: String,
+    /// Master seed of the engine.
+    pub seed: u64,
+    /// Worker threads used (informational — the report is
+    /// worker-count-independent).
+    pub workers: u64,
+    /// The full accounting of the serve scope.
+    pub report: StreamReport,
 }
 
 fn point(pipeline: &str, n: usize, m: usize, seed: u64, report: RoundReport) -> PipelinePoint {
@@ -219,7 +257,79 @@ pub fn batch_trajectory(seed: u64, quick: bool) -> BatchTrajectory {
     }
 }
 
-/// Writes `BENCH_pipelines.json` and `BENCH_batch.json` into `dir`, returning
+/// The mixed-priority workload of the streaming experiment: bulk Laplacian
+/// traffic on repeated topologies interleaved with interactive sparsify /
+/// LP / flow requests.
+pub fn stream_workload(seed: u64, quick: bool) -> Vec<(Request, Priority)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57E4);
+    let mut requests = Vec::new();
+    let grids: Vec<usize> = if quick { vec![4, 5] } else { vec![4, 5, 6] };
+    let solves_per_grid = if quick { 3 } else { 6 };
+    for side in grids {
+        let g = generators::grid(side, side);
+        for k in 1..=solves_per_grid {
+            let mut b = vec![0.0; g.n()];
+            b[k % g.n()] = 1.0;
+            b[g.n() - 1 - (k % g.n())] -= 1.0;
+            requests.push((Request::laplacian(g.clone(), b), Priority::Bulk));
+        }
+    }
+    requests.push((
+        Request::sparsify(generators::complete(14), 0.5),
+        Priority::Interactive,
+    ));
+    let lp = LpInstance {
+        a: bcc_core::linalg::CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]),
+        b: vec![1.0],
+        c: vec![0.0, 1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![1.0, 1.0],
+    };
+    let lp_request = bcc_core::LpRequest::new(
+        vec![0.5, 0.5],
+        LpOptions::new(1e-3, lp.m(), seed).with_uniform_weights(),
+    );
+    requests.push((Request::lp(lp, lp_request), Priority::Interactive));
+    requests.push((
+        Request::min_cost_max_flow(generators::random_flow_instance(5, 0.3, 3, &mut rng)),
+        Priority::Interactive,
+    ));
+    requests
+}
+
+/// Runs the streaming experiment: the workload is submitted one request at a
+/// time (mixed priorities) and results are collected as completions arrive,
+/// exercising the incremental front-end the `BENCH_stream.json` consumers
+/// track.
+pub fn stream_trajectory(seed: u64, quick: bool) -> StreamTrajectory {
+    let workload = stream_workload(seed, quick);
+    let mut engine = StreamEngine::builder().seed(seed).build();
+    let workers = engine.workers() as u64;
+    let output = engine.serve(|client| {
+        let tickets: Vec<_> = workload
+            .iter()
+            .map(|(request, priority)| {
+                client
+                    .submit(request.clone(), *priority)
+                    .expect("blocking backpressure admits every submission")
+            })
+            .collect();
+        for ticket in tickets {
+            client
+                .wait(ticket)
+                .unwrap_or_else(|e| panic!("stream workload request failed: {e}"));
+        }
+    });
+    StreamTrajectory {
+        schema: BENCH_SCHEMA.to_string(),
+        seed,
+        workers,
+        report: output.report,
+    }
+}
+
+/// Writes `BENCH_pipelines.json`, `BENCH_batch.json` and `BENCH_stream.json`
+/// into `dir`, returning
 /// the written paths. Each file is verified to parse back before returning.
 ///
 /// # Errors
@@ -259,7 +369,217 @@ pub fn write_bench_json(dir: &Path, seed: u64, quick: bool) -> io::Result<Vec<Pa
     }
     written.push(path);
 
+    let stream = stream_trajectory(seed, quick);
+    let path = dir.join("BENCH_stream.json");
+    let json = serde_json::to_string_pretty(&stream)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, format!("{json}\n"))?;
+    let back: StreamTrajectory = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if back != stream {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "BENCH_stream.json did not round-trip",
+        ));
+    }
+    written.push(path);
+
     Ok(written)
+}
+
+// ---------------------------------------------------------------------------
+// CI trend check.
+// ---------------------------------------------------------------------------
+
+/// The regression threshold of the trend check: a tracked counter may grow
+/// to at most this multiple of its committed value.
+pub const TREND_MAX_RATIO: f64 = 2.0;
+
+/// Flags `fresh` against `committed` for one tracked counter, appending an
+/// issue when the counter regressed beyond [`TREND_MAX_RATIO`] (a counter
+/// that was zero and became non-zero counts as a regression too).
+fn check_counter(issues: &mut Vec<String>, what: &str, committed: u64, fresh: u64) {
+    let regressed = if committed == 0 {
+        fresh > 0
+    } else {
+        fresh as f64 > committed as f64 * TREND_MAX_RATIO
+    };
+    if regressed {
+        issues.push(format!(
+            "{what}: {fresh} vs committed {committed} (>{TREND_MAX_RATIO}x)"
+        ));
+    }
+}
+
+fn check_report_totals(
+    issues: &mut Vec<String>,
+    what: &str,
+    committed: &RoundReport,
+    fresh: &RoundReport,
+) {
+    check_counter(
+        issues,
+        &format!("{what} total_rounds"),
+        committed.total_rounds,
+        fresh.total_rounds,
+    );
+    check_counter(
+        issues,
+        &format!("{what} total_bits"),
+        committed.total_bits,
+        fresh.total_bits,
+    );
+}
+
+/// Compares freshly measured trajectories against the committed ones,
+/// returning one human-readable issue per schema drift, missing trajectory
+/// point or >2x regression in a tracked counter (pure comparison logic; the
+/// I/O lives in [`check_trend`]).
+pub fn trend_issues(
+    committed_pipelines: &[PipelinePoint],
+    fresh_pipelines: &[PipelinePoint],
+    committed_batch: &BatchTrajectory,
+    fresh_batch: &BatchTrajectory,
+    committed_stream: &StreamTrajectory,
+    fresh_stream: &StreamTrajectory,
+) -> Vec<String> {
+    let mut issues = Vec::new();
+
+    for point in committed_pipelines {
+        if point.schema != BENCH_SCHEMA {
+            issues.push(format!(
+                "BENCH_pipelines.json: committed point {}({},{}) has schema {:?}, expected {:?} — \
+                 regenerate the committed artifacts",
+                point.pipeline, point.n, point.m, point.schema, BENCH_SCHEMA
+            ));
+        }
+    }
+    for committed in committed_pipelines {
+        let key = (
+            &committed.pipeline,
+            committed.n,
+            committed.m,
+            committed.seed,
+        );
+        match fresh_pipelines
+            .iter()
+            .find(|p| (&p.pipeline, p.n, p.m, p.seed) == key)
+        {
+            None => issues.push(format!(
+                "BENCH_pipelines.json: trajectory point {}({},{}) disappeared from the fresh run",
+                committed.pipeline, committed.n, committed.m
+            )),
+            Some(fresh) => check_report_totals(
+                &mut issues,
+                &format!(
+                    "pipeline {} (n={}, m={})",
+                    committed.pipeline, committed.n, committed.m
+                ),
+                &committed.report,
+                &fresh.report,
+            ),
+        }
+    }
+
+    for (name, committed, fresh) in [
+        (
+            "BENCH_batch.json",
+            &committed_batch.schema,
+            &fresh_batch.schema,
+        ),
+        (
+            "BENCH_stream.json",
+            &committed_stream.schema,
+            &fresh_stream.schema,
+        ),
+    ] {
+        if committed != fresh {
+            issues.push(format!(
+                "{name}: schema drift — committed {committed:?} vs fresh {fresh:?}"
+            ));
+        }
+    }
+    check_report_totals(
+        &mut issues,
+        "batch cold run",
+        &committed_batch.cold.total,
+        &fresh_batch.cold.total,
+    );
+    check_report_totals(
+        &mut issues,
+        "batch warm run",
+        &committed_batch.warm.total,
+        &fresh_batch.warm.total,
+    );
+    check_report_totals(
+        &mut issues,
+        "stream run",
+        &committed_stream.report.total,
+        &fresh_stream.report.total,
+    );
+    check_counter(
+        &mut issues,
+        "stream failures",
+        committed_stream.report.failures,
+        fresh_stream.report.failures,
+    );
+    issues
+}
+
+// Reading + parsing stay separate (instead of one generic helper bounded on
+// `serde::Deserialize`) so this code compiles unchanged against both the
+// offline serde shim and the real crate, whose owned-deserialization bound is
+// spelled `DeserializeOwned` — see shims/README.md on keeping the swap
+// manifest-only.
+fn read_committed(path: &Path) -> io::Result<String> {
+    std::fs::read_to_string(path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: {e} (regenerate with `cargo run -p bench --release --bin expts -- --quick-json`)",
+                path.display()
+            ),
+        )
+    })
+}
+
+fn parse_error(path: &Path, e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {e}", path.display()),
+    )
+}
+
+/// The CI bench trend check: regenerates the quick trajectories in memory
+/// (never touching the committed files) and returns the list of issues from
+/// [`trend_issues`] — empty means the committed `BENCH_*.json` artifacts are
+/// still representative.
+///
+/// # Errors
+///
+/// Propagates filesystem/parse errors for missing or malformed committed
+/// artifacts.
+pub fn check_trend(root: &Path, seed: u64, quick: bool) -> io::Result<Vec<String>> {
+    let path = root.join("BENCH_pipelines.json");
+    let committed_pipelines: Vec<PipelinePoint> =
+        serde_json::from_str(&read_committed(&path)?).map_err(|e| parse_error(&path, e))?;
+    let path = root.join("BENCH_batch.json");
+    let committed_batch: BatchTrajectory =
+        serde_json::from_str(&read_committed(&path)?).map_err(|e| parse_error(&path, e))?;
+    let path = root.join("BENCH_stream.json");
+    let committed_stream: StreamTrajectory =
+        serde_json::from_str(&read_committed(&path)?).map_err(|e| parse_error(&path, e))?;
+    let fresh_pipelines = pipelines_trajectory(seed, quick);
+    let fresh_batch = batch_trajectory(seed, quick);
+    let fresh_stream = stream_trajectory(seed, quick);
+    Ok(trend_issues(
+        &committed_pipelines,
+        &fresh_pipelines,
+        &committed_batch,
+        &fresh_batch,
+        &committed_stream,
+        &fresh_stream,
+    ))
 }
 
 /// The repository root (two levels above this crate's manifest), where the
@@ -305,10 +625,77 @@ mod tests {
         let dir = std::env::temp_dir().join("bcc-bench-json-test");
         std::fs::create_dir_all(&dir).unwrap();
         let written = write_bench_json(&dir, 7, true).unwrap();
-        assert_eq!(written.len(), 2);
+        assert_eq!(written.len(), 3);
         for path in written {
             let text = std::fs::read_to_string(&path).unwrap();
             assert!(text.contains("bcc-bench/v1"), "{path:?} missing schema tag");
         }
+    }
+
+    #[test]
+    fn stream_trajectory_covers_mixed_priorities_without_failures() {
+        let t = stream_trajectory(7, true);
+        assert_eq!(t.schema, BENCH_SCHEMA);
+        assert_eq!(t.report.schema, "bcc-stream-report/v1");
+        assert_eq!(t.report.failures, 0);
+        assert_eq!(t.report.rejected, 0);
+        assert!(t.report.interactive > 0, "interactive traffic present");
+        assert!(t.report.bulk > 0, "bulk traffic present");
+        assert!(t.report.cache_hits > 0, "repeated topologies hit the cache");
+        assert!(t.report.total.total_rounds > 0);
+        // The trajectory is deterministic — CI's trend check relies on it.
+        assert_eq!(t.report, stream_trajectory(7, true).report);
+    }
+
+    #[test]
+    fn trend_check_accepts_identical_trajectories() {
+        let pipelines = pipelines_trajectory(7, true);
+        let batch = batch_trajectory(7, true);
+        let stream = stream_trajectory(7, true);
+        let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &stream);
+        assert!(issues.is_empty(), "unexpected issues: {issues:?}");
+    }
+
+    #[test]
+    fn trend_check_flags_schema_drift_regressions_and_missing_points() {
+        let pipelines = pipelines_trajectory(7, true);
+        let batch = batch_trajectory(7, true);
+        let stream = stream_trajectory(7, true);
+
+        // >2x cost regression on one pipeline point.
+        let mut slow = pipelines.clone();
+        slow[0].report.total_rounds = pipelines[0].report.total_rounds * 2 + 1;
+        let issues = trend_issues(&pipelines, &slow, &batch, &batch, &stream, &stream);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0].contains("total_rounds"), "{issues:?}");
+
+        // A trajectory point disappearing from the fresh run.
+        let missing = pipelines[1..].to_vec();
+        let issues = trend_issues(&pipelines, &missing, &batch, &batch, &stream, &stream);
+        assert!(
+            issues.iter().any(|i| i.contains("disappeared")),
+            "{issues:?}"
+        );
+
+        // Schema drift on the stream artifact.
+        let mut drifted = stream.clone();
+        drifted.schema = "bcc-bench/v2".to_string();
+        let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &drifted);
+        assert!(
+            issues.iter().any(|i| i.contains("schema drift")),
+            "{issues:?}"
+        );
+
+        // New stream failures count as a regression even from zero.
+        let mut failing = stream.clone();
+        failing.report.failures = 1;
+        let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &failing);
+        assert!(issues.iter().any(|i| i.contains("failures")), "{issues:?}");
+
+        // Growth within the 2x budget passes.
+        let mut within = pipelines.clone();
+        within[0].report.total_rounds = pipelines[0].report.total_rounds * 2;
+        let issues = trend_issues(&pipelines, &within, &batch, &batch, &stream, &stream);
+        assert!(issues.is_empty(), "{issues:?}");
     }
 }

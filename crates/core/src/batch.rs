@@ -4,11 +4,13 @@
 //! A [`BatchEngine`] accepts a queue of heterogeneous [`Request`]s (one per
 //! paper pipeline: sparsify / Laplacian solve / LP / min-cost max-flow),
 //! executes them across a pool of scoped worker threads and routes every
-//! Laplacian solve through a **sharded cache of [`PreparedLaplacian`]
-//! handles keyed by the deterministic graph fingerprint** of
-//! [`bcc_graph::fingerprint`] — so repeated solves on the same topology pay
-//! the sparsifier preprocessing of Theorem 1.3 once across the whole batch,
-//! no matter which worker serves them.
+//! Laplacian solve through the **sharded, bounded, fingerprint-keyed
+//! [`crate::session::PreparedLaplacian`] cache** of [`crate::cache`] — so
+//! repeated solves on
+//! the same topology pay the sparsifier preprocessing of Theorem 1.3 once
+//! across the whole batch, no matter which worker serves them. The same
+//! request/cache machinery also powers the incremental front-end of
+//! [`crate::stream`].
 //!
 //! # Determinism contract
 //!
@@ -32,7 +34,11 @@
 //! }
 //! ```
 //!
-//! `tests/batch.rs` enforces this equivalence for all four pipelines.
+//! `tests/batch.rs` enforces this equivalence for all four pipelines. The
+//! contract survives cache eviction too: a prepared solver is a pure
+//! function of `(master seed, graph)`, so a bounded cache
+//! ([`BatchEngineBuilder::cache_capacity`]) only re-pays preprocessing, it
+//! never changes a result.
 //!
 //! # Example
 //!
@@ -58,6 +64,7 @@
 //! // The two solves share one preprocessing pass.
 //! assert_eq!(output.report.preprocessing.len(), 1);
 //! assert_eq!(output.report.cache_hits, 1);
+//! assert_eq!(output.report.cache.misses, 1);
 //! ```
 
 use std::collections::HashMap;
@@ -65,152 +72,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use bcc_flow::{McmfOptions, McmfResult};
-use bcc_graph::{fingerprint, FlowInstance, Graph, GraphFingerprint};
-use bcc_laplacian::LaplacianSolve;
-use bcc_lp::{LpInstance, LpSolution};
+use bcc_graph::{fingerprint, GraphFingerprint};
 use bcc_runtime::{ModelConfig, RoundLedger};
-use bcc_sparsifier::SparsifierOutput;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheEntry, CacheStats};
 use crate::error::Error;
 use crate::report::RoundReport;
-use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
+use crate::serve::{EngineCore, RequestRecord};
+use crate::session::{Outcome, Session};
 
-/// One pipeline request in a batch.
-// Requests are queue items, not hot-loop values: the size skew between an
-// LP instance and a sparsify request does not matter at this granularity.
-#[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone)]
-pub enum Request {
-    /// Theorem 1.2 — compute a `(1 ± ε)`-spectral sparsifier.
-    Sparsify {
-        /// The input graph.
-        graph: Graph,
-        /// Target accuracy `ε`.
-        epsilon: f64,
-    },
-    /// Theorem 1.3 — solve `L_G x = b`. Preprocessing is shared across the
-    /// batch through the fingerprint-keyed cache.
-    Laplacian {
-        /// The input graph (the cache key is its fingerprint).
-        graph: Graph,
-        /// The right-hand side.
-        b: Vec<f64>,
-        /// Per-solve accuracy; `None` uses the engine default.
-        epsilon: Option<f64>,
-    },
-    /// Theorem 1.4 — solve a linear program.
-    Lp {
-        /// The LP instance.
-        instance: LpInstance,
-        /// Starting point, options and Gram-solver choice.
-        request: LpRequest,
-    },
-    /// Theorem 1.1 — exact min-cost max-flow.
-    MinCostMaxFlow {
-        /// The flow instance.
-        instance: FlowInstance,
-        /// Explicit options; `None` derives laboratory options from the
-        /// request seed.
-        options: Option<McmfOptions>,
-    },
-}
-
-impl Request {
-    /// A sparsify request.
-    pub fn sparsify(graph: Graph, epsilon: f64) -> Self {
-        Request::Sparsify { graph, epsilon }
-    }
-
-    /// A Laplacian-solve request at the engine's default accuracy.
-    pub fn laplacian(graph: Graph, b: Vec<f64>) -> Self {
-        Request::Laplacian {
-            graph,
-            b,
-            epsilon: None,
-        }
-    }
-
-    /// A Laplacian-solve request at an explicit accuracy.
-    pub fn laplacian_with_epsilon(graph: Graph, b: Vec<f64>, epsilon: f64) -> Self {
-        Request::Laplacian {
-            graph,
-            b,
-            epsilon: Some(epsilon),
-        }
-    }
-
-    /// An LP request.
-    pub fn lp(instance: LpInstance, request: LpRequest) -> Self {
-        Request::Lp { instance, request }
-    }
-
-    /// A min-cost max-flow request with laboratory options.
-    pub fn min_cost_max_flow(instance: FlowInstance) -> Self {
-        Request::MinCostMaxFlow {
-            instance,
-            options: None,
-        }
-    }
-
-    /// The request's pipeline name, as recorded in [`RequestCost::kind`].
-    pub fn kind(&self) -> &'static str {
-        match self {
-            Request::Sparsify { .. } => "sparsify",
-            Request::Laplacian { .. } => "laplacian",
-            Request::Lp { .. } => "lp",
-            Request::MinCostMaxFlow { .. } => "mcmf",
-        }
-    }
-}
-
-/// The value computed by one [`Request`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum Response {
-    /// Result of a [`Request::Sparsify`].
-    Sparsify(SparsifierOutput),
-    /// Result of a [`Request::Laplacian`].
-    Laplacian(LaplacianSolve),
-    /// Result of a [`Request::Lp`].
-    Lp(LpSolution),
-    /// Result of a [`Request::MinCostMaxFlow`].
-    MinCostMaxFlow(McmfResult),
-}
-
-impl Response {
-    /// The sparsifier output, if this is a sparsify response.
-    pub fn as_sparsify(&self) -> Option<&SparsifierOutput> {
-        match self {
-            Response::Sparsify(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The Laplacian solve, if this is a Laplacian response.
-    pub fn as_laplacian(&self) -> Option<&LaplacianSolve> {
-        match self {
-            Response::Laplacian(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The LP solution, if this is an LP response.
-    pub fn as_lp(&self) -> Option<&LpSolution> {
-        match self {
-            Response::Lp(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The flow result, if this is a min-cost max-flow response.
-    pub fn as_min_cost_max_flow(&self) -> Option<&McmfResult> {
-        match self {
-            Response::MinCostMaxFlow(v) => Some(v),
-            _ => None,
-        }
-    }
-}
+pub use crate::serve::{Request, Response};
 
 /// Cost accounting of one distinct Laplacian preprocessing in a batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -265,6 +137,11 @@ pub struct BatchReport {
     /// Laplacian requests that paid preprocessing (first occurrence of a
     /// fingerprint not seen in any earlier batch).
     pub cache_misses: u64,
+    /// Hit/miss/eviction counters of the engine's [`crate::cache`], as of
+    /// the end of this run. Unlike [`BatchReport::cache_hits`] (per-request,
+    /// per-batch accounting), these count cache-level lookup and eviction
+    /// events over the engine's whole lifetime.
+    pub cache: CacheStats,
     /// Total *accounted* communication cost of the batch: every successful
     /// request's report plus each *newly built* preprocessing charged exactly
     /// once. Failed requests contribute zero — the rounds a failing pipeline
@@ -300,6 +177,7 @@ pub struct BatchEngineBuilder {
     epsilon: f64,
     workers: Option<usize>,
     shards: usize,
+    cache_capacity: Option<usize>,
 }
 
 impl Default for BatchEngineBuilder {
@@ -310,6 +188,7 @@ impl Default for BatchEngineBuilder {
             epsilon: 1e-6,
             workers: None,
             shards: 16,
+            cache_capacity: None,
         }
     }
 }
@@ -347,6 +226,17 @@ impl BatchEngineBuilder {
         self
     }
 
+    /// Bounds the prepared-Laplacian cache to at most `capacity` entries,
+    /// evicting least-recently-used entries beyond it (default: unbounded).
+    /// Entries of the batch currently being served are pinned, so eviction
+    /// only affects retention *across* batches — and since preprocessing is
+    /// a pure function of `(master seed, graph)`, eviction re-pays rounds
+    /// but never changes a result.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
     /// Copies model, seed and epsilon from an existing [`Session`], so the
     /// engine serves exactly what that session would serve.
     pub fn from_session(self, session: &Session) -> Self {
@@ -363,33 +253,26 @@ impl BatchEngineBuilder {
                 .unwrap_or(4)
         });
         BatchEngine {
-            model: self.model,
-            seed: self.seed,
-            epsilon: self.epsilon,
+            core: EngineCore::new(
+                self.model,
+                self.seed,
+                self.epsilon,
+                self.shards,
+                self.cache_capacity,
+            ),
             workers,
-            cache: (0..self.shards)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
             ledger: RoundLedger::new(),
         }
     }
 }
 
-/// A cache entry: the prepared handle (or the typed preprocessing error,
-/// which is served to every request on that graph) plus its preprocessing
-/// cost snapshot.
-type CacheEntry = (Result<PreparedLaplacian, Error>, RoundReport);
-
 /// A concurrent batch server for the paper's four pipelines with a sharded,
-/// fingerprint-keyed [`PreparedLaplacian`] cache. See the [module
-/// documentation](self) for the determinism contract.
+/// bounded, fingerprint-keyed [`crate::session::PreparedLaplacian`] cache.
+/// See the [module documentation](self) for the determinism contract.
 #[derive(Debug)]
 pub struct BatchEngine {
-    model: ModelConfig,
-    seed: u64,
-    epsilon: f64,
+    core: EngineCore,
     workers: usize,
-    cache: Vec<Mutex<HashMap<u128, CacheEntry>>>,
     ledger: RoundLedger,
 }
 
@@ -401,14 +284,14 @@ impl Default for BatchEngine {
 
 impl BatchEngine {
     /// Starts a builder with laboratory defaults (BCC model, seed 2022,
-    /// `ε = 1e-6`, 16 shards).
+    /// `ε = 1e-6`, 16 shards, unbounded cache).
     pub fn builder() -> BatchEngineBuilder {
         BatchEngineBuilder::default()
     }
 
     /// The master seed.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.core.seed
     }
 
     /// The worker-thread count.
@@ -419,29 +302,34 @@ impl BatchEngine {
     /// Number of prepared Laplacian solvers currently cached (including
     /// cached preprocessing failures).
     pub fn cached_graphs(&self) -> usize {
-        self.cache
-            .iter()
-            .map(|s| s.lock().expect("shard").len())
-            .sum()
+        self.core.cache.len()
     }
 
-    /// Drops every cached prepared solver.
+    /// Hit/miss/eviction counters of the prepared-Laplacian cache over this
+    /// engine's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.core.cache.stats()
+    }
+
+    /// The configured cache capacity bound (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.core.cache.capacity()
+    }
+
+    /// Drops every cached prepared solver (counters are kept).
     pub fn clear_cache(&mut self) {
-        for shard in &mut self.cache {
-            shard.get_mut().expect("shard").clear();
-        }
+        self.core.cache.clear();
     }
 
     /// The deterministic seed of request `index`: a splitmix64 finalizer over
     /// the master seed and the index. A sequential [`Session`] seeded with
     /// this value reproduces the batch result of the request bit for bit
     /// (Laplacian preprocessing uses the master seed instead — it is shared
-    /// across the whole batch).
+    /// across the whole batch). [`crate::stream::StreamEngine`] derives
+    /// per-submission seeds with the same function, so a request produces
+    /// the same result under either front-end.
     pub fn request_seed(&self, index: usize) -> u64 {
-        bcc_runtime::splitmix64(
-            self.seed
-                .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        )
+        self.core.request_seed(index)
     }
 
     /// Cumulative communication cost of every batch this engine served
@@ -450,111 +338,12 @@ impl BatchEngine {
         RoundReport::from_ledger(&self.ledger)
     }
 
-    fn worker_session(&self, seed: u64) -> Session {
-        Session::builder()
-            .model(self.model)
-            .seed(seed)
-            .epsilon(self.epsilon)
-            .build()
-    }
-
-    fn shard(&self, fp: GraphFingerprint) -> &Mutex<HashMap<u128, CacheEntry>> {
-        &self.cache[fp.shard(self.cache.len())]
-    }
-
-    fn cache_contains(&self, fp: GraphFingerprint) -> bool {
-        self.shard(fp)
-            .lock()
-            .expect("shard")
-            .contains_key(&fp.as_u128())
-    }
-
-    /// Clones only the prepared handle of a cache entry (the per-solve
-    /// working copy), not its preprocessing report.
-    fn prepared_for(&self, fp: GraphFingerprint) -> Option<Result<PreparedLaplacian, Error>> {
-        self.shard(fp)
-            .lock()
-            .expect("shard")
-            .get(&fp.as_u128())
-            .map(|(prepared, _)| prepared.clone())
-    }
-
-    /// Clones only the preprocessing report of a cache entry, leaving the
-    /// prepared solver (sparsifier + owned network) untouched.
-    fn preprocessing_report_of(&self, fp: GraphFingerprint) -> Option<RoundReport> {
-        self.shard(fp)
-            .lock()
-            .expect("shard")
-            .get(&fp.as_u128())
-            .map(|(_, report)| report.clone())
-    }
-
-    /// Builds (and caches) the prepared solver of one graph at the master
-    /// seed, exactly as `Session::laplacian(graph).preprocess()` would.
-    fn preprocess(&self, fp: GraphFingerprint, graph: &Graph) {
-        let session = self.worker_session(self.seed);
-        let entry: CacheEntry = match session.laplacian(graph).preprocess() {
-            Ok(prepared) => {
-                let report = prepared.preprocessing_report().clone();
-                (Ok(prepared), report)
-            }
-            Err(e) => (
-                Err(e),
-                RoundReport {
-                    total_rounds: 0,
-                    total_bits: 0,
-                    total_operations: 0,
-                    breakdown: Vec::new(),
-                },
-            ),
-        };
-        self.shard(fp)
-            .lock()
-            .expect("shard")
-            .insert(fp.as_u128(), entry);
-    }
-
-    fn execute(
-        &self,
-        index: usize,
-        request: &Request,
-        fp: Option<GraphFingerprint>,
-    ) -> Result<Outcome<Response>, Error> {
-        match request {
-            Request::Sparsify { graph, epsilon } => self
-                .worker_session(self.request_seed(index))
-                .sparsify(graph, *epsilon)
-                .map(|o| o.map(Response::Sparsify)),
-            Request::Laplacian { b, epsilon, .. } => {
-                let fp = fp.expect("laplacian requests are fingerprinted");
-                let prepared = self.prepared_for(fp).expect("stage 1 populated the cache");
-                let mut prepared = prepared?;
-                let outcome = match epsilon {
-                    Some(e) => prepared.solve_with_epsilon(b, *e),
-                    None => prepared.solve(b),
-                }?;
-                Ok(outcome.map(Response::Laplacian))
-            }
-            Request::Lp { instance, request } => self
-                .worker_session(self.request_seed(index))
-                .lp(instance, request)
-                .map(|o| o.map(Response::Lp)),
-            Request::MinCostMaxFlow { instance, options } => {
-                let mut session = self.worker_session(self.request_seed(index));
-                match options {
-                    Some(opts) => session.min_cost_max_flow_with(instance, opts),
-                    None => session.min_cost_max_flow(instance),
-                }
-                .map(|o| o.map(Response::MinCostMaxFlow))
-            }
-        }
-    }
-
-    /// Serves a batch: fingerprints the Laplacian requests, preprocesses each
-    /// *distinct, not-yet-cached* graph once (in parallel), then executes all
-    /// requests across the worker pool. Results come back in submission
-    /// order; a failing request yields `Err` in its slot without affecting
-    /// the others.
+    /// Serves a batch: fingerprints the Laplacian requests, resolves each
+    /// *distinct* graph against the cache once (building uncached entries in
+    /// parallel and pinning every entry for the duration of the run), then
+    /// executes all requests across the worker pool. Results come back in
+    /// submission order; a failing request yields `Err` in its slot without
+    /// affecting the others.
     pub fn run(&mut self, requests: &[Request]) -> BatchOutput {
         // Stage 0: fingerprint Laplacian requests (cheap, sequential).
         let fps: Vec<Option<GraphFingerprint>> = requests
@@ -565,130 +354,93 @@ impl BatchEngine {
             })
             .collect();
 
-        // Distinct fingerprints in first-occurrence order, with use counts
-        // and whether they predate this batch.
+        // Distinct fingerprints in first-occurrence order, and whether they
+        // predate this batch.
         let mut order: Vec<GraphFingerprint> = Vec::new();
-        let mut uses: HashMap<u128, u64> = HashMap::new();
         let mut first_graph: HashMap<u128, usize> = HashMap::new();
         for (i, fp) in fps.iter().enumerate() {
             if let Some(fp) = fp {
-                let count = uses.entry(fp.as_u128()).or_insert(0);
-                if *count == 0 {
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    first_graph.entry(fp.as_u128())
+                {
+                    slot.insert(i);
                     order.push(*fp);
-                    first_graph.insert(fp.as_u128(), i);
                 }
-                *count += 1;
             }
         }
         let pre_cached: HashMap<u128, bool> = order
             .iter()
-            .map(|fp| (fp.as_u128(), self.cache_contains(*fp)))
+            .map(|fp| (fp.as_u128(), self.core.cache.contains(*fp)))
             .collect();
 
-        // Stage 1: preprocess every distinct uncached graph once, in
-        // parallel. Preprocessing is a pure function of (master seed, graph),
-        // so scheduling cannot leak into the cached handles.
-        let to_build: Vec<GraphFingerprint> = order
-            .iter()
-            .filter(|fp| !pre_cached[&fp.as_u128()])
-            .copied()
-            .collect();
-        self.parallel(&to_build, |_, fp| {
+        // Stage 1: resolve every distinct graph against the cache once, in
+        // parallel, pinning the entries for this run — so a bounded cache
+        // can evict between batches but never under a batch's feet.
+        // Preprocessing is a pure function of (master seed, graph), so
+        // scheduling cannot leak into the cached handles.
+        let pinned: Vec<CacheEntry> = self.parallel(&order, |_, fp| {
             let graph = match &requests[first_graph[&fp.as_u128()]] {
                 Request::Laplacian { graph, .. } => graph,
                 _ => unreachable!("fingerprints index laplacian requests"),
             };
-            self.preprocess(*fp, graph);
+            let (entry, _built) = self
+                .core
+                .cache
+                .get_or_build(*fp, || self.core.build_entry(graph));
+            entry
         });
+        let pinned: HashMap<u128, CacheEntry> =
+            order.iter().map(|fp| fp.as_u128()).zip(pinned).collect();
 
         // Stage 2: execute all requests across the pool.
         let results: Vec<Result<Outcome<Response>, Error>> =
-            self.parallel(requests, |i, request| self.execute(i, request, fps[i]));
+            self.parallel(requests, |i, request| {
+                let entry = fps[i].map(|fp| &pinned[&fp.as_u128()]);
+                self.core.execute(i, request, entry)
+            });
 
-        // Aggregate — deterministic: everything below depends only on the
-        // submission order and the (deterministic) per-request outcomes.
-        let mut seen: HashMap<u128, bool> = HashMap::new();
-        let mut ledger = RoundLedger::new();
-        let mut per_request = Vec::with_capacity(requests.len());
-        let mut failures = 0u64;
-        let mut cache_hits = 0u64;
-        let mut cache_misses = 0u64;
-        for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
-            let fp = fps[i];
-            let cache_hit = match fp {
-                Some(fp) => {
-                    let first_use = !seen.contains_key(&fp.as_u128());
-                    seen.insert(fp.as_u128(), true);
-                    let hit = !first_use || pre_cached[&fp.as_u128()];
-                    if hit {
-                        cache_hits += 1;
-                    } else {
-                        cache_misses += 1;
-                    }
-                    hit
-                }
-                None => false,
-            };
-            let (ok, error, report) = match result {
-                Ok(outcome) => (true, None, outcome.report.clone()),
-                Err(e) => {
-                    failures += 1;
-                    (
+        // Aggregate through the shared accounting core — deterministic:
+        // everything depends only on the submission order and the
+        // (deterministic) per-request outcomes.
+        let records: Vec<RequestRecord> = requests
+            .iter()
+            .zip(&results)
+            .enumerate()
+            .map(|(i, (request, result))| {
+                let (ok, error, report) = match result {
+                    Ok(outcome) => (true, None, outcome.report.clone()),
+                    Err(e) => (
                         false,
                         Some(e.to_string()),
                         RoundReport::from_ledger(&RoundLedger::new()),
-                    )
-                }
-            };
-            for (name, stats) in &report.breakdown {
-                ledger.charge_phase(name, *stats);
-            }
-            per_request.push(RequestCost {
-                index: i as u64,
-                kind: request.kind().to_string(),
-                seed: self.request_seed(i),
-                fingerprint: fp.map(|f| f.to_hex()),
-                cache_hit,
-                ok,
-                error,
-                report,
-            });
-        }
-        let preprocessing: Vec<PreprocessingCost> = order
-            .iter()
-            .map(|fp| {
-                let cached = pre_cached[&fp.as_u128()];
-                let report = self
-                    .preprocessing_report_of(*fp)
-                    .expect("stage 1 populated the cache");
-                if !cached {
-                    for (name, stats) in &report.breakdown {
-                        ledger.charge_phase(name, *stats);
-                    }
-                }
-                PreprocessingCost {
-                    fingerprint: fp.to_hex(),
-                    requests: uses[&fp.as_u128()],
-                    cached,
+                    ),
+                };
+                RequestRecord {
+                    index: i as u64,
+                    kind: request.kind(),
+                    fingerprint: fps[i],
+                    pre_cached: fps[i].is_some_and(|fp| pre_cached[&fp.as_u128()]),
+                    ok,
+                    error,
                     report,
                 }
             })
             .collect();
-
-        let total = RoundReport::from_ledger(&ledger);
-        self.ledger.absorb(&ledger);
+        let accounting = self.core.account(records, |key| pinned[&key].1.clone());
+        self.ledger.absorb(&accounting.ledger);
 
         BatchOutput {
             results,
             report: BatchReport {
                 schema: BATCH_REPORT_SCHEMA.to_string(),
                 requests: requests.len() as u64,
-                failures,
-                cache_hits,
-                cache_misses,
-                total,
-                preprocessing,
-                per_request,
+                failures: accounting.failures,
+                cache_hits: accounting.cache_hits,
+                cache_misses: accounting.cache_misses,
+                cache: self.core.cache.stats(),
+                total: accounting.total,
+                preprocessing: accounting.preprocessing,
+                per_request: accounting.per_request,
             },
         }
     }

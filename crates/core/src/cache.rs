@@ -1,0 +1,359 @@
+//! A bounded, sharded, LRU cache of prepared Laplacian solvers.
+//!
+//! Both serving engines ([`crate::batch::BatchEngine`] and
+//! [`crate::stream::StreamEngine`]) route every Laplacian request through one
+//! of these caches, keyed by the deterministic graph fingerprint of
+//! [`bcc_graph::fingerprint`]: repeated solves on the same topology pay the
+//! sparsifier preprocessing of Theorem 1.3 once, no matter which worker (or
+//! which batch / stream submission) serves them.
+//!
+//! The cache is **sharded** for concurrency (fingerprints are spread over
+//! independently locked shards) and **bounded**: when a capacity is
+//! configured, inserting beyond it evicts the least-recently-used entry
+//! across all shards, so long-lived serving processes cannot grow without
+//! limit. Eviction never changes results — a prepared solver is a pure
+//! function of `(master seed, graph)`, so a rebuilt entry is bit-identical to
+//! the evicted one; the only observable effect is the re-paid preprocessing,
+//! surfaced through the [`CacheStats`] counters.
+//!
+//! Concurrent misses on the same fingerprint are collapsed: one worker
+//! builds, the others wait on the build and then share the entry, so a
+//! fingerprint is preprocessed at most once per miss-window regardless of the
+//! worker count.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use bcc_graph::GraphFingerprint;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::report::RoundReport;
+use crate::session::PreparedLaplacian;
+
+/// A cache entry: the prepared handle (or the typed preprocessing error,
+/// which is served to every request on that graph) plus its preprocessing
+/// cost snapshot.
+pub(crate) type CacheEntry = (Result<PreparedLaplacian, Error>, RoundReport);
+
+/// Serializable counters of a Laplacian cache, surfaced in
+/// [`crate::batch::BatchReport`] and [`crate::stream::StreamReport`].
+///
+/// `hits` counts lookups served from an existing entry (including lookups
+/// that waited for a concurrent build of the same fingerprint), `misses`
+/// counts actual preprocessing builds, and `evictions` counts entries
+/// dropped to enforce the capacity bound. The counters accumulate over the
+/// owning engine's lifetime; under capacity pressure with concurrent workers
+/// they may depend on scheduling (an evicted entry is rebuilt by whichever
+/// request needs it next), while results never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from a cached entry.
+    pub hits: u64,
+    /// Lookups that built (and cached) a new entry.
+    pub misses: u64,
+    /// Entries evicted to enforce the capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached (including cached preprocessing failures).
+    pub entries: u64,
+    /// The configured capacity bound; `None` means unbounded.
+    pub capacity: Option<u64>,
+}
+
+/// One cached slot: the entry plus its last-use tick for LRU ordering.
+struct Slot {
+    entry: CacheEntry,
+    tick: u64,
+}
+
+/// The sharded, bounded, fingerprint-keyed cache both engines share.
+pub(crate) struct LaplacianCache {
+    shards: Vec<Mutex<HashMap<u128, Slot>>>,
+    capacity: Option<usize>,
+    /// Monotonic logical clock; every lookup/insert stamps its slot.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Fingerprints currently being preprocessed, so concurrent misses on the
+    /// same graph collapse into one build.
+    building: Mutex<HashSet<u128>>,
+    built: Condvar,
+}
+
+impl std::fmt::Debug for LaplacianCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaplacianCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl LaplacianCache {
+    /// An empty cache with `shards` shards and an optional capacity bound
+    /// (total entries across all shards; `None` = unbounded).
+    pub(crate) fn new(shards: usize, capacity: Option<usize>) -> Self {
+        LaplacianCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            building: Mutex::new(HashSet::new()),
+            built: Condvar::new(),
+        }
+    }
+
+    fn shard(&self, fp: GraphFingerprint) -> &Mutex<HashMap<u128, Slot>> {
+        &self.shards[fp.shard(self.shards.len())]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of cached entries across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard").len())
+            .sum()
+    }
+
+    /// The configured capacity bound.
+    pub(crate) fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            capacity: self.capacity.map(|c| c as u64),
+        }
+    }
+
+    /// Whether an entry for this fingerprint is currently cached (no counter
+    /// or recency effect).
+    pub(crate) fn contains(&self, fp: GraphFingerprint) -> bool {
+        self.shard(fp)
+            .lock()
+            .expect("shard")
+            .contains_key(&fp.as_u128())
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard").clear();
+        }
+    }
+
+    /// Looks an entry up, bumping its recency and the hit counter on success.
+    fn lookup(&self, fp: GraphFingerprint) -> Option<CacheEntry> {
+        let mut shard = self.shard(fp).lock().expect("shard");
+        let slot = shard.get_mut(&fp.as_u128())?;
+        slot.tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let entry = slot.entry.clone();
+        drop(shard);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
+    }
+
+    /// Returns the cached entry for `fp`, building (and caching) it with
+    /// `build` on a miss. The boolean is `true` when this call built the
+    /// entry. Concurrent callers on the same fingerprint wait for the one
+    /// build instead of duplicating it; callers on other fingerprints are
+    /// never blocked.
+    pub(crate) fn get_or_build(
+        &self,
+        fp: GraphFingerprint,
+        build: impl FnOnce() -> CacheEntry,
+    ) -> (CacheEntry, bool) {
+        let key = fp.as_u128();
+        loop {
+            if let Some(entry) = self.lookup(fp) {
+                return (entry, false);
+            }
+            let mut building = self.building.lock().expect("building set");
+            if building.contains(&key) {
+                // Another worker is preprocessing this graph: wait for it,
+                // then re-check the cache (the entry may also have been
+                // evicted again in the meantime — the loop handles both).
+                let guard = self.built.wait(building).expect("building set");
+                drop(guard);
+                continue;
+            }
+            building.insert(key);
+            drop(building);
+            // Re-check: a build may have completed (insert + claim release)
+            // between our failed lookup and claiming the build.
+            if let Some(entry) = self.lookup(fp) {
+                self.release_build_claim(key);
+                return (entry, false);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let entry = build();
+            self.insert(fp, entry.clone());
+            self.release_build_claim(key);
+            return (entry, true);
+        }
+    }
+
+    fn release_build_claim(&self, key: u128) {
+        self.building.lock().expect("building set").remove(&key);
+        self.built.notify_all();
+    }
+
+    /// Inserts an entry, then evicts least-recently-used entries until the
+    /// capacity bound holds again.
+    fn insert(&self, fp: GraphFingerprint, entry: CacheEntry) {
+        let tick = self.tick();
+        self.shard(fp)
+            .lock()
+            .expect("shard")
+            .insert(fp.as_u128(), Slot { entry, tick });
+        self.enforce_capacity();
+    }
+
+    /// Evicts globally-least-recently-used entries while the cache exceeds
+    /// its capacity. Shards are locked one at a time, so this never deadlocks
+    /// with concurrent lookups; a concurrent eviction of the same victim just
+    /// re-checks the size and converges.
+    ///
+    /// Each eviction scans every shard for the globally-oldest tick — O(n)
+    /// in the entry count, which the capacity bounds. That favours exact
+    /// global LRU and simplicity over per-insert throughput; a per-shard
+    /// bound or an ordered tick index would trade accuracy or memory for
+    /// speed if bounded caches ever grow past a few hundred entries (each of
+    /// which holds a full prepared solver, so in practice they do not).
+    fn enforce_capacity(&self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.len() > capacity {
+            let mut victim: Option<(usize, u128, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock().expect("shard");
+                for (key, slot) in shard.iter() {
+                    if victim.is_none_or(|(_, _, tick)| slot.tick < tick) {
+                        victim = Some((i, *key, slot.tick));
+                    }
+                }
+            }
+            let Some((i, key, _)) = victim else {
+                break;
+            };
+            if self.shards[i].lock().expect("shard").remove(&key).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use bcc_graph::{fingerprint, generators};
+
+    fn entry_for(seed: u64, graph: &bcc_graph::Graph) -> CacheEntry {
+        let session = Session::builder().seed(seed).build();
+        match session.laplacian(graph).preprocess() {
+            Ok(prepared) => {
+                let report = prepared.preprocessing_report().clone();
+                (Ok(prepared), report)
+            }
+            Err(e) => (
+                Err(e),
+                RoundReport {
+                    total_rounds: 0,
+                    total_bits: 0,
+                    total_operations: 0,
+                    breakdown: Vec::new(),
+                },
+            ),
+        }
+    }
+
+    #[test]
+    fn capacity_one_evicts_the_least_recently_used_entry() {
+        let cache = LaplacianCache::new(16, Some(1));
+        let a = generators::grid(3, 3);
+        let b = generators::grid(2, 4);
+        let fa = fingerprint(&a);
+        let fb = fingerprint(&b);
+
+        let (_, built) = cache.get_or_build(fa, || entry_for(1, &a));
+        assert!(built);
+        assert_eq!(cache.len(), 1);
+
+        let (_, built) = cache.get_or_build(fb, || entry_for(1, &b));
+        assert!(built, "second graph is a miss");
+        assert_eq!(cache.len(), 1, "capacity bound holds");
+        assert!(cache.contains(fb));
+        assert!(!cache.contains(fa), "the older entry was evicted");
+
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, Some(1));
+
+        // Re-requesting the evicted graph rebuilds it (a pure function of the
+        // seed and graph, so the rebuilt entry is identical) and evicts the
+        // other one.
+        let (rebuilt, built) = cache.get_or_build(fa, || entry_for(1, &a));
+        assert!(built);
+        let (original, _) = cache.get_or_build(fa, || entry_for(1, &a));
+        assert_eq!(rebuilt.1, original.1);
+        assert!(!cache.contains(fb));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_counts_hits_and_never_evicts() {
+        let cache = LaplacianCache::new(4, None);
+        let g = generators::grid(3, 3);
+        let fp = fingerprint(&g);
+        let _ = cache.get_or_build(fp, || entry_for(1, &g));
+        for _ in 0..3 {
+            let (_, built) = cache.get_or_build(fp, || entry_for(1, &g));
+            assert!(!built);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.capacity, None);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn lru_order_follows_recency_of_use_not_insertion() {
+        let cache = LaplacianCache::new(8, Some(2));
+        let a = generators::grid(3, 3);
+        let b = generators::grid(2, 4);
+        let c = generators::grid(2, 5);
+        let (fa, fb, fc) = (fingerprint(&a), fingerprint(&b), fingerprint(&c));
+        let _ = cache.get_or_build(fa, || entry_for(1, &a));
+        let _ = cache.get_or_build(fb, || entry_for(1, &b));
+        // Touch `a` so `b` becomes the LRU entry.
+        let _ = cache.get_or_build(fa, || entry_for(1, &a));
+        let _ = cache.get_or_build(fc, || entry_for(1, &c));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(fa));
+        assert!(cache.contains(fc));
+        assert!(!cache.contains(fb), "the least recently used entry went");
+    }
+}

@@ -31,6 +31,14 @@ pub enum Error {
         /// The rejected value.
         epsilon: f64,
     },
+    /// A streaming engine's bounded admission queue is full and its
+    /// backpressure policy is
+    /// [`crate::stream::BackpressurePolicy::Reject`] — the caller should
+    /// retry later or shed load.
+    Overloaded {
+        /// The configured queue capacity that was reached.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -44,6 +52,12 @@ impl std::fmt::Display for Error {
             Error::InvalidEpsilon { epsilon } => {
                 write!(f, "epsilon must be positive and finite, got {epsilon}")
             }
+            Error::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "engine overloaded: admission queue at capacity {capacity}"
+                )
+            }
         }
     }
 }
@@ -56,7 +70,7 @@ impl std::error::Error for Error {
             Error::Laplacian(e) => Some(e),
             Error::Lp(e) => Some(e),
             Error::Flow(e) => Some(e),
-            Error::InvalidEpsilon { .. } => None,
+            Error::InvalidEpsilon { .. } | Error::Overloaded { .. } => None,
         }
     }
 }
@@ -111,6 +125,11 @@ mod tests {
 
         let err = Error::InvalidEpsilon { epsilon: -1.0 };
         assert!(err.to_string().contains("-1"));
+        assert!(err.source().is_none());
+
+        let err = Error::Overloaded { capacity: 8 };
+        assert!(err.to_string().contains("overloaded"));
+        assert!(err.to_string().contains('8'));
         assert!(err.source().is_none());
     }
 }

@@ -64,19 +64,27 @@ pub use bcc_sparsifier as sparsifier;
 
 pub mod algorithm;
 pub mod batch;
+pub mod cache;
 pub mod error;
 pub mod report;
+mod serve;
 pub mod session;
+pub mod stream;
 
 pub use algorithm::{
     BccAlgorithm, LaplacianAlgorithm, LaplacianProblem, LpAlgorithm, LpProblem, McmfAlgorithm,
     SparsifyAlgorithm,
 };
 pub use batch::{BatchEngine, BatchEngineBuilder, BatchOutput, BatchReport, Request, Response};
+pub use cache::CacheStats;
 pub use error::Error;
 pub use report::RoundReport;
 pub use session::{
     GramChoice, LaplacianRequest, LpRequest, Outcome, PreparedLaplacian, Session, SessionBuilder,
+};
+pub use stream::{
+    BackpressurePolicy, Priority, StreamClient, StreamEngine, StreamEngineBuilder, StreamOutput,
+    StreamReport, Ticket,
 };
 
 /// Commonly used types, re-exported for `use bcc_core::prelude::*`.
@@ -85,6 +93,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::report::RoundReport;
     pub use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
+    pub use crate::stream::{BackpressurePolicy, Priority, StreamEngine};
     pub use bcc_flow::{min_cost_max_flow_bcc, ssp_min_cost_max_flow, McmfOptions};
     pub use bcc_graph::{DiGraph, FlowInstance, Graph};
     pub use bcc_laplacian::LaplacianSolver;

@@ -1,0 +1,885 @@
+//! Streaming service layer: incremental submission, priority scheduling and
+//! bounded backpressure over the paper's four pipelines.
+//!
+//! Where [`crate::batch::BatchEngine`] serves one closed slice of requests
+//! per call, a [`StreamEngine`] is a long-lived service: callers submit
+//! [`Request`]s **one at a time** while earlier submissions are still in
+//! flight, tag each with a [`Priority`] class, and collect results through
+//! [`Ticket`] handles ([`StreamClient::poll`] / [`StreamClient::wait`]) as
+//! they complete — possibly far out of submission order. Internally the
+//! engine runs a pool of long-lived scoped worker threads fed by an
+//! MPMC-style two-class queue (all [`Priority::Interactive`] work is
+//! scheduled before any [`Priority::Bulk`] work), with a **bounded**
+//! admission queue whose overflow behaviour is the configured
+//! [`BackpressurePolicy`]: block the submitter until a slot frees, or reject
+//! with the typed [`Error::Overloaded`].
+//!
+//! # Determinism contract
+//!
+//! Exactly as in [`crate::batch`]: scheduling never leaks into results. A
+//! submission's seed is a pure function of the engine's master seed and its
+//! **submission index** (the same splitmix64 derivation as
+//! [`crate::batch::BatchEngine::request_seed`]), and every Laplacian solve
+//! runs on a clone of a prepared solver built at the master seed alone, via
+//! the shared bounded cache of [`crate::cache`]. Consequently a stream run
+//! is bit-identical to the sequential [`crate::Session`] loop of the batch
+//! contract for **any** worker count, priority mix, queue capacity and
+//! submission/collection interleaving — and cache eviction only re-pays
+//! preprocessing rounds, it never changes a result. `tests/stream.rs`
+//! enforces all of this.
+//!
+//! # Shutdown and drain
+//!
+//! [`StreamEngine::serve`] scopes the worker pool around a closure. When the
+//! closure returns, the engine **drains**: no new submissions are admitted,
+//! every already-admitted request still executes, and results the closure
+//! never collected come back in [`StreamOutput::uncollected`]. The
+//! aggregated [`StreamReport`] always covers *every* admitted submission.
+//!
+//! # Example
+//!
+//! ```
+//! use bcc_core::stream::{Priority, StreamEngine};
+//! use bcc_core::batch::Request;
+//! use bcc_core::graph::generators;
+//!
+//! let grid = generators::grid(4, 4);
+//! let mut b = vec![0.0; grid.n()];
+//! b[0] = 1.0;
+//! b[15] = -1.0;
+//!
+//! let mut engine = StreamEngine::builder().seed(2022).workers(2).build();
+//! let output = engine.serve(|client| {
+//!     let fast = client
+//!         .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Interactive)
+//!         .unwrap();
+//!     let slow = client
+//!         .submit(Request::sparsify(generators::complete(12), 0.5), Priority::Bulk)
+//!         .unwrap();
+//!     // Results are collected as they finish, in any order.
+//!     let solve = client.wait(fast).unwrap();
+//!     let sparsifier = client.wait(slow).unwrap();
+//!     (solve, sparsifier)
+//! });
+//! assert_eq!(output.report.requests, 2);
+//! assert_eq!(output.report.failures, 0);
+//! assert!(output.uncollected.is_empty());
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+use bcc_graph::{fingerprint, GraphFingerprint};
+use bcc_runtime::{ModelConfig, RoundLedger};
+use serde::{Deserialize, Serialize};
+
+use crate::batch::{PreprocessingCost, RequestCost};
+use crate::cache::CacheStats;
+use crate::error::Error;
+use crate::report::RoundReport;
+use crate::serve::{EngineCore, RequestRecord};
+use crate::session::{Outcome, Session};
+
+pub use crate::serve::{Request, Response};
+
+/// Scheduling class of one submission. The scheduler always pops every
+/// queued [`Priority::Interactive`] request before any [`Priority::Bulk`]
+/// one; within a class, requests run in submission order. Priorities affect
+/// *latency only* — results are bit-identical whichever class a request is
+/// submitted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic, scheduled ahead of all bulk work.
+    Interactive,
+    /// Throughput traffic, scheduled when no interactive work is queued.
+    Bulk,
+}
+
+/// What [`StreamClient::submit`] does when the bounded admission queue is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until a queue slot frees (the default —
+    /// no submission is ever lost).
+    Block,
+    /// Fail fast with [`Error::Overloaded`], leaving the caller to retry or
+    /// shed load.
+    Reject,
+}
+
+/// Completion handle of one admitted submission, returned by
+/// [`StreamClient::submit`]. Redeem it with [`StreamClient::poll`] or
+/// [`StreamClient::wait`]; tickets never expire while the serve scope runs,
+/// and unredeemed tickets surface in [`StreamOutput::uncollected`].
+///
+/// A ticket is bound to the serve scope that issued it: redeeming a ticket
+/// kept from an earlier [`StreamEngine::serve`] call panics instead of
+/// silently returning a later scope's result for the same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    index: u64,
+    priority: Priority,
+    /// Serial number of the serve scope that issued this ticket.
+    scope: u64,
+}
+
+impl Ticket {
+    /// The submission index — the request's position in admission order,
+    /// and the index its seed is derived from
+    /// ([`StreamEngine::request_seed`]).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The priority class the request was submitted under.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+}
+
+/// The version tag written into [`StreamReport::schema`].
+pub const STREAM_REPORT_SCHEMA: &str = "bcc-stream-report/v1";
+
+/// Aggregated, serializable accounting of one [`StreamEngine::serve`] scope
+/// — the payload of the `BENCH_stream.json` trajectory. Mirrors
+/// [`crate::batch::BatchReport`] (same [`RequestCost`] /
+/// [`PreprocessingCost`] vocabulary, per-request costs in submission order)
+/// plus streaming-specific counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Schema tag consumers can dispatch on (`"bcc-stream-report/v1"`).
+    pub schema: String,
+    /// Number of admitted submissions.
+    pub requests: u64,
+    /// Number of failed submissions.
+    pub failures: u64,
+    /// Submissions admitted under [`Priority::Interactive`].
+    pub interactive: u64,
+    /// Submissions admitted under [`Priority::Bulk`].
+    pub bulk: u64,
+    /// Submissions rejected with [`Error::Overloaded`] (never admitted; they
+    /// consume no submission index and appear nowhere else in the report).
+    pub rejected: u64,
+    /// Laplacian submissions that reused a prepared solver (first submission
+    /// of a fingerprint counts as the miss, exactly as in
+    /// [`crate::batch::BatchReport::cache_hits`]).
+    pub cache_hits: u64,
+    /// Laplacian submissions that paid preprocessing.
+    pub cache_misses: u64,
+    /// Cache-level hit/miss/eviction counters over the engine's lifetime,
+    /// as of the end of this serve scope. Under capacity pressure with
+    /// concurrent workers these can depend on scheduling (rebuilds after
+    /// eviction). With an **unbounded** cache (the default) everything else
+    /// in this report is scheduling-independent too; under a capacity bound,
+    /// an eviction racing the first submission of a previously cached
+    /// fingerprint can additionally flip that fingerprint's `cached` / hit
+    /// classification (and with it the charged preprocessing in
+    /// [`StreamReport::total`]) — *results* stay bit-identical regardless.
+    pub cache: CacheStats,
+    /// Total accounted communication cost of the scope: every successful
+    /// submission's report plus each distinct *new* fingerprint's
+    /// preprocessing charged exactly once, folded in submission order (so
+    /// the total is independent of completion order).
+    pub total: RoundReport,
+    /// Per-distinct-fingerprint preprocessing costs, in first-submission
+    /// order.
+    pub preprocessing: Vec<PreprocessingCost>,
+    /// Per-submission costs, in submission order.
+    pub per_request: Vec<RequestCost>,
+}
+
+/// Everything one [`StreamEngine::serve`] scope returns.
+#[derive(Debug)]
+pub struct StreamOutput<T> {
+    /// The closure's return value.
+    pub value: T,
+    /// Results of admitted submissions the closure never polled or waited
+    /// for, in submission order — the engine drains them before shutting
+    /// down rather than dropping them.
+    pub uncollected: Vec<(u64, Result<Outcome<Response>, Error>)>,
+    /// Aggregated accounting of every admitted submission.
+    pub report: StreamReport,
+}
+
+/// Builder of a [`StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct StreamEngineBuilder {
+    model: ModelConfig,
+    seed: u64,
+    epsilon: f64,
+    workers: Option<usize>,
+    shards: usize,
+    queue_capacity: usize,
+    backpressure: BackpressurePolicy,
+    cache_capacity: Option<usize>,
+}
+
+impl Default for StreamEngineBuilder {
+    fn default() -> Self {
+        StreamEngineBuilder {
+            model: ModelConfig::bcc(),
+            seed: 2022,
+            epsilon: 1e-6,
+            workers: None,
+            shards: 16,
+            queue_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
+            cache_capacity: None,
+        }
+    }
+}
+
+impl StreamEngineBuilder {
+    /// Sets the clique model configuration of the worker sessions.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the master seed per-submission seeds are derived from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the default solve accuracy of the worker sessions.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the worker-thread count (default: the machine's available
+    /// parallelism, capped at 8). A count of 1 serves submissions strictly
+    /// one at a time — useful to observe the determinism contract directly.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the number of cache shards (default 16).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Bounds the admission queue to `capacity` waiting submissions
+    /// (default 64, minimum 1). What happens beyond the bound is decided by
+    /// [`StreamEngineBuilder::backpressure`].
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the overflow behaviour of the bounded admission queue (default
+    /// [`BackpressurePolicy::Block`]).
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Bounds the prepared-Laplacian cache to at most `capacity` entries
+    /// with LRU eviction (default: unbounded). Eviction re-pays
+    /// preprocessing on the next request for the evicted topology but never
+    /// changes results.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Copies model, seed and epsilon from an existing [`Session`], so the
+    /// engine serves exactly what that session would serve.
+    pub fn from_session(self, session: &Session) -> Self {
+        self.model(session.model())
+            .seed(session.seed())
+            .epsilon(session.epsilon())
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> StreamEngine {
+        let workers = self.workers.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(4)
+        });
+        StreamEngine {
+            core: EngineCore::new(
+                self.model,
+                self.seed,
+                self.epsilon,
+                self.shards,
+                self.cache_capacity,
+            ),
+            workers,
+            queue_capacity: self.queue_capacity,
+            backpressure: self.backpressure,
+            ledger: RoundLedger::new(),
+            scopes: 0,
+        }
+    }
+}
+
+/// A long-lived streaming server for the paper's four pipelines: incremental
+/// submission, two priority classes, bounded backpressure, graceful drain and
+/// the shared bounded Laplacian cache. See the [module documentation](self)
+/// for the determinism contract.
+#[derive(Debug)]
+pub struct StreamEngine {
+    core: EngineCore,
+    workers: usize,
+    queue_capacity: usize,
+    backpressure: BackpressurePolicy,
+    ledger: RoundLedger,
+    /// Serve scopes run so far; brands tickets so stale ones fail loudly.
+    scopes: u64,
+}
+
+impl Default for StreamEngine {
+    fn default() -> Self {
+        StreamEngine::builder().build()
+    }
+}
+
+impl StreamEngine {
+    /// Starts a builder with laboratory defaults (BCC model, seed 2022,
+    /// `ε = 1e-6`, 16 shards, queue capacity 64, blocking backpressure,
+    /// unbounded cache).
+    pub fn builder() -> StreamEngineBuilder {
+        StreamEngineBuilder::default()
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.core.seed
+    }
+
+    /// The worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The configured backpressure policy.
+    pub fn backpressure(&self) -> BackpressurePolicy {
+        self.backpressure
+    }
+
+    /// Number of prepared Laplacian solvers currently cached (including
+    /// cached preprocessing failures). Never exceeds the configured
+    /// [`StreamEngineBuilder::cache_capacity`].
+    pub fn cached_graphs(&self) -> usize {
+        self.core.cache.len()
+    }
+
+    /// Hit/miss/eviction counters of the prepared-Laplacian cache over this
+    /// engine's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.core.cache.stats()
+    }
+
+    /// The configured cache capacity bound (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.core.cache.capacity()
+    }
+
+    /// Drops every cached prepared solver (counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.core.cache.clear();
+    }
+
+    /// The deterministic seed of submission `index` — the same derivation as
+    /// [`crate::batch::BatchEngine::request_seed`], so a sequential
+    /// [`Session`] loop over the submissions reproduces every stream result
+    /// bit for bit.
+    pub fn request_seed(&self, index: usize) -> u64 {
+        self.core.request_seed(index)
+    }
+
+    /// Cumulative communication cost of every serve scope this engine ran
+    /// (per-submission costs plus each newly built preprocessing charged
+    /// exactly once per scope).
+    pub fn cumulative_report(&self) -> RoundReport {
+        RoundReport::from_ledger(&self.ledger)
+    }
+
+    /// Runs a serve scope: spawns the worker pool, hands the closure a
+    /// [`StreamClient`] for incremental submission and collection, and on
+    /// closure return drains every admitted submission before aggregating.
+    /// If the closure panics, the engine still shuts the workers down
+    /// cleanly, then resumes the panic. If a *worker* panics (only reachable
+    /// through a bug or a legacy panicking path below the typed API), the
+    /// scope is poisoned: blocked `wait`/`submit` calls panic instead of
+    /// hanging, and the panic propagates out of `serve`.
+    pub fn serve<T>(&mut self, f: impl FnOnce(&StreamClient<'_>) -> T) -> StreamOutput<T> {
+        self.scopes += 1;
+        let shared = Shared {
+            core: &self.core,
+            scope: self.scopes,
+            queue_capacity: self.queue_capacity,
+            policy: self.backpressure,
+            queue: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            done: Mutex::new(DoneState::default()),
+            done_cv: Condvar::new(),
+            meta: Mutex::new(Vec::new()),
+            rejected: AtomicU64::new(0),
+            prep: Mutex::new(HashMap::new()),
+        };
+        let value = thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| worker_loop(&shared));
+            }
+            let client = StreamClient { shared: &shared };
+            let value = panic::catch_unwind(AssertUnwindSafe(|| f(&client)));
+            // Close the queue: workers drain what was admitted, then exit;
+            // the scope joins them before we aggregate.
+            shared.queue.lock().expect("stream queue").closed = true;
+            shared.not_empty.notify_all();
+            shared.not_full.notify_all();
+            match value {
+                Ok(value) => value,
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        });
+        let (uncollected, report) = self.aggregate(&shared);
+        self.ledger
+            .charge_phases(report.total.breakdown.iter().map(|(n, s)| (n.as_str(), *s)));
+        StreamOutput {
+            value,
+            uncollected,
+            report,
+        }
+    }
+
+    /// Folds every admitted submission into the deterministic
+    /// [`StreamReport`] through the shared accounting core: per-request
+    /// costs in submission order, analytic hit/miss accounting (first
+    /// submission of a fingerprint is the miss), preprocessing charged once
+    /// per distinct new fingerprint — all independent of completion order.
+    fn aggregate(
+        &self,
+        shared: &Shared<'_>,
+    ) -> (Vec<(u64, Result<Outcome<Response>, Error>)>, StreamReport) {
+        let mut meta = std::mem::take(&mut *shared.meta.lock().expect("submission meta"));
+        meta.sort_by_key(|m| m.index);
+        let mut done = shared.done.lock().expect("completion table");
+        let prep = shared.prep.lock().expect("preprocessing reports");
+
+        let mut interactive = 0u64;
+        let mut bulk = 0u64;
+        let records: Vec<RequestRecord> = meta
+            .iter()
+            .map(|m| {
+                match m.priority {
+                    Priority::Interactive => interactive += 1,
+                    Priority::Bulk => bulk += 1,
+                }
+                let completion = done
+                    .costs
+                    .remove(&m.index)
+                    .expect("the drained scope completed every admitted submission");
+                RequestRecord {
+                    index: m.index,
+                    kind: m.kind,
+                    fingerprint: m.fingerprint,
+                    pre_cached: m.pre_cached,
+                    ok: completion.ok,
+                    error: completion.error,
+                    report: completion.report,
+                }
+            })
+            .collect();
+        let accounting = self.core.account(records, |key| {
+            prep.get(&key)
+                .expect("every submitted fingerprint recorded its preprocessing")
+                .clone()
+        });
+
+        let mut uncollected: Vec<(u64, Result<Outcome<Response>, Error>)> =
+            done.results.drain().collect();
+        uncollected.sort_by_key(|(index, _)| *index);
+
+        let report = StreamReport {
+            schema: STREAM_REPORT_SCHEMA.to_string(),
+            requests: meta.len() as u64,
+            failures: accounting.failures,
+            interactive,
+            bulk,
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            cache_hits: accounting.cache_hits,
+            cache_misses: accounting.cache_misses,
+            cache: self.core.cache.stats(),
+            total: accounting.total,
+            preprocessing: accounting.preprocessing,
+            per_request: accounting.per_request,
+        };
+        (uncollected, report)
+    }
+}
+
+/// One admitted submission travelling from the client to a worker.
+struct Job {
+    index: u64,
+    priority: Priority,
+    request: Request,
+    fp: Option<GraphFingerprint>,
+}
+
+/// The two-class bounded admission queue. Interactive jobs always pop before
+/// bulk jobs; within a class, FIFO in submission order.
+#[derive(Default)]
+struct QueueState {
+    interactive: VecDeque<Job>,
+    bulk: VecDeque<Job>,
+    queued: usize,
+    closed: bool,
+    /// Set when a worker panicked: blocked submitters must panic, not hang.
+    poisoned: bool,
+    next_index: u64,
+}
+
+impl QueueState {
+    fn push(&mut self, job: Job) {
+        match job.priority {
+            Priority::Interactive => self.interactive.push_back(job),
+            Priority::Bulk => self.bulk.push_back(job),
+        }
+        self.queued += 1;
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        let job = self
+            .interactive
+            .pop_front()
+            .or_else(|| self.bulk.pop_front())?;
+        self.queued -= 1;
+        Some(job)
+    }
+}
+
+/// Everything submitted about one request, recorded at admission time; the
+/// deterministic half of the final [`RequestCost`].
+struct SubmitMeta {
+    index: u64,
+    kind: &'static str,
+    priority: Priority,
+    fingerprint: Option<GraphFingerprint>,
+    /// Whether the fingerprint was already cached when it was first
+    /// submitted in this scope (the stream analogue of
+    /// [`PreprocessingCost::cached`]).
+    pre_cached: bool,
+}
+
+/// What a worker records about one completed submission (the result payload
+/// itself goes to the completion table for `poll`/`wait`).
+struct Completion {
+    ok: bool,
+    error: Option<String>,
+    report: RoundReport,
+}
+
+#[derive(Default)]
+struct DoneState {
+    /// Results not yet collected by the client.
+    results: HashMap<u64, Result<Outcome<Response>, Error>>,
+    /// Cost records of every completion, consumed by aggregation.
+    costs: HashMap<u64, Completion>,
+    /// Indices whose results were already handed to the client (so a second
+    /// `wait` on the same ticket can fail loudly instead of hanging).
+    collected: HashSet<u64>,
+    /// Set when a worker panicked: blocked waiters must panic, not hang.
+    poisoned: bool,
+}
+
+/// State shared between the serve scope's client and workers.
+struct Shared<'e> {
+    core: &'e EngineCore,
+    /// Serial of the owning serve scope; tickets are branded with it.
+    scope: u64,
+    queue_capacity: usize,
+    policy: BackpressurePolicy,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    done: Mutex<DoneState>,
+    done_cv: Condvar,
+    meta: Mutex<Vec<SubmitMeta>>,
+    rejected: AtomicU64,
+    prep: Mutex<HashMap<u128, RoundReport>>,
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("stream queue");
+            loop {
+                if let Some(job) = queue.pop() {
+                    shared.not_full.notify_all();
+                    break Some(job);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared.not_empty.wait(queue).expect("stream queue");
+            }
+        };
+        let Some(job) = job else { return };
+        // Malformed input surfaces as a typed `Err` result; a panic here is
+        // reachable only through a bug or a legacy panicking path below the
+        // typed API. Poison the scope before re-panicking so a client
+        // blocked in `wait`/`submit` fails loudly instead of hanging, then
+        // let `thread::scope` propagate the panic out of `serve`.
+        let result = match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job))) {
+            Ok(result) => result,
+            Err(payload) => {
+                shared.queue.lock().expect("stream queue").poisoned = true;
+                shared.not_full.notify_all();
+                shared.done.lock().expect("completion table").poisoned = true;
+                shared.done_cv.notify_all();
+                panic::resume_unwind(payload);
+            }
+        };
+        let completion = match &result {
+            Ok(outcome) => Completion {
+                ok: true,
+                error: None,
+                report: outcome.report.clone(),
+            },
+            Err(e) => Completion {
+                ok: false,
+                error: Some(e.to_string()),
+                report: RoundReport::from_ledger(&RoundLedger::new()),
+            },
+        };
+        let mut done = shared.done.lock().expect("completion table");
+        done.costs.insert(job.index, completion);
+        done.results.insert(job.index, result);
+        drop(done);
+        shared.done_cv.notify_all();
+    }
+}
+
+fn execute_job(shared: &Shared<'_>, job: &Job) -> Result<Outcome<Response>, Error> {
+    match job.fp {
+        Some(fp) => {
+            let graph = match &job.request {
+                Request::Laplacian { graph, .. } => graph,
+                _ => unreachable!("only laplacian jobs carry a fingerprint"),
+            };
+            let (entry, _built) = shared
+                .core
+                .cache
+                .get_or_build(fp, || shared.core.build_entry(graph));
+            // Record the preprocessing cost once per distinct fingerprint —
+            // a pure function of (master seed, graph), so whichever worker
+            // records it first records the same value.
+            shared
+                .prep
+                .lock()
+                .expect("preprocessing reports")
+                .entry(fp.as_u128())
+                .or_insert_with(|| entry.1.clone());
+            shared
+                .core
+                .execute(job.index as usize, &job.request, Some(&entry))
+        }
+        None => shared.core.execute(job.index as usize, &job.request, None),
+    }
+}
+
+/// The submission/collection handle a serve scope's closure works with.
+/// Submissions admit work into the bounded queue; collection takes completed
+/// results out, in any order.
+pub struct StreamClient<'s> {
+    shared: &'s Shared<'s>,
+}
+
+impl StreamClient<'_> {
+    /// Submits one request under a priority class.
+    ///
+    /// Admission is governed by the queue bound: with
+    /// [`BackpressurePolicy::Block`] a full queue blocks until a worker
+    /// frees a slot; with [`BackpressurePolicy::Reject`] it fails fast.
+    /// Rejected submissions consume no submission index, so the admitted
+    /// sequence stays dense and the determinism contract applies to exactly
+    /// the requests that were admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overloaded`] under the reject policy when the queue
+    /// is at capacity.
+    pub fn submit(&self, request: Request, priority: Priority) -> Result<Ticket, Error> {
+        // Fingerprint outside the queue lock — it is the only non-trivial
+        // part of admission.
+        let fp = match &request {
+            Request::Laplacian { graph, .. } => Some(fingerprint(graph)),
+            _ => None,
+        };
+        let pre_cached = fp.is_some_and(|fp| self.shared.core.cache.contains(fp));
+        let kind = request.kind();
+
+        let mut queue = self.shared.queue.lock().expect("stream queue");
+        while queue.queued >= self.shared.queue_capacity {
+            assert!(
+                !queue.poisoned,
+                "a stream worker panicked while this submission was blocked on backpressure"
+            );
+            match self.shared.policy {
+                BackpressurePolicy::Reject => {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::Overloaded {
+                        capacity: self.shared.queue_capacity,
+                    });
+                }
+                BackpressurePolicy::Block => {
+                    queue = self.shared.not_full.wait(queue).expect("stream queue");
+                }
+            }
+        }
+        let index = queue.next_index;
+        queue.next_index += 1;
+        queue.push(Job {
+            index,
+            priority,
+            request,
+            fp,
+        });
+        // Record the admission while still holding the queue lock, so the
+        // meta log is in submission order by construction.
+        self.shared
+            .meta
+            .lock()
+            .expect("submission meta")
+            .push(SubmitMeta {
+                index,
+                kind,
+                priority,
+                fingerprint: fp,
+                pre_cached,
+            });
+        drop(queue);
+        self.shared.not_empty.notify_all();
+        Ok(Ticket {
+            index,
+            priority,
+            scope: self.shared.scope,
+        })
+    }
+
+    /// Panics on a ticket issued by a different serve scope — its index
+    /// would otherwise silently redeem this scope's unrelated result.
+    fn check_scope(&self, ticket: Ticket) {
+        assert!(
+            ticket.scope == self.shared.scope,
+            "stream ticket {} was issued by serve scope {}, not the current scope {}",
+            ticket.index,
+            ticket.scope,
+            self.shared.scope
+        );
+    }
+
+    /// Takes the result of a completed submission, or `None` if it is still
+    /// queued or running (or was already collected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ticket kept from an earlier serve scope.
+    pub fn poll(&self, ticket: Ticket) -> Option<Result<Outcome<Response>, Error>> {
+        self.check_scope(ticket);
+        let mut done = self.shared.done.lock().expect("completion table");
+        let result = done.results.remove(&ticket.index);
+        if result.is_some() {
+            done.collected.insert(ticket.index);
+        }
+        result
+    }
+
+    /// Blocks until the submission completes and takes its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket's result was already collected (waiting on it
+    /// again would otherwise block forever), if the ticket was kept from an
+    /// earlier serve scope, or if a worker thread panicked while the wait
+    /// was blocked.
+    pub fn wait(&self, ticket: Ticket) -> Result<Outcome<Response>, Error> {
+        self.check_scope(ticket);
+        let mut done = self.shared.done.lock().expect("completion table");
+        loop {
+            if let Some(result) = done.results.remove(&ticket.index) {
+                done.collected.insert(ticket.index);
+                return result;
+            }
+            assert!(
+                !done.collected.contains(&ticket.index),
+                "stream ticket {} was already collected",
+                ticket.index
+            );
+            assert!(
+                !done.poisoned,
+                "a stream worker panicked while this wait was blocked"
+            );
+            done = self.shared.done_cv.wait(done).expect("completion table");
+        }
+    }
+
+    /// Number of submissions admitted so far in this scope.
+    pub fn submitted(&self) -> u64 {
+        self.shared.queue.lock().expect("stream queue").next_index
+    }
+
+    /// Number of submissions completed so far in this scope (collected or
+    /// not).
+    pub fn completed(&self) -> u64 {
+        let done = self.shared.done.lock().expect("completion table");
+        done.costs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(index: u64, priority: Priority) -> Job {
+        Job {
+            index,
+            priority,
+            request: Request::sparsify(bcc_graph::generators::complete(4), 0.5),
+            fp: None,
+        }
+    }
+
+    #[test]
+    fn queue_pops_interactive_before_bulk_fifo_within_class() {
+        let mut queue = QueueState::default();
+        queue.push(job(0, Priority::Bulk));
+        queue.push(job(1, Priority::Interactive));
+        queue.push(job(2, Priority::Bulk));
+        queue.push(job(3, Priority::Interactive));
+        assert_eq!(queue.queued, 4);
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop())
+            .map(|j| j.index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert_eq!(queue.queued, 0);
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn tickets_expose_index_and_priority() {
+        let ticket = Ticket {
+            index: 7,
+            priority: Priority::Bulk,
+            scope: 1,
+        };
+        assert_eq!(ticket.index(), 7);
+        assert_eq!(ticket.priority(), Priority::Bulk);
+    }
+}

@@ -386,6 +386,13 @@ fn golden_report() -> BatchReport {
         failures: 1,
         cache_hits: 1,
         cache_misses: 1,
+        cache: bcc_core::CacheStats {
+            hits: 1,
+            misses: 1,
+            evictions: 0,
+            entries: 1,
+            capacity: None,
+        },
         total: RoundReport {
             total_rounds: 12,
             total_bits: 340,
@@ -479,6 +486,12 @@ fn a_real_batch_report_exposes_the_documented_field_names() {
         "\"failures\"",
         "\"cache_hits\"",
         "\"cache_misses\"",
+        "\"cache\"",
+        "\"hits\"",
+        "\"misses\"",
+        "\"evictions\"",
+        "\"entries\"",
+        "\"capacity\"",
         "\"total\"",
         "\"preprocessing\"",
         "\"per_request\"",

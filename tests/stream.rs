@@ -1,0 +1,720 @@
+//! Integration tests of the `bcc_core::stream` serving engine: bit-identity
+//! with a sequential `Session` loop across all four pipelines (for any
+//! worker count, priority mix and submission/collection interleaving),
+//! backpressure and rejection paths, drain-on-shutdown, bounded-cache
+//! eviction correctness, and a golden snapshot of the `StreamReport` JSON
+//! schema that `BENCH_stream.json` consumers rely on.
+
+use std::collections::HashMap;
+
+use bcc_core::batch::{BatchEngine, PreprocessingCost, RequestCost};
+use bcc_core::prelude::*;
+use bcc_core::stream::{StreamEngine, StreamReport, Ticket};
+use bcc_core::{graph::generators, CacheStats, Error, Request, Response};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const MASTER_SEED: u64 = 2022;
+
+/// A mixed workload touching all four pipelines, with repeated Laplacian
+/// topologies so the cache has something to amortize. Priorities alternate
+/// to exercise both queues.
+fn mixed_workload() -> Vec<(Request, Priority)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let grid = generators::grid(4, 4);
+    let mut b1 = vec![0.0; grid.n()];
+    b1[0] = 1.0;
+    b1[15] = -1.0;
+    let mut b2 = vec![0.0; grid.n()];
+    b2[3] = 1.0;
+    b2[12] = -1.0;
+    let other = generators::random_connected(12, 0.4, 4, &mut rng);
+    let mut b3 = vec![0.0; other.n()];
+    b3[0] = 2.0;
+    b3[11] = -2.0;
+
+    let lp = LpInstance {
+        a: bcc_core::linalg::CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]),
+        b: vec![1.0],
+        c: vec![0.0, 1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![1.0, 1.0],
+    };
+    let lp_request = LpRequest::new(
+        vec![0.5, 0.5],
+        LpOptions::new(1e-3, lp.m(), 7).with_uniform_weights(),
+    );
+
+    let flow = generators::random_flow_instance(5, 0.3, 3, &mut rng);
+
+    vec![
+        (
+            Request::sparsify(generators::complete(14), 0.5),
+            Priority::Interactive,
+        ),
+        (Request::laplacian(grid.clone(), b1), Priority::Bulk),
+        (Request::laplacian(grid, b2), Priority::Bulk), // same topology: cache hit
+        (Request::laplacian(other, b3), Priority::Interactive),
+        (Request::lp(lp, lp_request), Priority::Interactive),
+        (Request::min_cost_max_flow(flow), Priority::Bulk),
+    ]
+}
+
+/// The documented sequential equivalent of a stream scope: per-submission
+/// sessions at the derived seed for sparsify/lp/mcmf, one prepared handle
+/// per distinct graph at the master seed for Laplacian solves — exactly the
+/// batch engine's contract, keyed by submission index.
+fn sequential_reference(requests: &[Request]) -> Vec<Result<bcc_core::Outcome<Response>, Error>> {
+    let engine = StreamEngine::builder().seed(MASTER_SEED).build();
+    let mut prepared: HashMap<u128, Result<PreparedLaplacian, Error>> = HashMap::new();
+    requests
+        .iter()
+        .enumerate()
+        .map(|(i, request)| {
+            let mut session = Session::builder().seed(engine.request_seed(i)).build();
+            match request {
+                Request::Sparsify { graph, epsilon } => session
+                    .sparsify(graph, *epsilon)
+                    .map(|o| o.map(Response::Sparsify)),
+                Request::Laplacian { graph, b, .. } => {
+                    let key = bcc_core::graph::fingerprint::fingerprint(graph).as_u128();
+                    let handle = prepared.entry(key).or_insert_with(|| {
+                        Session::builder()
+                            .seed(MASTER_SEED)
+                            .build()
+                            .laplacian(graph)
+                            .preprocess()
+                    });
+                    match handle {
+                        Ok(handle) => handle.solve(b).map(|o| o.map(Response::Laplacian)),
+                        Err(e) => Err(e.clone()),
+                    }
+                }
+                Request::Lp { instance, request } => {
+                    session.lp(instance, request).map(|o| o.map(Response::Lp))
+                }
+                Request::MinCostMaxFlow { instance, options } => match options {
+                    Some(opts) => session.min_cost_max_flow_with(instance, opts),
+                    None => session.min_cost_max_flow(instance),
+                }
+                .map(|o| o.map(Response::MinCostMaxFlow)),
+            }
+        })
+        .collect()
+}
+
+fn assert_results_match(
+    got: &[Result<bcc_core::Outcome<Response>, Error>],
+    want: &[Result<bcc_core::Outcome<Response>, Error>],
+) {
+    assert_eq!(got.len(), want.len());
+    for (i, (got, want)) in got.iter().zip(want).enumerate() {
+        match (got, want) {
+            (Ok(got), Ok(want)) => {
+                assert_eq!(got.value, want.value, "submission {i} value");
+                assert_eq!(got.report, want.report, "submission {i} report");
+            }
+            (Err(got), Err(want)) => assert_eq!(got, want, "submission {i} error"),
+            other => panic!("submission {i}: stream and sequential disagree: {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: stream == sequential Session loop at equal seeds, for any
+// worker count, priority mix and interleaving of submission and collection.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interleaved_stream_is_bit_identical_to_the_sequential_session_loop() {
+    let workload = mixed_workload();
+    let reference =
+        sequential_reference(&workload.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
+
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(4).build();
+    let output = engine.serve(|client| {
+        // Interleave submission and collection: submit two, collect the
+        // first, submit the rest, then collect everything else in reverse
+        // submission order. Scheduling and collection order must not matter.
+        let mut tickets: Vec<Ticket> = Vec::new();
+        for (request, priority) in &workload[..2] {
+            tickets.push(client.submit(request.clone(), *priority).unwrap());
+        }
+        let first = client.wait(tickets[0]);
+        for (request, priority) in &workload[2..] {
+            tickets.push(client.submit(request.clone(), *priority).unwrap());
+        }
+        let mut collected: Vec<(u64, Result<bcc_core::Outcome<Response>, Error>)> =
+            vec![(tickets[0].index(), first)];
+        for ticket in tickets[1..].iter().rev() {
+            collected.push((ticket.index(), client.wait(*ticket)));
+        }
+        collected.sort_by_key(|(index, _)| *index);
+        collected
+            .into_iter()
+            .map(|(_, result)| result)
+            .collect::<Vec<_>>()
+    });
+
+    assert_results_match(&output.value, &reference);
+    assert!(output.uncollected.is_empty(), "everything was collected");
+    assert_eq!(output.report.requests, workload.len() as u64);
+    assert_eq!(output.report.failures, 0);
+    assert_eq!(output.report.interactive, 3);
+    assert_eq!(output.report.bulk, 3);
+    assert_eq!(output.report.cache_hits, 1, "repeated grid topology");
+    assert_eq!(output.report.cache_misses, 2, "two distinct topologies");
+
+    // The per-request accounting mirrors the batch vocabulary: submission
+    // order, derived seeds, per-solve reports.
+    for (i, cost) in output.report.per_request.iter().enumerate() {
+        assert_eq!(cost.index, i as u64);
+        assert_eq!(cost.seed, engine.request_seed(i));
+        assert!(cost.ok);
+        assert_eq!(
+            cost.report,
+            reference[i].as_ref().unwrap().report,
+            "submission {i} metered report"
+        );
+    }
+}
+
+#[test]
+fn worker_count_and_interleaving_do_not_change_results_or_report() {
+    let workload = mixed_workload();
+
+    // Engine A: one worker, submit-all-then-wait-all.
+    let mut one = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
+    let out_one = one.serve(|client| {
+        let tickets: Vec<Ticket> = workload
+            .iter()
+            .map(|(r, p)| client.submit(r.clone(), *p).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+
+    // Engine B: seven workers, lock-step submit-then-wait (a completely
+    // different interleaving — at most one request in flight at a time).
+    let mut many = StreamEngine::builder().seed(MASTER_SEED).workers(7).build();
+    let out_many = many.serve(|client| {
+        workload
+            .iter()
+            .map(|(r, p)| {
+                let ticket = client.submit(r.clone(), *p).unwrap();
+                client.wait(ticket)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    assert_results_match(&out_one.value, &out_many.value);
+    // The whole report — per-request costs, cache accounting, priorities,
+    // totals, even the cache-level counters (the cache is unbounded here) —
+    // is scheduling-independent.
+    assert_eq!(out_one.report, out_many.report);
+
+    // And identical to the batch engine serving the same requests as one
+    // closed slice at the same master seed.
+    let requests: Vec<Request> = workload.iter().map(|(r, _)| r.clone()).collect();
+    let mut batch = BatchEngine::builder().seed(MASTER_SEED).workers(3).build();
+    let batch_out = batch.run(&requests);
+    assert_results_match(&out_one.value, &batch_out.results);
+}
+
+#[test]
+fn priorities_affect_scheduling_only_never_results() {
+    let workload = mixed_workload();
+    let mut bulk_only = StreamEngine::builder().seed(MASTER_SEED).workers(3).build();
+    let out_bulk = bulk_only.serve(|client| {
+        let tickets: Vec<Ticket> = workload
+            .iter()
+            .map(|(r, _)| client.submit(r.clone(), Priority::Bulk).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+    let mut interactive_only = StreamEngine::builder().seed(MASTER_SEED).workers(3).build();
+    let out_interactive = interactive_only.serve(|client| {
+        let tickets: Vec<Ticket> = workload
+            .iter()
+            .map(|(r, _)| client.submit(r.clone(), Priority::Interactive).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+    assert_results_match(&out_bulk.value, &out_interactive.value);
+    assert_eq!(out_bulk.report.bulk, workload.len() as u64);
+    assert_eq!(out_interactive.report.interactive, workload.len() as u64);
+    assert_eq!(out_bulk.report.total, out_interactive.report.total);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: the bounded queue blocks or rejects, per policy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn block_policy_admits_everything_through_a_tiny_queue() {
+    let grid = generators::grid(4, 4);
+    let requests: Vec<Request> = (1..=8)
+        .map(|k| {
+            let mut b = vec![0.0; grid.n()];
+            b[k % grid.n()] = 1.0;
+            b[grid.n() - 1 - k % grid.n()] -= 1.0;
+            Request::laplacian(grid.clone(), b)
+        })
+        .collect();
+    let reference = sequential_reference(&requests);
+
+    let mut engine = StreamEngine::builder()
+        .seed(MASTER_SEED)
+        .workers(2)
+        .queue_capacity(1)
+        .backpressure(BackpressurePolicy::Block)
+        .build();
+    let output = engine.serve(|client| {
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| {
+                client
+                    .submit(r.clone(), Priority::Bulk)
+                    .expect("blocking backpressure never rejects")
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+    assert_results_match(&output.value, &reference);
+    assert_eq!(output.report.rejected, 0);
+    assert_eq!(output.report.requests, 8);
+}
+
+#[test]
+fn reject_policy_surfaces_a_typed_overloaded_error() {
+    // One worker, a two-slot queue, and a worker-occupying first request: a
+    // rapid burst behind it must overflow the queue. (The burst outnumbers
+    // the queue by enough that the single busy worker cannot drain it,
+    // whatever the thread timing.)
+    let burst = 16usize;
+    let capacity = 2usize;
+    let mut engine = StreamEngine::builder()
+        .seed(MASTER_SEED)
+        .workers(1)
+        .queue_capacity(capacity)
+        .backpressure(BackpressurePolicy::Reject)
+        .build();
+
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+
+    let output = engine.serve(|client| {
+        let slow = client
+            .submit(
+                Request::sparsify(generators::complete(16), 0.5),
+                Priority::Interactive,
+            )
+            .expect("the queue is empty at the first submission");
+        let mut accepted = vec![slow];
+        let mut rejected = 0u64;
+        for _ in 0..burst {
+            match client.submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(Error::Overloaded { capacity: c }) => {
+                    assert_eq!(c, capacity);
+                    rejected += 1;
+                }
+                Err(other) => panic!("expected Overloaded, got {other}"),
+            }
+        }
+        (accepted, rejected)
+    });
+
+    let (accepted, rejected) = output.value;
+    assert!(rejected > 0, "the burst must overflow the two-slot queue");
+    assert_eq!(output.report.rejected, rejected);
+    assert_eq!(output.report.requests, accepted.len() as u64);
+    // Rejected submissions consume no index: the admitted sequence is dense,
+    // so it is bit-identical to a sequential loop over the admitted requests.
+    let mut admitted_requests = vec![Request::sparsify(generators::complete(16), 0.5)];
+    admitted_requests
+        .extend((1..accepted.len()).map(|_| Request::laplacian(grid.clone(), b.clone())));
+    let reference = sequential_reference(&admitted_requests);
+    let drained: Vec<_> = output.uncollected.into_iter().map(|(_, r)| r).collect();
+    assert_results_match(&drained, &reference);
+    assert_eq!(output.report.failures, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown: returning from the serve scope drains every admitted request.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drain_on_shutdown_completes_every_unconsumed_ticket() {
+    let workload = mixed_workload();
+    let reference =
+        sequential_reference(&workload.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(3).build();
+    let output = engine.serve(|client| {
+        for (request, priority) in &workload {
+            client.submit(request.clone(), *priority).unwrap();
+        }
+        // Return without waiting for anything: the engine must drain.
+    });
+    assert_eq!(output.uncollected.len(), workload.len());
+    for (expected_index, (index, _)) in output.uncollected.iter().enumerate() {
+        assert_eq!(*index, expected_index as u64, "submission order");
+    }
+    let drained: Vec<_> = output.uncollected.into_iter().map(|(_, r)| r).collect();
+    assert_results_match(&drained, &reference);
+    assert_eq!(output.report.requests, workload.len() as u64);
+    assert_eq!(output.report.failures, 0);
+}
+
+#[test]
+fn failures_are_isolated_and_metered_as_in_batch() {
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+    let disconnected = Graph::from_edges(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]);
+
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(3).build();
+    let output = engine.serve(|client| {
+        let healthy = client
+            .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+            .unwrap();
+        let broken = client
+            .submit(
+                Request::laplacian(disconnected.clone(), vec![0.0; 6]),
+                Priority::Interactive,
+            )
+            .unwrap();
+        let nan = client
+            .submit(
+                Request::sparsify(generators::complete(10), f64::NAN),
+                Priority::Bulk,
+            )
+            .unwrap();
+        let again = client
+            .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+            .unwrap();
+        (
+            client.wait(healthy),
+            client.wait(broken),
+            client.wait(nan),
+            client.wait(again),
+        )
+    });
+    let (healthy, broken, nan, again) = output.value;
+    assert!(healthy.is_ok());
+    assert!(matches!(
+        broken,
+        Err(Error::Laplacian(
+            bcc_core::laplacian::LaplacianError::Disconnected
+        ))
+    ));
+    assert!(matches!(nan, Err(Error::InvalidEpsilon { .. })));
+    assert!(again.is_ok());
+    assert_eq!(output.report.failures, 2);
+    assert!(!output.report.per_request[1].ok);
+    assert!(output.report.per_request[1]
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("connected"));
+    assert_eq!(output.report.per_request[1].report.total_rounds, 0);
+    // The failed preprocessing is cached (and reported) with zero rounds.
+    let failed_entry = output
+        .report
+        .preprocessing
+        .iter()
+        .find(|p| {
+            p.fingerprint == bcc_core::graph::fingerprint::fingerprint(&disconnected).to_hex()
+        })
+        .unwrap();
+    assert_eq!(failed_entry.report.total_rounds, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded cache: capacity is enforced, eviction never changes results.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_eviction_under_capacity_one_is_correct_and_bounded() {
+    // Alternate between two topologies so a capacity-1 cache must evict on
+    // (nearly) every switch, with 4 workers racing on it.
+    let a = generators::grid(4, 4);
+    let c = generators::grid(3, 5);
+    let mut requests = Vec::new();
+    for k in 1..=3 {
+        for g in [&a, &c] {
+            let mut b = vec![0.0; g.n()];
+            b[k % g.n()] = 1.0;
+            b[g.n() - 1 - k % g.n()] -= 1.0;
+            requests.push(Request::laplacian(g.clone(), b));
+        }
+    }
+    let reference = sequential_reference(&requests);
+
+    let mut bounded = StreamEngine::builder()
+        .seed(MASTER_SEED)
+        .workers(4)
+        .cache_capacity(1)
+        .build();
+    let output = bounded.serve(|client| {
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| client.submit(r.clone(), Priority::Bulk).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+
+    // Eviction re-pays preprocessing but never changes a result.
+    assert_results_match(&output.value, &reference);
+    // The bound is enforced...
+    assert!(bounded.cached_graphs() <= 1, "cache exceeded its capacity");
+    assert_eq!(output.report.cache.capacity, Some(1));
+    assert!(output.report.cache.entries <= 1);
+    // ...and was actually exercised.
+    let stats = bounded.cache_stats();
+    assert!(
+        stats.evictions >= 1,
+        "two alternating topologies under capacity 1 must evict: {stats:?}"
+    );
+    assert!(
+        stats.misses >= 2,
+        "at least one build per distinct topology: {stats:?}"
+    );
+
+    // The batch engine shares the same bounded-cache machinery.
+    let mut bounded_batch = BatchEngine::builder()
+        .seed(MASTER_SEED)
+        .workers(4)
+        .cache_capacity(1)
+        .build();
+    let batch_out = bounded_batch.run(&requests);
+    assert_results_match(&batch_out.results, &reference);
+    assert!(bounded_batch.cached_graphs() <= 1);
+    assert_eq!(batch_out.report.cache.capacity, Some(1));
+}
+
+#[test]
+fn stream_cumulative_ledger_accumulates_and_absorbs_into_sessions() {
+    let workload = mixed_workload();
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(2).build();
+    let first = engine.serve(|client| {
+        for (request, priority) in &workload {
+            client.submit(request.clone(), *priority).unwrap();
+        }
+    });
+    let after_one = engine.cumulative_report();
+    assert_eq!(after_one, first.report.total);
+    let second = engine.serve(|client| {
+        for (request, priority) in &workload {
+            client.submit(request.clone(), *priority).unwrap();
+        }
+    });
+    // The second scope reuses every cached preprocessing.
+    assert_eq!(second.report.cache_misses, 0);
+    assert!(second.report.total.total_rounds < first.report.total.total_rounds);
+    assert_eq!(
+        engine.cumulative_report().total_rounds,
+        first.report.total.total_rounds + second.report.total.total_rounds
+    );
+
+    // Stream totals merge into a serving Session exactly like batch totals.
+    let mut session = Session::builder().seed(MASTER_SEED).build();
+    session.absorb_report(&first.report.total);
+    assert_eq!(session.cumulative_report(), first.report.total);
+}
+
+#[test]
+#[should_panic(expected = "issued by serve scope")]
+fn a_stale_ticket_from_an_earlier_scope_panics_instead_of_misredeeming() {
+    let grid = generators::grid(3, 3);
+    let mut b = vec![0.0; 9];
+    b[0] = 1.0;
+    b[8] = -1.0;
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).build();
+    let stale = engine
+        .serve(|client| {
+            client
+                .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+                .unwrap()
+        })
+        .value;
+    // Scope 2 reuses submission index 0; redeeming the scope-1 ticket would
+    // silently return the wrong request's result — it must panic instead.
+    engine.serve(|client| {
+        client
+            .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+            .unwrap();
+        let _ = client.wait(stale);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot: the StreamReport JSON schema is stable.
+// ---------------------------------------------------------------------------
+
+/// A small handcrafted report with every field populated deterministically.
+fn golden_report() -> StreamReport {
+    let phase = |rounds: u64, bits: u64, operations: u64| bcc_core::runtime::PhaseStats {
+        rounds,
+        bits,
+        operations,
+    };
+    StreamReport {
+        schema: "bcc-stream-report/v1".to_string(),
+        requests: 2,
+        failures: 1,
+        interactive: 1,
+        bulk: 1,
+        rejected: 3,
+        cache_hits: 0,
+        cache_misses: 1,
+        cache: CacheStats {
+            hits: 0,
+            misses: 1,
+            evictions: 0,
+            entries: 1,
+            capacity: Some(4),
+        },
+        total: RoundReport {
+            total_rounds: 12,
+            total_bits: 340,
+            total_operations: 4,
+            breakdown: vec![
+                ("laplacian solve".to_string(), phase(3, 40, 2)),
+                ("laplacian preprocessing".to_string(), phase(9, 300, 2)),
+            ],
+        },
+        preprocessing: vec![PreprocessingCost {
+            fingerprint: "000102030405060708090a0b0c0d0e0f".to_string(),
+            requests: 1,
+            cached: false,
+            report: RoundReport {
+                total_rounds: 9,
+                total_bits: 300,
+                total_operations: 2,
+                breakdown: vec![("laplacian preprocessing".to_string(), phase(9, 300, 2))],
+            },
+        }],
+        per_request: vec![
+            RequestCost {
+                index: 0,
+                kind: "laplacian".to_string(),
+                seed: 42,
+                fingerprint: Some("000102030405060708090a0b0c0d0e0f".to_string()),
+                cache_hit: false,
+                ok: true,
+                error: None,
+                report: RoundReport {
+                    total_rounds: 3,
+                    total_bits: 40,
+                    total_operations: 2,
+                    breakdown: vec![("laplacian solve".to_string(), phase(3, 40, 2))],
+                },
+            },
+            RequestCost {
+                index: 1,
+                kind: "sparsify".to_string(),
+                seed: 43,
+                fingerprint: None,
+                cache_hit: false,
+                ok: false,
+                error: Some("sparsifier: the graph has no edges".to_string()),
+                report: RoundReport {
+                    total_rounds: 0,
+                    total_bits: 0,
+                    total_operations: 0,
+                    breakdown: vec![],
+                },
+            },
+        ],
+    }
+}
+
+#[test]
+fn stream_report_json_schema_matches_the_golden_snapshot() {
+    let json = serde_json::to_string_pretty(&golden_report()).unwrap();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/stream_report.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, format!("{json}\n")).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("tests/golden/stream_report.json exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "StreamReport JSON schema changed — regenerate tests/golden/stream_report.json with \
+         UPDATE_GOLDEN=1 and bump STREAM_REPORT_SCHEMA if the change is not additive"
+    );
+    // And it round-trips.
+    let back: StreamReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, golden_report());
+}
+
+#[test]
+fn a_real_stream_report_exposes_the_documented_field_names() {
+    let grid = generators::grid(3, 3);
+    let mut b = vec![0.0; 9];
+    b[0] = 1.0;
+    b[8] = -1.0;
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).build();
+    let output = engine.serve(|client| {
+        client
+            .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+            .unwrap();
+    });
+    let json = serde_json::to_string(&output.report).unwrap();
+    for field in [
+        "\"schema\"",
+        "\"requests\"",
+        "\"failures\"",
+        "\"interactive\"",
+        "\"bulk\"",
+        "\"rejected\"",
+        "\"cache_hits\"",
+        "\"cache_misses\"",
+        "\"cache\"",
+        "\"hits\"",
+        "\"misses\"",
+        "\"evictions\"",
+        "\"entries\"",
+        "\"capacity\"",
+        "\"total\"",
+        "\"preprocessing\"",
+        "\"per_request\"",
+        "\"total_rounds\"",
+        "\"total_bits\"",
+        "\"total_operations\"",
+        "\"breakdown\"",
+        "\"fingerprint\"",
+        "\"cache_hit\"",
+        "\"seed\"",
+        "\"kind\"",
+        "\"index\"",
+        "\"ok\"",
+        "\"error\"",
+        "\"cached\"",
+    ] {
+        assert!(json.contains(field), "missing field {field} in {json}");
+    }
+    assert_eq!(output.report.schema, "bcc-stream-report/v1");
+}
