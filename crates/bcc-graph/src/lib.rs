@@ -10,7 +10,7 @@
 //!   graphs (the input of the minimum cost maximum flow problem).
 //! * [`laplacian`] — matrix-free Laplacian and incidence operators
 //!   (`L = Bᵀ W B`, Section 2.2 of the paper).
-//! * [`fingerprint`] — deterministic, edge-order-independent 128-bit graph
+//! * [`mod@fingerprint`] — deterministic, edge-order-independent 128-bit graph
 //!   digests used as cache keys by batch-serving layers.
 //! * [`generators`] — deterministic and seeded-random graph families used by
 //!   the experiments in EXPERIMENTS.md.

@@ -5,7 +5,7 @@
 //! Achlioptas construction flips an independent coin per entry — infeasible
 //! in the Broadcast Congested Clique because the entry for edge `e` would be
 //! sampled by one endpoint and could not be communicated to the other. The
-//! paper instead invokes Kane–Nelson [KN14]: `O(log(1/δ) log m)` random bits
+//! paper instead invokes Kane–Nelson \[KN14\]: `O(log(1/δ) log m)` random bits
 //! suffice, and those few bits can be sampled by a leader and broadcast.
 //!
 //! This module implements that pattern: a [`JlSketch`] is generated

@@ -4,7 +4,7 @@
 //! *"The Laplacian Paradigm in the Broadcast Congested Clique"* (Forster &
 //! de Vos, PODC 2022):
 //!
-//! * [`connect`] — the `Connect` sampling procedure (Algorithm 2) and the
+//! * [`mod@connect`] — the `Connect` sampling procedure (Algorithm 2) and the
 //!   implicit-communication deduction rule.
 //! * [`probabilistic`] — the `(2k−1)`-spanner with probabilistic edges of
 //!   Section 3.1, plus the classical Baswana–Sen special case (`p ≡ 1`,

@@ -8,7 +8,7 @@
 //!
 //! The algorithm is the Baswana–Sen clustering (Appendix A) with the paper's
 //! modification: whenever a vertex would use an edge, the edge's existence is
-//! sampled *on the fly* by that vertex inside the [`crate::connect`]
+//! sampled *on the fly* by that vertex inside the [`mod@crate::connect`]
 //! procedure, and the opposite endpoint deduces the outcome from the
 //! subsequent broadcast (the [`crate::connect::deduce_fate`] rule) — no
 //! explicit communication of negative samples is ever needed, which is what

@@ -33,9 +33,13 @@
 //!
 //! `BENCH_stream.json` is an object `{schema, seed, workers, report}` where
 //! `report` is a serialized [`StreamReport`] (`bcc-stream-report/v1`, see
-//! `bcc_core::stream`): request/priority/backpressure counters, the bounded
-//! cache's [`bcc_core::CacheStats`], the submission-order `per_request`
-//! costs and the once-per-fingerprint `preprocessing` costs.
+//! `bcc_core::stream`): request/class/backpressure/deadline counters, the
+//! per-class WFQ scheduler counters (`report.scheduler.classes[*]` with
+//! `{class, weight, rate_limit, submitted, dispatched, expired, throttled}`,
+//! see [`bcc_core::SchedulerStats`]), the bounded cache's
+//! [`bcc_core::CacheStats`] (including its eviction `policy` and per-policy
+//! eviction counters), the submission-order `per_request` costs and the
+//! once-per-fingerprint `preprocessing` costs.
 //!
 //! Field names in all three files are covered by golden-snapshot tests
 //! (`tests/batch.rs` and `tests/stream.rs` in the workspace root), so
@@ -523,6 +527,20 @@ pub fn trend_issues(
         committed_stream.report.failures,
         fresh_stream.report.failures,
     );
+    // Scheduler-level guards: the tracked workload carries no deadlines, so
+    // any expiration is a regression; rejected admissions likewise.
+    check_counter(
+        &mut issues,
+        "stream expired (deadline) submissions",
+        committed_stream.report.expired,
+        fresh_stream.report.expired,
+    );
+    check_counter(
+        &mut issues,
+        "stream rejected submissions",
+        committed_stream.report.rejected,
+        fresh_stream.report.rejected,
+    );
     issues
 }
 
@@ -639,10 +657,21 @@ mod tests {
         assert_eq!(t.report.schema, "bcc-stream-report/v1");
         assert_eq!(t.report.failures, 0);
         assert_eq!(t.report.rejected, 0);
+        assert_eq!(t.report.expired, 0, "the tracked workload has no deadlines");
         assert!(t.report.interactive > 0, "interactive traffic present");
         assert!(t.report.bulk > 0, "bulk traffic present");
         assert!(t.report.cache_hits > 0, "repeated topologies hit the cache");
         assert!(t.report.total.total_rounds > 0);
+        // The WFQ scheduler counters ride along in the payload.
+        assert_eq!(t.report.scheduler.policy, "wfq");
+        let dispatched: u64 = t
+            .report
+            .scheduler
+            .classes
+            .iter()
+            .map(|c| c.dispatched)
+            .sum();
+        assert_eq!(dispatched, t.report.requests);
         // The trajectory is deterministic — CI's trend check relies on it.
         assert_eq!(t.report, stream_trajectory(7, true).report);
     }
@@ -691,6 +720,12 @@ mod tests {
         failing.report.failures = 1;
         let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &failing);
         assert!(issues.iter().any(|i| i.contains("failures")), "{issues:?}");
+
+        // So does a deadline expiration appearing in the tracked workload.
+        let mut expiring = stream.clone();
+        expiring.report.expired = 2;
+        let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &expiring);
+        assert!(issues.iter().any(|i| i.contains("expired")), "{issues:?}");
 
         // Growth within the 2x budget passes.
         let mut within = pipelines.clone();

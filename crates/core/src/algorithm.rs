@@ -2,7 +2,7 @@
 //!
 //! [`BccAlgorithm`] lets harnesses (the `bench` crate, the examples) drive
 //! every pipeline through one generic entry point and collect structured
-//! [`RoundReport`]s without knowing which theorem is underneath — the shape a
+//! [`crate::RoundReport`]s without knowing which theorem is underneath — the shape a
 //! serving system needs to meter heterogeneous traffic uniformly.
 
 use bcc_graph::{FlowInstance, Graph};

@@ -76,7 +76,7 @@ use bcc_graph::{fingerprint, GraphFingerprint};
 use bcc_runtime::{ModelConfig, RoundLedger};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheEntry, CacheStats};
+use crate::cache::{CacheEntry, CacheStats, EvictionPolicy};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
@@ -178,6 +178,7 @@ pub struct BatchEngineBuilder {
     workers: Option<usize>,
     shards: usize,
     cache_capacity: Option<usize>,
+    eviction_policy: EvictionPolicy,
 }
 
 impl Default for BatchEngineBuilder {
@@ -189,6 +190,7 @@ impl Default for BatchEngineBuilder {
             workers: None,
             shards: 16,
             cache_capacity: None,
+            eviction_policy: EvictionPolicy::Lru,
         }
     }
 }
@@ -237,6 +239,15 @@ impl BatchEngineBuilder {
         self
     }
 
+    /// Selects the cache eviction policy (default [`EvictionPolicy::Lru`]).
+    /// Only relevant under a [`BatchEngineBuilder::cache_capacity`] bound;
+    /// the policy decides *which* preprocessing is re-paid after eviction,
+    /// never any result.
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
+    }
+
     /// Copies model, seed and epsilon from an existing [`Session`], so the
     /// engine serves exactly what that session would serve.
     pub fn from_session(self, session: &Session) -> Self {
@@ -259,6 +270,7 @@ impl BatchEngineBuilder {
                 self.epsilon,
                 self.shards,
                 self.cache_capacity,
+                self.eviction_policy,
             ),
             workers,
             ledger: RoundLedger::new(),
@@ -314,6 +326,11 @@ impl BatchEngine {
     /// The configured cache capacity bound (`None` = unbounded).
     pub fn cache_capacity(&self) -> Option<usize> {
         self.core.cache.capacity()
+    }
+
+    /// The configured cache eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.core.cache.policy()
     }
 
     /// Drops every cached prepared solver (counters are kept).

@@ -39,6 +39,15 @@ pub enum Error {
         /// The configured queue capacity that was reached.
         capacity: usize,
     },
+    /// A submission made with [`crate::stream::StreamClient::submit_with_deadline`]
+    /// was still queued when its deadline passed; it was never dispatched.
+    /// Work that was already dispatched always runs to completion and never
+    /// reports this error.
+    DeadlineExceeded {
+        /// How far past its deadline the request already was when the
+        /// scheduler expired it.
+        late_by: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -58,6 +67,12 @@ impl std::fmt::Display for Error {
                     "engine overloaded: admission queue at capacity {capacity}"
                 )
             }
+            Error::DeadlineExceeded { late_by } => {
+                write!(
+                    f,
+                    "deadline exceeded: request was still queued {late_by:?} past its deadline"
+                )
+            }
         }
     }
 }
@@ -70,7 +85,9 @@ impl std::error::Error for Error {
             Error::Laplacian(e) => Some(e),
             Error::Lp(e) => Some(e),
             Error::Flow(e) => Some(e),
-            Error::InvalidEpsilon { .. } | Error::Overloaded { .. } => None,
+            Error::InvalidEpsilon { .. }
+            | Error::Overloaded { .. }
+            | Error::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -130,6 +147,13 @@ mod tests {
         let err = Error::Overloaded { capacity: 8 };
         assert!(err.to_string().contains("overloaded"));
         assert!(err.to_string().contains('8'));
+        assert!(err.source().is_none());
+
+        let err = Error::DeadlineExceeded {
+            late_by: std::time::Duration::from_millis(3),
+        };
+        assert!(err.to_string().contains("deadline exceeded"));
+        assert!(err.to_string().contains("still queued"));
         assert!(err.source().is_none());
     }
 }

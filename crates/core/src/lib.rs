@@ -76,24 +76,25 @@ pub use algorithm::{
     SparsifyAlgorithm,
 };
 pub use batch::{BatchEngine, BatchEngineBuilder, BatchOutput, BatchReport, Request, Response};
-pub use cache::CacheStats;
+pub use cache::{CacheStats, EvictionPolicy};
 pub use error::Error;
 pub use report::RoundReport;
 pub use session::{
     GramChoice, LaplacianRequest, LpRequest, Outcome, PreparedLaplacian, Session, SessionBuilder,
 };
 pub use stream::{
-    BackpressurePolicy, Priority, StreamClient, StreamEngine, StreamEngineBuilder, StreamOutput,
-    StreamReport, Ticket,
+    BackpressurePolicy, ClassStats, Priority, RateLimit, SchedulerStats, StreamClient,
+    StreamEngine, StreamEngineBuilder, StreamOutput, StreamReport, Ticket,
 };
 
 /// Commonly used types, re-exported for `use bcc_core::prelude::*`.
 pub mod prelude {
     pub use crate::algorithm::BccAlgorithm;
+    pub use crate::cache::EvictionPolicy;
     pub use crate::error::Error;
     pub use crate::report::RoundReport;
     pub use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
-    pub use crate::stream::{BackpressurePolicy, Priority, StreamEngine};
+    pub use crate::stream::{BackpressurePolicy, Priority, RateLimit, StreamEngine};
     pub use bcc_flow::{min_cost_max_flow_bcc, ssp_min_cost_max_flow, McmfOptions};
     pub use bcc_graph::{DiGraph, FlowInstance, Graph};
     pub use bcc_laplacian::LaplacianSolver;

@@ -19,7 +19,7 @@ use bcc_runtime::{ModelConfig, RoundLedger};
 use bcc_sparsifier::SparsifierOutput;
 
 use crate::batch::{PreprocessingCost, RequestCost};
-use crate::cache::{CacheEntry, LaplacianCache};
+use crate::cache::{CacheEntry, EvictionPolicy, LaplacianCache};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::session::{LpRequest, Outcome, Session};
@@ -187,12 +187,13 @@ impl EngineCore {
         epsilon: f64,
         shards: usize,
         cache_capacity: Option<usize>,
+        eviction_policy: EvictionPolicy,
     ) -> Self {
         EngineCore {
             model,
             seed,
             epsilon,
-            cache: LaplacianCache::new(shards, cache_capacity),
+            cache: LaplacianCache::new(shards, cache_capacity, eviction_policy),
         }
     }
 

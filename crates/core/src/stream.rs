@@ -1,18 +1,50 @@
-//! Streaming service layer: incremental submission, priority scheduling and
-//! bounded backpressure over the paper's four pipelines.
+//! Streaming service layer: incremental submission, weighted fair queueing,
+//! per-request deadlines and bounded backpressure over the paper's four
+//! pipelines.
 //!
 //! Where [`crate::batch::BatchEngine`] serves one closed slice of requests
 //! per call, a [`StreamEngine`] is a long-lived service: callers submit
 //! [`Request`]s **one at a time** while earlier submissions are still in
-//! flight, tag each with a [`Priority`] class, and collect results through
-//! [`Ticket`] handles ([`StreamClient::poll`] / [`StreamClient::wait`]) as
-//! they complete — possibly far out of submission order. Internally the
-//! engine runs a pool of long-lived scoped worker threads fed by an
-//! MPMC-style two-class queue (all [`Priority::Interactive`] work is
-//! scheduled before any [`Priority::Bulk`] work), with a **bounded**
-//! admission queue whose overflow behaviour is the configured
-//! [`BackpressurePolicy`]: block the submitter until a slot frees, or reject
-//! with the typed [`Error::Overloaded`].
+//! flight, tag each with a scheduling class ([`Priority`]), and collect
+//! results through [`Ticket`] handles ([`StreamClient::poll`] /
+//! [`StreamClient::wait`]) as they complete — possibly far out of submission
+//! order.
+//!
+//! # Scheduling: weighted fair queueing
+//!
+//! Dispatch order is decided by a **weighted fair queueing (WFQ)** scheduler
+//! over an open set of classes. The two built-in classes
+//! ([`Priority::Interactive`], default weight 4, and [`Priority::Bulk`],
+//! default weight 1) can be joined by up to 256 caller-defined classes
+//! ([`Priority::custom`]); per-class weights are configured with
+//! [`StreamEngineBuilder::class_weight`]. Every admitted job receives a
+//! virtual finish time `max(V, F_class) + 1/weight` (the classic
+//! virtual-clock tag with unit-size jobs) and workers always dispatch the
+//! queued job with the smallest tag — so a class with weight `w` receives a
+//! `w`-proportional share of dispatches and **no class can be starved**: a
+//! flood of interactive traffic merely advances the interactive finish tags
+//! past the bulk ones, unlike the strict two-class priority queue this
+//! scheduler replaced.
+//!
+//! A class may additionally carry a **token-bucket rate limit**
+//! ([`StreamEngineBuilder::class_rate_limit`]): at most
+//! [`RateLimit::tokens`] of its jobs are dispatched per scheduling window of
+//! [`RateLimit::window`] consecutive dispatches. The limiter is
+//! *work-conserving* — it shapes the order among competing classes but never
+//! idles a worker: when every queued class is throttled, the smallest-tag
+//! job runs anyway. Per-class submission/dispatch/expiry/throttle counters
+//! are surfaced in [`StreamReport::scheduler`].
+//!
+//! # Deadlines
+//!
+//! [`StreamClient::submit_with_deadline`] attaches a deadline to one
+//! submission. A request that is **still queued** when its deadline passes
+//! is never dispatched: it completes with the typed
+//! [`Error::DeadlineExceeded`] instead (and counts into
+//! [`ClassStats::expired`]). Work that was already dispatched always runs to
+//! completion — a deadline bounds queueing delay, it never cancels running
+//! work. Expired requests touch neither a worker session nor the Laplacian
+//! cache and are metered with an empty [`RoundReport`].
 //!
 //! # Determinism contract
 //!
@@ -23,23 +55,29 @@
 //! runs on a clone of a prepared solver built at the master seed alone, via
 //! the shared bounded cache of [`crate::cache`]. Consequently a stream run
 //! is bit-identical to the sequential [`crate::Session`] loop of the batch
-//! contract for **any** worker count, priority mix, queue capacity and
-//! submission/collection interleaving — and cache eviction only re-pays
-//! preprocessing rounds, it never changes a result. `tests/stream.rs`
-//! enforces all of this.
+//! contract for **any** worker count, class/weight vector, rate limit, queue
+//! capacity and submission/collection interleaving — WFQ may only reorder
+//! *completion*, never change a per-submission seed — and cache eviction
+//! (whatever the [`crate::cache::EvictionPolicy`]) only re-pays
+//! preprocessing rounds, it never changes a result. Deadlines are the one
+//! deliberate exception: whether a deadline expires depends on wall-clock
+//! scheduling, so only submissions without (or with generous) deadlines are
+//! covered by the bit-identity contract. `tests/stream.rs` enforces all of
+//! this.
 //!
 //! # Shutdown and drain
 //!
 //! [`StreamEngine::serve`] scopes the worker pool around a closure. When the
 //! closure returns, the engine **drains**: no new submissions are admitted,
-//! every already-admitted request still executes, and results the closure
-//! never collected come back in [`StreamOutput::uncollected`]. The
-//! aggregated [`StreamReport`] always covers *every* admitted submission.
+//! every already-admitted request still executes (or expires, if its
+//! deadline passes while it waits), and results the closure never collected
+//! come back in [`StreamOutput::uncollected`]. The aggregated
+//! [`StreamReport`] always covers *every* admitted submission.
 //!
 //! # Example
 //!
 //! ```
-//! use bcc_core::stream::{Priority, StreamEngine};
+//! use bcc_core::stream::{Priority, RateLimit, StreamEngine};
 //! use bcc_core::batch::Request;
 //! use bcc_core::graph::generators;
 //!
@@ -48,7 +86,12 @@
 //! b[0] = 1.0;
 //! b[15] = -1.0;
 //!
-//! let mut engine = StreamEngine::builder().seed(2022).workers(2).build();
+//! let mut engine = StreamEngine::builder()
+//!     .seed(2022)
+//!     .workers(2)
+//!     .class_weight(Priority::Bulk, 2)
+//!     .class_rate_limit(Priority::Bulk, RateLimit::new(1, 4))
+//!     .build();
 //! let output = engine.serve(|client| {
 //!     let fast = client
 //!         .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Interactive)
@@ -66,18 +109,20 @@
 //! assert!(output.uncollected.is_empty());
 //! ```
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use bcc_graph::{fingerprint, GraphFingerprint};
 use bcc_runtime::{ModelConfig, RoundLedger};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{PreprocessingCost, RequestCost};
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, EvictionPolicy};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
@@ -85,17 +130,91 @@ use crate::session::{Outcome, Session};
 
 pub use crate::serve::{Request, Response};
 
-/// Scheduling class of one submission. The scheduler always pops every
-/// queued [`Priority::Interactive`] request before any [`Priority::Bulk`]
-/// one; within a class, requests run in submission order. Priorities affect
-/// *latency only* — results are bit-identical whichever class a request is
-/// submitted under.
+/// Scheduling class of one submission. Classes form a small open set: the
+/// two built-in classes plus up to 256 caller-defined ones
+/// ([`Priority::custom`]). Each class has a WFQ weight (and optionally a
+/// rate limit) configured on the [`StreamEngineBuilder`]; dispatch order
+/// follows virtual-finish-time weighted fair queueing, FIFO within a class.
+/// Classes affect *latency only* — results are bit-identical whichever
+/// class a request is submitted under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Priority {
-    /// Latency-sensitive traffic, scheduled ahead of all bulk work.
+    /// Latency-sensitive traffic (default WFQ weight 4).
     Interactive,
-    /// Throughput traffic, scheduled when no interactive work is queued.
+    /// Throughput traffic (default WFQ weight 1).
     Bulk,
+    /// A caller-defined class (default WFQ weight 1 unless configured via
+    /// [`StreamEngineBuilder::class_weight`]). Prefer the
+    /// [`Priority::custom`] constructor.
+    Custom(u8),
+}
+
+impl Priority {
+    /// A caller-defined scheduling class. Classes with the same id share
+    /// one queue, weight and rate limit.
+    pub fn custom(id: u8) -> Self {
+        Priority::Custom(id)
+    }
+
+    /// The class name used in [`ClassStats::class`]: `"interactive"`,
+    /// `"bulk"` or `"custom-<id>"`.
+    pub fn label(&self) -> String {
+        match self {
+            Priority::Interactive => "interactive".to_string(),
+            Priority::Bulk => "bulk".to_string(),
+            Priority::Custom(id) => format!("custom-{id}"),
+        }
+    }
+
+    /// Dense ordering key: built-in classes first, then customs by id. This
+    /// is the deterministic order of [`SchedulerStats::classes`].
+    fn key(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Bulk => 1,
+            Priority::Custom(id) => 2 + id as usize,
+        }
+    }
+
+    /// The default WFQ weight of the class.
+    fn default_weight(self) -> u32 {
+        match self {
+            Priority::Interactive => 4,
+            Priority::Bulk | Priority::Custom(_) => 1,
+        }
+    }
+}
+
+/// A token-bucket rate limit on one scheduling class: at most `tokens`
+/// dispatches of the class per scheduling window of `window` consecutive
+/// dispatches (across all classes). The limiter is work-conserving — it
+/// shapes dispatch order among competing classes but never idles a worker
+/// when only throttled work is queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateLimit {
+    /// Dispatch budget of the class per window (min 1).
+    pub tokens: u32,
+    /// Window length, in consecutive dispatches across all classes (min 1).
+    pub window: u32,
+}
+
+impl RateLimit {
+    /// A rate limit of `tokens` dispatches per window of `window` total
+    /// dispatches. Both are clamped to at least 1.
+    pub fn new(tokens: u32, window: u32) -> Self {
+        RateLimit {
+            tokens: tokens.max(1),
+            window: window.max(1),
+        }
+    }
+
+    /// The same clamp as [`RateLimit::new`], re-applied where limits enter
+    /// the scheduler — the public fields (and `Deserialize`) can bypass the
+    /// constructor, and a zero window must never reach the window
+    /// arithmetic.
+    fn clamped(self) -> Self {
+        RateLimit::new(self.tokens, self.window)
+    }
 }
 
 /// What [`StreamClient::submit`] does when the bounded admission queue is
@@ -134,7 +253,7 @@ impl Ticket {
         self.index
     }
 
-    /// The priority class the request was submitted under.
+    /// The scheduling class the request was submitted under.
     pub fn priority(&self) -> Priority {
         self.priority
     }
@@ -142,6 +261,54 @@ impl Ticket {
 
 /// The version tag written into [`StreamReport::schema`].
 pub const STREAM_REPORT_SCHEMA: &str = "bcc-stream-report/v1";
+
+/// Per-class scheduler counters of one serve scope, surfaced in
+/// [`SchedulerStats::classes`] (and through it in `BENCH_stream.json`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Class name ([`Priority::label`]).
+    pub class: String,
+    /// The configured WFQ weight.
+    pub weight: u32,
+    /// The configured rate limit, if any.
+    pub rate_limit: Option<RateLimit>,
+    /// Submissions admitted under this class.
+    pub submitted: u64,
+    /// Jobs of this class dispatched to a worker.
+    pub dispatched: u64,
+    /// Jobs that expired in the queue ([`Error::DeadlineExceeded`]) and were
+    /// never dispatched.
+    pub expired: u64,
+    /// Scheduling decisions that skipped this class because its rate-limit
+    /// budget for the current window was spent. Timing-dependent under
+    /// concurrency; always zero without a rate limit.
+    pub throttled: u64,
+}
+
+/// Scheduler-level accounting of one serve scope: the discipline plus one
+/// [`ClassStats`] per class, in deterministic class order (built-ins first,
+/// then customs by id).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// The scheduling discipline (`"wfq"`).
+    pub policy: String,
+    /// Per-class counters. The built-in classes are always present; custom
+    /// classes appear once configured or used.
+    pub classes: Vec<ClassStats>,
+}
+
+impl SchedulerStats {
+    /// Counters of one class, by its [`Priority`].
+    pub fn class(&self, priority: Priority) -> Option<&ClassStats> {
+        let label = priority.label();
+        self.classes.iter().find(|c| c.class == label)
+    }
+
+    /// Total deadline expirations across all classes.
+    pub fn expired(&self) -> u64 {
+        self.classes.iter().map(|c| c.expired).sum()
+    }
+}
 
 /// Aggregated, serializable accounting of one [`StreamEngine::serve`] scope
 /// — the payload of the `BENCH_stream.json` trajectory. Mirrors
@@ -154,7 +321,8 @@ pub struct StreamReport {
     pub schema: String,
     /// Number of admitted submissions.
     pub requests: u64,
-    /// Number of failed submissions.
+    /// Number of failed submissions (typed pipeline errors plus deadline
+    /// expirations).
     pub failures: u64,
     /// Submissions admitted under [`Priority::Interactive`].
     pub interactive: u64,
@@ -163,6 +331,13 @@ pub struct StreamReport {
     /// Submissions rejected with [`Error::Overloaded`] (never admitted; they
     /// consume no submission index and appear nowhere else in the report).
     pub rejected: u64,
+    /// Submissions that expired in the queue with
+    /// [`Error::DeadlineExceeded`] (also counted in
+    /// [`StreamReport::failures`] and per class in
+    /// [`ClassStats::expired`]).
+    pub expired: u64,
+    /// Per-class WFQ scheduler counters of this serve scope.
+    pub scheduler: SchedulerStats,
     /// Laplacian submissions that reused a prepared solver (first submission
     /// of a fingerprint counts as the miss, exactly as in
     /// [`crate::batch::BatchReport::cache_hits`]).
@@ -173,11 +348,12 @@ pub struct StreamReport {
     /// as of the end of this serve scope. Under capacity pressure with
     /// concurrent workers these can depend on scheduling (rebuilds after
     /// eviction). With an **unbounded** cache (the default) everything else
-    /// in this report is scheduling-independent too; under a capacity bound,
-    /// an eviction racing the first submission of a previously cached
-    /// fingerprint can additionally flip that fingerprint's `cached` / hit
-    /// classification (and with it the charged preprocessing in
-    /// [`StreamReport::total`]) — *results* stay bit-identical regardless.
+    /// in this report is scheduling-independent too (deadline and throttle
+    /// counters aside); under a capacity bound, an eviction racing the first
+    /// submission of a previously cached fingerprint can additionally flip
+    /// that fingerprint's `cached` / hit classification (and with it the
+    /// charged preprocessing in [`StreamReport::total`]) — *results* stay
+    /// bit-identical regardless.
     pub cache: CacheStats,
     /// Total accounted communication cost of the scope: every successful
     /// submission's report plus each distinct *new* fingerprint's
@@ -204,6 +380,13 @@ pub struct StreamOutput<T> {
     pub report: StreamReport,
 }
 
+/// Per-class configuration collected by the builder.
+#[derive(Debug, Clone, Copy)]
+struct ClassConfig {
+    weight: u32,
+    rate: Option<RateLimit>,
+}
+
 /// Builder of a [`StreamEngine`].
 #[derive(Debug, Clone)]
 pub struct StreamEngineBuilder {
@@ -215,6 +398,9 @@ pub struct StreamEngineBuilder {
     queue_capacity: usize,
     backpressure: BackpressurePolicy,
     cache_capacity: Option<usize>,
+    eviction_policy: EvictionPolicy,
+    /// Class overrides in configuration order; normalized in `build`.
+    classes: Vec<(Priority, ClassConfig)>,
 }
 
 impl Default for StreamEngineBuilder {
@@ -228,6 +414,8 @@ impl Default for StreamEngineBuilder {
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
             cache_capacity: None,
+            eviction_policy: EvictionPolicy::Lru,
+            classes: Vec::new(),
         }
     }
 }
@@ -281,12 +469,52 @@ impl StreamEngineBuilder {
     }
 
     /// Bounds the prepared-Laplacian cache to at most `capacity` entries
-    /// with LRU eviction (default: unbounded). Eviction re-pays
+    /// (default: unbounded), evicting per the configured
+    /// [`StreamEngineBuilder::eviction_policy`]. Eviction re-pays
     /// preprocessing on the next request for the evicted topology but never
     /// changes results.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = Some(capacity);
         self
+    }
+
+    /// Selects the cache eviction policy (default
+    /// [`EvictionPolicy::Lru`]). Only relevant under a
+    /// [`StreamEngineBuilder::cache_capacity`] bound.
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
+    }
+
+    /// Sets the WFQ weight of one scheduling class (clamped to at least 1).
+    /// Defaults: [`Priority::Interactive`] 4, [`Priority::Bulk`] 1, custom
+    /// classes 1. A class with weight `w` receives a `w`-proportional share
+    /// of dispatches under contention.
+    pub fn class_weight(mut self, class: Priority, weight: u32) -> Self {
+        self.class_entry(class).weight = weight.max(1);
+        self
+    }
+
+    /// Attaches a token-bucket [`RateLimit`] to one scheduling class
+    /// (default: none). The limiter shapes dispatch order among competing
+    /// classes and is work-conserving.
+    pub fn class_rate_limit(mut self, class: Priority, limit: RateLimit) -> Self {
+        self.class_entry(class).rate = Some(limit.clamped());
+        self
+    }
+
+    fn class_entry(&mut self, class: Priority) -> &mut ClassConfig {
+        if let Some(i) = self.classes.iter().position(|(p, _)| *p == class) {
+            return &mut self.classes[i].1;
+        }
+        self.classes.push((
+            class,
+            ClassConfig {
+                weight: class.default_weight(),
+                rate: None,
+            },
+        ));
+        &mut self.classes.last_mut().expect("just pushed").1
     }
 
     /// Copies model, seed and epsilon from an existing [`Session`], so the
@@ -298,12 +526,18 @@ impl StreamEngineBuilder {
     }
 
     /// Finishes the builder.
-    pub fn build(self) -> StreamEngine {
+    pub fn build(mut self) -> StreamEngine {
         let workers = self.workers.unwrap_or_else(|| {
             thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(4)
         });
+        // Normalize: both built-in classes always exist, order is the
+        // deterministic class order of the scheduler stats.
+        self.class_entry(Priority::Interactive);
+        self.class_entry(Priority::Bulk);
+        let mut classes = self.classes;
+        classes.sort_by_key(|(p, _)| p.key());
         StreamEngine {
             core: EngineCore::new(
                 self.model,
@@ -311,10 +545,12 @@ impl StreamEngineBuilder {
                 self.epsilon,
                 self.shards,
                 self.cache_capacity,
+                self.eviction_policy,
             ),
             workers,
             queue_capacity: self.queue_capacity,
             backpressure: self.backpressure,
+            classes,
             ledger: RoundLedger::new(),
             scopes: 0,
         }
@@ -322,15 +558,18 @@ impl StreamEngineBuilder {
 }
 
 /// A long-lived streaming server for the paper's four pipelines: incremental
-/// submission, two priority classes, bounded backpressure, graceful drain and
-/// the shared bounded Laplacian cache. See the [module documentation](self)
-/// for the determinism contract.
+/// submission, weighted fair queueing over an open class set, per-request
+/// deadlines, bounded backpressure, graceful drain and the shared bounded
+/// Laplacian cache. See the [module documentation](self) for the scheduling
+/// discipline and the determinism contract.
 #[derive(Debug)]
 pub struct StreamEngine {
     core: EngineCore,
     workers: usize,
     queue_capacity: usize,
     backpressure: BackpressurePolicy,
+    /// Normalized class configuration, sorted by class key.
+    classes: Vec<(Priority, ClassConfig)>,
     ledger: RoundLedger,
     /// Serve scopes run so far; brands tickets so stale ones fail loudly.
     scopes: u64,
@@ -345,7 +584,7 @@ impl Default for StreamEngine {
 impl StreamEngine {
     /// Starts a builder with laboratory defaults (BCC model, seed 2022,
     /// `ε = 1e-6`, 16 shards, queue capacity 64, blocking backpressure,
-    /// unbounded cache).
+    /// unbounded LRU cache, interactive:bulk weights 4:1, no rate limits).
     pub fn builder() -> StreamEngineBuilder {
         StreamEngineBuilder::default()
     }
@@ -370,6 +609,23 @@ impl StreamEngine {
         self.backpressure
     }
 
+    /// The WFQ weight of a class (its default if never configured).
+    pub fn class_weight(&self, class: Priority) -> u32 {
+        self.classes
+            .iter()
+            .find(|(p, _)| *p == class)
+            .map(|(_, c)| c.weight)
+            .unwrap_or_else(|| class.default_weight())
+    }
+
+    /// The rate limit of a class, if one was configured.
+    pub fn class_rate_limit(&self, class: Priority) -> Option<RateLimit> {
+        self.classes
+            .iter()
+            .find(|(p, _)| *p == class)
+            .and_then(|(_, c)| c.rate)
+    }
+
     /// Number of prepared Laplacian solvers currently cached (including
     /// cached preprocessing failures). Never exceeds the configured
     /// [`StreamEngineBuilder::cache_capacity`].
@@ -386,6 +642,11 @@ impl StreamEngine {
     /// The configured cache capacity bound (`None` = unbounded).
     pub fn cache_capacity(&self) -> Option<usize> {
         self.core.cache.capacity()
+    }
+
+    /// The configured cache eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.core.cache.policy()
     }
 
     /// Drops every cached prepared solver (counters are kept).
@@ -423,7 +684,7 @@ impl StreamEngine {
             scope: self.scopes,
             queue_capacity: self.queue_capacity,
             policy: self.backpressure,
-            queue: Mutex::new(QueueState::default()),
+            queue: Mutex::new(WfqScheduler::new(&self.classes)),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             done: Mutex::new(DoneState::default()),
@@ -471,6 +732,7 @@ impl StreamEngine {
         meta.sort_by_key(|m| m.index);
         let mut done = shared.done.lock().expect("completion table");
         let prep = shared.prep.lock().expect("preprocessing reports");
+        let scheduler = shared.queue.lock().expect("stream queue").stats();
 
         let mut interactive = 0u64;
         let mut bulk = 0u64;
@@ -480,16 +742,25 @@ impl StreamEngine {
                 match m.priority {
                     Priority::Interactive => interactive += 1,
                     Priority::Bulk => bulk += 1,
+                    Priority::Custom(_) => {}
                 }
                 let completion = done
                     .costs
                     .remove(&m.index)
                     .expect("the drained scope completed every admitted submission");
+                // An expired submission never touched the cache: account it
+                // like a fingerprint-less failure so no preprocessing is
+                // demanded (or charged) on its behalf.
+                let (fingerprint, pre_cached) = if completion.expired {
+                    (None, false)
+                } else {
+                    (m.fingerprint, m.pre_cached)
+                };
                 RequestRecord {
                     index: m.index,
                     kind: m.kind,
-                    fingerprint: m.fingerprint,
-                    pre_cached: m.pre_cached,
+                    fingerprint,
+                    pre_cached,
                     ok: completion.ok,
                     error: completion.error,
                     report: completion.report,
@@ -498,7 +769,7 @@ impl StreamEngine {
             .collect();
         let accounting = self.core.account(records, |key| {
             prep.get(&key)
-                .expect("every submitted fingerprint recorded its preprocessing")
+                .expect("every executed fingerprint recorded its preprocessing")
                 .clone()
         });
 
@@ -513,6 +784,8 @@ impl StreamEngine {
             interactive,
             bulk,
             rejected: shared.rejected.load(Ordering::Relaxed),
+            expired: scheduler.expired(),
+            scheduler,
             cache_hits: accounting.cache_hits,
             cache_misses: accounting.cache_misses,
             cache: self.core.cache.stats(),
@@ -530,37 +803,261 @@ struct Job {
     priority: Priority,
     request: Request,
     fp: Option<GraphFingerprint>,
+    /// Queueing deadline; a job still queued past it expires instead of
+    /// dispatching.
+    deadline: Option<Instant>,
+    /// WFQ virtual finish tag, assigned at admission.
+    finish: u128,
 }
 
-/// The two-class bounded admission queue. Interactive jobs always pop before
-/// bulk jobs; within a class, FIFO in submission order.
-#[derive(Default)]
-struct QueueState {
-    interactive: VecDeque<Job>,
-    bulk: VecDeque<Job>,
+/// Virtual-time cost of one dispatch at weight 1. Tags are
+/// `max(V, F_class) + VT_UNIT / weight` in fixed-point arithmetic, so any
+/// weight up to `u32::MAX` keeps a non-zero, exactly representable cost.
+const VT_UNIT: u128 = 1 << 32;
+
+/// One class inside the scheduler: its FIFO queue, WFQ state, rate-limit
+/// window and counters.
+struct ClassState {
+    priority: Priority,
+    weight: u32,
+    rate: Option<RateLimit>,
+    queue: VecDeque<Job>,
+    /// Finish tag of the last job admitted to this class.
+    last_finish: u128,
+    /// Rate-limit window this class last dispatched in.
+    window_index: u64,
+    /// Dispatches consumed in that window.
+    window_used: u32,
+    submitted: u64,
+    dispatched: u64,
+    expired: u64,
+    throttled: u64,
+}
+
+impl ClassState {
+    fn new(priority: Priority, config: ClassConfig) -> Self {
+        ClassState {
+            priority,
+            weight: config.weight.max(1),
+            rate: config.rate.map(RateLimit::clamped),
+            queue: VecDeque::new(),
+            last_finish: 0,
+            window_index: 0,
+            window_used: 0,
+            submitted: 0,
+            dispatched: 0,
+            expired: 0,
+            throttled: 0,
+        }
+    }
+
+    /// Whether the class has spent its dispatch budget for the window the
+    /// next dispatch slot falls into.
+    fn throttled_at(&self, dispatches: u64) -> bool {
+        let Some(rate) = self.rate else { return false };
+        let window = dispatches / rate.window as u64;
+        self.window_index == window && self.window_used >= rate.tokens
+    }
+
+    fn stats(&self) -> ClassStats {
+        ClassStats {
+            class: self.priority.label(),
+            weight: self.weight,
+            rate_limit: self.rate,
+            submitted: self.submitted,
+            dispatched: self.dispatched,
+            expired: self.expired,
+            throttled: self.throttled,
+        }
+    }
+}
+
+/// The weighted-fair-queueing admission queue: one FIFO per class, dispatch
+/// by smallest virtual finish tag, token-bucket throttling, deadline expiry
+/// sweeps. Within a class, FIFO in submission order (tags are monotone per
+/// class by construction).
+struct WfqScheduler {
+    /// Classes in deterministic key order; extended on demand for custom
+    /// classes that were never configured.
+    classes: Vec<ClassState>,
     queued: usize,
+    /// How many queued jobs carry a deadline, so the per-dispatch expiry
+    /// sweep is free for deadline-less workloads.
+    deadlined: usize,
     closed: bool,
     /// Set when a worker panicked: blocked submitters must panic, not hang.
     poisoned: bool,
     next_index: u64,
+    /// WFQ virtual clock: the largest finish tag dispatched so far.
+    virtual_time: u128,
+    /// Total dispatches, the clock of the rate-limit windows.
+    dispatches: u64,
 }
 
-impl QueueState {
-    fn push(&mut self, job: Job) {
-        match job.priority {
-            Priority::Interactive => self.interactive.push_back(job),
-            Priority::Bulk => self.bulk.push_back(job),
+impl WfqScheduler {
+    fn new(classes: &[(Priority, ClassConfig)]) -> Self {
+        WfqScheduler {
+            classes: classes
+                .iter()
+                .map(|(p, c)| ClassState::new(*p, *c))
+                .collect(),
+            queued: 0,
+            deadlined: 0,
+            closed: false,
+            poisoned: false,
+            next_index: 0,
+            virtual_time: 0,
+            dispatches: 0,
         }
-        self.queued += 1;
     }
 
+    /// The class state of `priority`, created with defaults on first use.
+    fn class_mut(&mut self, priority: Priority) -> &mut ClassState {
+        let key = priority.key();
+        let pos = self
+            .classes
+            .iter()
+            .position(|c| c.priority.key() >= key)
+            .unwrap_or(self.classes.len());
+        if self.classes.get(pos).is_none_or(|c| c.priority != priority) {
+            self.classes.insert(
+                pos,
+                ClassState::new(
+                    priority,
+                    ClassConfig {
+                        weight: priority.default_weight(),
+                        rate: None,
+                    },
+                ),
+            );
+        }
+        &mut self.classes[pos]
+    }
+
+    /// Admits one job, assigning its submission index and WFQ finish tag.
+    fn push(
+        &mut self,
+        priority: Priority,
+        request: Request,
+        fp: Option<GraphFingerprint>,
+        deadline: Option<Instant>,
+    ) -> u64 {
+        let index = self.next_index;
+        self.next_index += 1;
+        let virtual_time = self.virtual_time;
+        let class = self.class_mut(priority);
+        let finish = virtual_time.max(class.last_finish) + VT_UNIT / class.weight as u128;
+        class.last_finish = finish;
+        class.submitted += 1;
+        class.queue.push_back(Job {
+            index,
+            priority,
+            request,
+            fp,
+            deadline,
+            finish,
+        });
+        self.queued += 1;
+        if deadline.is_some() {
+            self.deadlined += 1;
+        }
+        index
+    }
+
+    /// Removes every queued job whose deadline has passed, returning each
+    /// with how late it already is. Expired jobs are charged to their class
+    /// and free their queue slots; they are never dispatched. Free when no
+    /// queued job carries a deadline — the common case on the dispatch hot
+    /// path.
+    fn take_expired(&mut self, now: Instant) -> Vec<(Job, Duration)> {
+        if self.deadlined == 0 {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        for class in &mut self.classes {
+            let mut i = 0;
+            while i < class.queue.len() {
+                match class.queue[i].deadline {
+                    Some(deadline) if deadline <= now => {
+                        let job = class.queue.remove(i).expect("index in bounds");
+                        class.expired += 1;
+                        expired.push((job, now.duration_since(deadline)));
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        self.queued -= expired.len();
+        self.deadlined -= expired.len();
+        expired.sort_by_key(|(job, _)| job.index);
+        expired
+    }
+
+    /// Dispatches the queued job with the smallest virtual finish tag whose
+    /// class still has rate-limit budget; when every queued class is
+    /// throttled, the smallest tag runs anyway (work-conserving). Ties break
+    /// by submission index.
     fn pop(&mut self) -> Option<Job> {
-        let job = self
-            .interactive
-            .pop_front()
-            .or_else(|| self.bulk.pop_front())?;
+        if self.queued == 0 {
+            return None;
+        }
+        let dispatches = self.dispatches;
+        let mut best_allowed: Option<(u128, u64, usize)> = None;
+        let mut best_any: Option<(u128, u64, usize)> = None;
+        let mut throttled: Vec<usize> = Vec::new();
+        for (i, class) in self.classes.iter().enumerate() {
+            let Some(head) = class.queue.front() else {
+                continue;
+            };
+            let key = (head.finish, head.index, i);
+            if best_any.is_none_or(|b| key < b) {
+                best_any = Some(key);
+            }
+            if class.throttled_at(dispatches) {
+                throttled.push(i);
+            } else if best_allowed.is_none_or(|b| key < b) {
+                best_allowed = Some(key);
+            }
+        }
+        let (_, _, i) = match best_allowed {
+            Some(key) => {
+                for t in throttled {
+                    self.classes[t].throttled += 1;
+                }
+                key
+            }
+            // Every queued class is over budget: stay work-conserving and
+            // dispatch the smallest tag anyway.
+            None => best_any?,
+        };
+        let job = self.classes[i].queue.pop_front().expect("head exists");
+        debug_assert_eq!(self.classes[i].priority, job.priority);
         self.queued -= 1;
+        if job.deadline.is_some() {
+            self.deadlined -= 1;
+        }
+        self.virtual_time = self.virtual_time.max(job.finish);
+        self.dispatches += 1;
+        let consumed_slot = self.dispatches - 1;
+        let class = &mut self.classes[i];
+        class.dispatched += 1;
+        if let Some(rate) = class.rate {
+            let window = consumed_slot / rate.window as u64;
+            if class.window_index != window {
+                class.window_index = window;
+                class.window_used = 0;
+            }
+            class.window_used += 1;
+        }
         Some(job)
+    }
+
+    /// Per-class counters in deterministic class order.
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            policy: "wfq".to_string(),
+            classes: self.classes.iter().map(|c| c.stats()).collect(),
+        }
     }
 }
 
@@ -583,6 +1080,8 @@ struct Completion {
     ok: bool,
     error: Option<String>,
     report: RoundReport,
+    /// Whether the submission expired in the queue instead of executing.
+    expired: bool,
 }
 
 #[derive(Default)]
@@ -605,7 +1104,7 @@ struct Shared<'e> {
     scope: u64,
     queue_capacity: usize,
     policy: BackpressurePolicy,
-    queue: Mutex<QueueState>,
+    queue: Mutex<WfqScheduler>,
     not_empty: Condvar,
     not_full: Condvar,
     done: Mutex<DoneState>,
@@ -615,22 +1114,63 @@ struct Shared<'e> {
     prep: Mutex<HashMap<u128, RoundReport>>,
 }
 
+/// One scheduling decision: either a job to execute, a batch of jobs that
+/// expired in the queue, or shutdown.
+// A `Work` value lives once per dispatch, not in bulk: the size skew
+// between a popped job and the other variants does not matter here.
+#[allow(clippy::large_enum_variant)]
+enum Work {
+    Run(Job),
+    Expired(Vec<(Job, Duration)>),
+    Done,
+}
+
 fn worker_loop(shared: &Shared<'_>) {
     loop {
-        let job = {
+        let work = {
             let mut queue = shared.queue.lock().expect("stream queue");
             loop {
+                // Sweep deadline expirations before every scheduling
+                // decision: a job still queued past its deadline is failed
+                // here, never dispatched.
+                let expired = queue.take_expired(Instant::now());
+                if !expired.is_empty() {
+                    shared.not_full.notify_all();
+                    break Work::Expired(expired);
+                }
                 if let Some(job) = queue.pop() {
                     shared.not_full.notify_all();
-                    break Some(job);
+                    break Work::Run(job);
                 }
                 if queue.closed {
-                    break None;
+                    break Work::Done;
                 }
                 queue = shared.not_empty.wait(queue).expect("stream queue");
             }
         };
-        let Some(job) = job else { return };
+        let job = match work {
+            Work::Done => return,
+            Work::Expired(expired) => {
+                let mut done = shared.done.lock().expect("completion table");
+                for (job, late_by) in expired {
+                    let error = Error::DeadlineExceeded { late_by };
+                    done.costs.insert(
+                        job.index,
+                        Completion {
+                            ok: false,
+                            error: Some(error.to_string()),
+                            report: RoundReport::from_ledger(&RoundLedger::new()),
+                            expired: true,
+                        },
+                    );
+                    done.results.insert(job.index, Err(error));
+                }
+                drop(done);
+                shared.done_cv.notify_all();
+                continue;
+            }
+            Work::Run(job) => job,
+        };
         // Malformed input surfaces as a typed `Err` result; a panic here is
         // reachable only through a bug or a legacy panicking path below the
         // typed API. Poison the scope before re-panicking so a client
@@ -651,11 +1191,13 @@ fn worker_loop(shared: &Shared<'_>) {
                 ok: true,
                 error: None,
                 report: outcome.report.clone(),
+                expired: false,
             },
             Err(e) => Completion {
                 ok: false,
                 error: Some(e.to_string()),
                 report: RoundReport::from_ledger(&RoundLedger::new()),
+                expired: false,
             },
         };
         let mut done = shared.done.lock().expect("completion table");
@@ -702,7 +1244,7 @@ pub struct StreamClient<'s> {
 }
 
 impl StreamClient<'_> {
-    /// Submits one request under a priority class.
+    /// Submits one request under a scheduling class, with no deadline.
     ///
     /// Admission is governed by the queue bound: with
     /// [`BackpressurePolicy::Block`] a full queue blocks until a worker
@@ -716,6 +1258,37 @@ impl StreamClient<'_> {
     /// Returns [`Error::Overloaded`] under the reject policy when the queue
     /// is at capacity.
     pub fn submit(&self, request: Request, priority: Priority) -> Result<Ticket, Error> {
+        self.admit(request, priority, None)
+    }
+
+    /// Submits one request under a scheduling class with a queueing
+    /// deadline, measured from now. If the request is still queued when the
+    /// deadline passes, it is never dispatched and completes with
+    /// [`Error::DeadlineExceeded`]; once dispatched it always runs to
+    /// completion. A zero deadline therefore always expires — the scheduler
+    /// checks deadlines before every dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Overloaded`] under the reject policy when the queue
+    /// is at capacity. The deadline itself surfaces later, through
+    /// [`StreamClient::poll`] / [`StreamClient::wait`].
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Duration,
+    ) -> Result<Ticket, Error> {
+        let deadline = Instant::now().checked_add(deadline);
+        self.admit(request, priority, deadline)
+    }
+
+    fn admit(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, Error> {
         // Fingerprint outside the queue lock — it is the only non-trivial
         // part of admission.
         let fp = match &request {
@@ -743,14 +1316,7 @@ impl StreamClient<'_> {
                 }
             }
         }
-        let index = queue.next_index;
-        queue.next_index += 1;
-        queue.push(Job {
-            index,
-            priority,
-            request,
-            fp,
-        });
+        let index = queue.push(priority, request, fp, deadline);
         // Record the admission while still holding the queue lock, so the
         // meta log is in submission order by construction.
         self.shared
@@ -847,29 +1413,238 @@ impl StreamClient<'_> {
 mod tests {
     use super::*;
 
-    fn job(index: u64, priority: Priority) -> Job {
-        Job {
-            index,
-            priority,
-            request: Request::sparsify(bcc_graph::generators::complete(4), 0.5),
-            fp: None,
+    fn config(classes: &[(Priority, u32, Option<RateLimit>)]) -> Vec<(Priority, ClassConfig)> {
+        classes
+            .iter()
+            .map(|(p, w, r)| {
+                (
+                    *p,
+                    ClassConfig {
+                        weight: *w,
+                        rate: *r,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn request() -> Request {
+        Request::sparsify(bcc_graph::generators::complete(4), 0.5)
+    }
+
+    fn push(s: &mut WfqScheduler, priority: Priority) -> u64 {
+        s.push(priority, request(), None, None)
+    }
+
+    #[test]
+    fn default_weights_schedule_interactive_ahead_of_bulk_fifo_within_class() {
+        // With the default 4:1 weights a small mixed burst still dispatches
+        // every interactive job first (their finish tags are 4x denser), and
+        // FIFO order holds within each class.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 4, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        push(&mut s, Priority::Bulk);
+        push(&mut s, Priority::Interactive);
+        push(&mut s, Priority::Bulk);
+        push(&mut s, Priority::Interactive);
+        assert_eq!(s.queued, 4);
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j.index).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert_eq!(s.queued, 0);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn wfq_never_starves_bulk_under_sustained_interactive_load() {
+        // The regression the WFQ redesign fixes: under the old strict
+        // two-class priority queue, one bulk job behind a sustained
+        // interactive flood (one new interactive submission per dispatch)
+        // was NEVER dispatched — interactive always popped first. Under WFQ
+        // at weight 1:1 the bulk job's finish tag is passed by the second
+        // interactive arrival, so it dispatches within a small, bounded
+        // number of dispatches.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 1, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        push(&mut s, Priority::Interactive);
+        let bulk_index = push(&mut s, Priority::Bulk);
+        let mut bulk_dispatched_at = None;
+        for step in 0..16 {
+            let job = s.pop().expect("work is always queued");
+            if job.index == bulk_index {
+                bulk_dispatched_at = Some(step);
+                break;
+            }
+            // Sustained interactive load: a fresh submission per dispatch.
+            push(&mut s, Priority::Interactive);
+        }
+        let step = bulk_dispatched_at
+            .expect("WFQ must dispatch the bulk job despite the interactive flood");
+        assert!(
+            step <= 3,
+            "bulk work must complete within a bounded number of dispatches, took {step}"
+        );
+        // And the flood is still being served around it.
+        assert!(s.classes[0].dispatched >= 1);
+    }
+
+    #[test]
+    fn weights_apportion_dispatches_proportionally() {
+        // Weight 3:1 over a long backlog: every window of 4 dispatches
+        // carries 3 interactive and 1 bulk job.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 3, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        for _ in 0..12 {
+            push(&mut s, Priority::Interactive);
+        }
+        for _ in 0..4 {
+            push(&mut s, Priority::Bulk);
+        }
+        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
+        for (w, chunk) in order.chunks(4).take(3).enumerate() {
+            let bulk = chunk.iter().filter(|p| **p == Priority::Bulk).count();
+            assert_eq!(
+                bulk, 1,
+                "window {w} must carry one bulk dispatch: {order:?}"
+            );
         }
     }
 
     #[test]
-    fn queue_pops_interactive_before_bulk_fifo_within_class() {
-        let mut queue = QueueState::default();
-        queue.push(job(0, Priority::Bulk));
-        queue.push(job(1, Priority::Interactive));
-        queue.push(job(2, Priority::Bulk));
-        queue.push(job(3, Priority::Interactive));
-        assert_eq!(queue.queued, 4);
-        let order: Vec<u64> = std::iter::from_fn(|| queue.pop())
-            .map(|j| j.index)
-            .collect();
-        assert_eq!(order, vec![1, 3, 0, 2]);
-        assert_eq!(queue.queued, 0);
-        assert!(queue.pop().is_none());
+    fn rate_limited_class_stays_within_its_token_budget_while_contended() {
+        // Bulk limited to 1 dispatch per window of 4; equal weights so only
+        // the limiter shapes the schedule. While interactive work competes,
+        // every window of 4 dispatches carries at most one bulk job.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 1, None),
+            (Priority::Bulk, 1, Some(RateLimit::new(1, 4))),
+        ]));
+        for _ in 0..10 {
+            push(&mut s, Priority::Bulk);
+        }
+        for _ in 0..10 {
+            push(&mut s, Priority::Interactive);
+        }
+        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
+        assert_eq!(order.len(), 20, "the limiter never drops work");
+        // Interactive lasts through the first three windows; within them the
+        // budget must hold exactly.
+        for (w, chunk) in order.chunks(4).take(3).enumerate() {
+            let bulk = chunk.iter().filter(|p| **p == Priority::Bulk).count();
+            assert!(
+                bulk <= 1,
+                "window {w} exceeded the bulk token budget: {order:?}"
+            );
+        }
+        // Once only throttled work remains the scheduler stays
+        // work-conserving: everything still drains.
+        assert!(order[14..].iter().all(|p| *p == Priority::Bulk));
+        let stats = s.stats();
+        let bulk = stats.class(Priority::Bulk).unwrap();
+        assert_eq!(bulk.dispatched, 10);
+        assert!(
+            bulk.throttled > 0,
+            "the limiter must have bitten: {stats:?}"
+        );
+        assert_eq!(bulk.rate_limit, Some(RateLimit::new(1, 4)));
+        assert_eq!(stats.policy, "wfq");
+    }
+
+    #[test]
+    fn a_zero_window_rate_limit_is_clamped_not_a_division_panic() {
+        // The pub fields (and Deserialize) can bypass RateLimit::new, so the
+        // scheduler must clamp again: a literal zero window behaves as 1/1
+        // instead of panicking on the window arithmetic.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 1, None),
+            (
+                Priority::Bulk,
+                1,
+                Some(RateLimit {
+                    tokens: 0,
+                    window: 0,
+                }),
+            ),
+        ]));
+        push(&mut s, Priority::Bulk);
+        push(&mut s, Priority::Interactive);
+        push(&mut s, Priority::Bulk);
+        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
+        assert_eq!(order.len(), 3, "everything drains without panicking");
+        assert_eq!(
+            s.stats().class(Priority::Bulk).unwrap().rate_limit,
+            Some(RateLimit::new(1, 1)),
+            "the clamped limit is what the report surfaces"
+        );
+    }
+
+    #[test]
+    fn the_expiry_sweep_is_free_without_deadlines() {
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 4, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        push(&mut s, Priority::Bulk);
+        assert_eq!(s.deadlined, 0);
+        assert!(s.take_expired(Instant::now()).is_empty());
+        // A dispatched deadline job leaves the deadline count with it.
+        s.push(
+            Priority::Interactive,
+            request(),
+            None,
+            Some(Instant::now() + Duration::from_secs(600)),
+        );
+        assert_eq!(s.deadlined, 1);
+        while s.pop().is_some() {}
+        assert_eq!(s.deadlined, 0);
+    }
+
+    #[test]
+    fn expired_jobs_are_swept_before_dispatch_and_charged_to_their_class() {
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 4, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        let now = Instant::now();
+        s.push(Priority::Bulk, request(), None, Some(now));
+        push(&mut s, Priority::Interactive);
+        // The sweep a worker runs before every dispatch decision.
+        let expired = s.take_expired(now + Duration::from_millis(1));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0.index, 0);
+        assert!(expired[0].1 >= Duration::from_millis(1));
+        assert_eq!(s.queued, 1, "expired jobs free their queue slots");
+        // The survivor dispatches normally; counters split expiry from
+        // dispatch.
+        assert_eq!(s.pop().unwrap().index, 1);
+        let stats = s.stats();
+        assert_eq!(stats.class(Priority::Bulk).unwrap().expired, 1);
+        assert_eq!(stats.class(Priority::Bulk).unwrap().dispatched, 0);
+        assert_eq!(stats.class(Priority::Interactive).unwrap().dispatched, 1);
+        assert_eq!(stats.expired(), 1);
+    }
+
+    #[test]
+    fn custom_classes_join_the_schedule_with_default_weight() {
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 4, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        push(&mut s, Priority::custom(3));
+        push(&mut s, Priority::Interactive);
+        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
+        // Weight 4 interactive outruns the default-weight-1 custom class.
+        assert_eq!(order, vec![Priority::Interactive, Priority::custom(3)]);
+        let stats = s.stats();
+        assert_eq!(stats.classes.len(), 3);
+        assert_eq!(stats.classes[2].class, "custom-3");
+        assert_eq!(stats.classes[2].weight, 1);
+        assert_eq!(stats.class(Priority::custom(3)).unwrap().dispatched, 1);
     }
 
     #[test]
@@ -881,5 +1656,7 @@ mod tests {
         };
         assert_eq!(ticket.index(), 7);
         assert_eq!(ticket.priority(), Priority::Bulk);
+        assert_eq!(ticket.priority().label(), "bulk");
+        assert_eq!(Priority::custom(9).label(), "custom-9");
     }
 }

@@ -1,33 +1,55 @@
-//! Streaming serving: requests trickle in one at a time with mixed
-//! priorities and are collected as they finish, while the engine's bounded
-//! Laplacian cache amortizes preprocessing across submissions.
+//! Streaming serving with weighted fair queueing: requests trickle in one
+//! at a time across three scheduling classes and are collected as they
+//! finish, while the engine's bounded, cost-aware Laplacian cache amortizes
+//! preprocessing across submissions.
 //!
 //! Interactive telemetry queries (load-flow solves against two shared grid
-//! topologies) arrive interleaved with bulk maintenance work (sparsifier
-//! rebuilds, a routing flow). The `StreamEngine` schedules all interactive
-//! work ahead of bulk work, applies backpressure through its bounded
-//! admission queue, and drains everything on shutdown — and its results are
-//! bit-identical to a sequential `Session` loop, whatever the worker count.
-//! Run with `cargo run --release --example stream_serving`.
+//! topologies) compete with bulk maintenance work (sparsifier rebuilds) and
+//! a rate-limited custom "analytics" class. The WFQ scheduler apportions
+//! dispatches by class weight — bulk work keeps flowing even under
+//! interactive load, unlike the old strict two-class priority queue — a
+//! token bucket caps the analytics share per scheduling window, and a
+//! zero-deadline probe shows queued work expiring with the typed
+//! `DeadlineExceeded` error instead of running late. Results stay
+//! bit-identical to a sequential `Session` loop whatever the worker count,
+//! weights or limits. Run with
+//! `cargo run --release --example stream_serving`.
+
+use std::time::Duration;
 
 use bcc_core::batch::Request;
 use bcc_core::graph::generators;
-use bcc_core::stream::{Priority, StreamEngine};
+use bcc_core::stream::{Priority, RateLimit, StreamEngine};
+use bcc_core::EvictionPolicy;
 
 fn main() {
     let small_grid = generators::grid(5, 5);
     let large_grid = generators::grid(6, 6);
+    let analytics = Priority::custom(0);
 
     let mut engine = StreamEngine::builder()
         .seed(2022)
         .queue_capacity(8)
         .cache_capacity(4)
+        .eviction_policy(EvictionPolicy::CostAware)
+        .class_weight(Priority::Interactive, 4)
+        .class_weight(Priority::Bulk, 2)
+        .class_weight(analytics, 1)
+        .class_rate_limit(analytics, RateLimit::new(1, 4))
         .build();
     println!(
-        "stream engine: {} workers, queue capacity {}, cache capacity {:?}\n",
+        "stream engine: {} workers, queue capacity {}, cache capacity {:?} ({} eviction)",
         engine.workers(),
         engine.queue_capacity(),
-        engine.cache_capacity()
+        engine.cache_capacity(),
+        engine.eviction_policy(),
+    );
+    println!(
+        "classes: interactive weight {}, bulk weight {}, analytics weight {} at {:?}\n",
+        engine.class_weight(Priority::Interactive),
+        engine.class_weight(Priority::Bulk),
+        engine.class_weight(analytics),
+        engine.class_rate_limit(analytics).unwrap(),
     );
 
     let output = engine.serve(|client| {
@@ -43,7 +65,32 @@ fn main() {
                 .expect("admitted"),
         );
 
-        // ...then interactive load-flow queries trickling in one at a time.
+        // ...an analytics sweep that the token bucket paces...
+        tickets.push(
+            client
+                .submit(Request::sparsify(generators::complete(12), 1.0), analytics)
+                .expect("admitted"),
+        );
+
+        // ...and a probe whose deadline has already passed: it will expire
+        // in the queue with a typed error instead of running late.
+        let mut demand = vec![0.0; small_grid.n()];
+        demand[0] = 1.0;
+        demand[small_grid.n() - 1] = -1.0;
+        let doomed = client
+            .submit_with_deadline(
+                Request::laplacian(small_grid.clone(), demand),
+                Priority::Interactive,
+                Duration::ZERO,
+            )
+            .expect("admitted");
+        tickets.push(doomed);
+        println!(
+            "submitted a zero-deadline probe (ticket {})",
+            doomed.index()
+        );
+
+        // Interactive load-flow queries trickling in one at a time.
         for k in 1..=6 {
             let (grid, label) = if k % 2 == 0 {
                 (&small_grid, "5x5")
@@ -101,11 +148,33 @@ fn main() {
 
     let report = &output.report;
     println!(
-        "\nserved {} requests ({} interactive / {} bulk, {} failed, {} rejected)",
-        report.requests, report.interactive, report.bulk, report.failures, report.rejected
+        "\nserved {} requests ({} interactive / {} bulk, {} failed, {} rejected, {} expired)",
+        report.requests,
+        report.interactive,
+        report.bulk,
+        report.failures,
+        report.rejected,
+        report.expired,
     );
+    println!("scheduler ({}):", report.scheduler.policy);
+    for class in &report.scheduler.classes {
+        println!(
+            "  {:<12} weight {} limit {:<14} submitted {} dispatched {} expired {} throttled {}",
+            class.class,
+            class.weight,
+            class
+                .rate_limit
+                .map(|r| format!("{}/{}", r.tokens, r.window))
+                .unwrap_or_else(|| "none".to_string()),
+            class.submitted,
+            class.dispatched,
+            class.expired,
+            class.throttled,
+        );
+    }
     println!(
-        "laplacian cache: {} distinct topologies, {} hits / {} misses (engine lifetime: {} hits, {} misses, {} evictions, {} entries)",
+        "laplacian cache ({}): {} distinct topologies, {} hits / {} misses (engine lifetime: {} hits, {} misses, {} evictions, {} entries)",
+        report.cache.policy,
         report.preprocessing.len(),
         report.cache_hits,
         report.cache_misses,

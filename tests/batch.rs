@@ -390,8 +390,11 @@ fn golden_report() -> BatchReport {
             hits: 1,
             misses: 1,
             evictions: 0,
+            lru_evictions: 0,
+            cost_evictions: 0,
             entries: 1,
             capacity: None,
+            policy: "lru".to_string(),
         },
         total: RoundReport {
             total_rounds: 12,
@@ -490,8 +493,11 @@ fn a_real_batch_report_exposes_the_documented_field_names() {
         "\"hits\"",
         "\"misses\"",
         "\"evictions\"",
+        "\"lru_evictions\"",
+        "\"cost_evictions\"",
         "\"entries\"",
         "\"capacity\"",
+        "\"policy\"",
         "\"total\"",
         "\"preprocessing\"",
         "\"per_request\"",
@@ -511,4 +517,35 @@ fn a_real_batch_report_exposes_the_documented_field_names() {
         assert!(json.contains(field), "missing field {field} in {json}");
     }
     assert_eq!(output.report.schema, "bcc-batch-report/v1");
+}
+
+#[test]
+fn the_batch_engine_supports_the_cost_aware_eviction_policy() {
+    use bcc_core::EvictionPolicy;
+
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+    let requests = vec![Request::laplacian(grid, b)];
+
+    let mut engine = BatchEngine::builder()
+        .seed(MASTER_SEED)
+        .cache_capacity(2)
+        .eviction_policy(EvictionPolicy::CostAware)
+        .build();
+    assert_eq!(engine.eviction_policy(), EvictionPolicy::CostAware);
+    let output = engine.run(&requests);
+    assert!(output.results[0].is_ok());
+    assert_eq!(output.report.cache.policy, "cost-aware");
+
+    // The policy only decides eviction victims — results are identical to
+    // the LRU default.
+    let mut lru = BatchEngine::builder().seed(MASTER_SEED).build();
+    assert_eq!(lru.eviction_policy(), EvictionPolicy::Lru);
+    let lru_out = lru.run(&requests);
+    match (&output.results[0], &lru_out.results[0]) {
+        (Ok(a), Ok(b)) => assert_eq!(a.value, b.value),
+        other => panic!("results must agree across policies: {other:?}"),
+    }
 }

@@ -510,6 +510,221 @@ fn cache_eviction_under_capacity_one_is_correct_and_bounded() {
     assert_eq!(batch_out.report.cache.capacity, Some(1));
 }
 
+// ---------------------------------------------------------------------------
+// WFQ scheduling: weights, rate limits and custom classes affect latency
+// only; deadlines expire queued work with a typed error.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wfq_weights_rate_limits_and_custom_classes_never_change_results() {
+    let workload = mixed_workload();
+    let requests: Vec<Request> = workload.iter().map(|(r, _)| r.clone()).collect();
+    let reference = sequential_reference(&requests);
+
+    // A deliberately adversarial configuration: inverted weights, a tight
+    // token bucket on interactive traffic, and a third (custom) class in the
+    // mix. None of it may leak into results — WFQ only reorders completion.
+    let classes = [
+        Priority::custom(7),
+        Priority::Bulk,
+        Priority::Interactive,
+        Priority::custom(7),
+        Priority::Bulk,
+        Priority::Interactive,
+    ];
+    let mut engine = StreamEngine::builder()
+        .seed(MASTER_SEED)
+        .workers(4)
+        .class_weight(Priority::Bulk, 6)
+        .class_weight(Priority::Interactive, 1)
+        .class_weight(Priority::custom(7), 3)
+        .class_rate_limit(Priority::Interactive, RateLimit::new(1, 3))
+        .build();
+    assert_eq!(engine.class_weight(Priority::Bulk), 6);
+    assert_eq!(
+        engine.class_rate_limit(Priority::Interactive),
+        Some(RateLimit::new(1, 3))
+    );
+    let output = engine.serve(|client| {
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .zip(classes)
+            .map(|(r, class)| client.submit(r.clone(), class).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+    assert_results_match(&output.value, &reference);
+
+    // The scheduler counters reflect the class mix deterministically.
+    let scheduler = &output.report.scheduler;
+    assert_eq!(scheduler.policy, "wfq");
+    let labels: Vec<&str> = scheduler.classes.iter().map(|c| c.class.as_str()).collect();
+    assert_eq!(labels, vec!["interactive", "bulk", "custom-7"]);
+    for class in [Priority::Interactive, Priority::Bulk, Priority::custom(7)] {
+        let stats = scheduler.class(class).unwrap();
+        assert_eq!(stats.submitted, 2, "{class:?}");
+        assert_eq!(stats.dispatched, 2, "every admitted job dispatches");
+        assert_eq!(stats.expired, 0);
+    }
+    assert_eq!(
+        scheduler.class(Priority::Interactive).unwrap().rate_limit,
+        Some(RateLimit::new(1, 3))
+    );
+    assert_eq!(scheduler.class(Priority::Bulk).unwrap().weight, 6);
+    assert_eq!(output.report.expired, 0);
+}
+
+#[test]
+fn cost_aware_eviction_is_result_identical_under_capacity_pressure() {
+    // The capacity-1 alternating-topology workload of the LRU test, under
+    // the cost-aware policy: eviction victims may differ, results may not.
+    let a = generators::grid(4, 4);
+    let c = generators::grid(3, 5);
+    let mut requests = Vec::new();
+    for k in 1..=3 {
+        for g in [&a, &c] {
+            let mut b = vec![0.0; g.n()];
+            b[k % g.n()] = 1.0;
+            b[g.n() - 1 - k % g.n()] -= 1.0;
+            requests.push(Request::laplacian(g.clone(), b));
+        }
+    }
+    let reference = sequential_reference(&requests);
+
+    let mut engine = StreamEngine::builder()
+        .seed(MASTER_SEED)
+        .workers(4)
+        .cache_capacity(1)
+        .eviction_policy(EvictionPolicy::CostAware)
+        .build();
+    assert_eq!(engine.eviction_policy(), EvictionPolicy::CostAware);
+    let output = engine.serve(|client| {
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| client.submit(r.clone(), Priority::Bulk).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+    assert_results_match(&output.value, &reference);
+    assert!(engine.cached_graphs() <= 1, "capacity bound holds");
+    assert_eq!(output.report.cache.policy, "cost-aware");
+    let stats = engine.cache_stats();
+    assert!(stats.evictions >= 1, "alternation under capacity 1 evicts");
+    assert_eq!(
+        stats.evictions,
+        stats.cost_evictions + stats.lru_evictions,
+        "per-policy counters partition the total"
+    );
+    assert_eq!(stats.lru_evictions, 0, "the active policy is charged");
+}
+
+#[test]
+fn a_zero_deadline_expires_in_queue_with_a_typed_error() {
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+
+    // One worker pinned on a slow job: the deadline submission behind it is
+    // still queued when its (already elapsed) deadline is checked.
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
+    let output = engine.serve(|client| {
+        let slow = client
+            .submit(
+                Request::sparsify(generators::complete(16), 0.5),
+                Priority::Interactive,
+            )
+            .unwrap();
+        let doomed = client
+            .submit_with_deadline(
+                Request::laplacian(grid.clone(), b.clone()),
+                Priority::Bulk,
+                std::time::Duration::ZERO,
+            )
+            .unwrap();
+        (client.wait(slow), client.wait(doomed))
+    });
+    let (slow, doomed) = output.value;
+    assert!(slow.is_ok(), "work without a deadline is untouched");
+    assert!(matches!(doomed, Err(Error::DeadlineExceeded { .. })));
+
+    // The expiry is fully accounted: a failure, per class and in total.
+    assert_eq!(output.report.expired, 1);
+    assert_eq!(output.report.failures, 1);
+    let bulk = output.report.scheduler.class(Priority::Bulk).unwrap();
+    assert_eq!(bulk.expired, 1);
+    assert_eq!(bulk.dispatched, 0, "expired work is never dispatched");
+    let cost = &output.report.per_request[1];
+    assert!(!cost.ok);
+    assert!(cost.error.as_deref().unwrap().contains("deadline exceeded"));
+    assert_eq!(cost.report.total_rounds, 0, "expired work is never metered");
+    assert_eq!(
+        cost.fingerprint, None,
+        "expired work never touches the Laplacian cache"
+    );
+    assert!(
+        output.report.preprocessing.is_empty(),
+        "no preprocessing was built for the expired topology"
+    );
+
+    // Even with idle workers an already-elapsed deadline expires: deadlines
+    // are checked before every dispatch, so zero-deadline work is never run.
+    let mut idle = StreamEngine::builder().seed(MASTER_SEED).workers(4).build();
+    let output = idle.serve(|client| {
+        let doomed = client
+            .submit_with_deadline(
+                Request::laplacian(grid.clone(), b.clone()),
+                Priority::Interactive,
+                std::time::Duration::ZERO,
+            )
+            .unwrap();
+        client.wait(doomed)
+    });
+    assert!(matches!(output.value, Err(Error::DeadlineExceeded { .. })));
+    assert_eq!(output.report.expired, 1);
+}
+
+#[test]
+fn dispatched_work_always_completes_within_a_generous_deadline() {
+    let workload = mixed_workload();
+    let reference =
+        sequential_reference(&workload.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(3).build();
+    let output = engine.serve(|client| {
+        let tickets: Vec<Ticket> = workload
+            .iter()
+            .map(|(r, p)| {
+                client
+                    .submit_with_deadline(r.clone(), *p, std::time::Duration::from_secs(3600))
+                    .unwrap()
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| client.wait(t))
+            .collect::<Vec<_>>()
+    });
+    // A deadline that never trips changes nothing: bit-identical results,
+    // zero expirations, every job dispatched.
+    assert_results_match(&output.value, &reference);
+    assert_eq!(output.report.expired, 0);
+    assert_eq!(output.report.failures, 0);
+    let dispatched: u64 = output
+        .report
+        .scheduler
+        .classes
+        .iter()
+        .map(|c| c.dispatched)
+        .sum();
+    assert_eq!(dispatched, workload.len() as u64);
+}
+
 #[test]
 fn stream_cumulative_ledger_accumulates_and_absorbs_into_sessions() {
     let workload = mixed_workload();
@@ -583,14 +798,44 @@ fn golden_report() -> StreamReport {
         interactive: 1,
         bulk: 1,
         rejected: 3,
+        expired: 1,
+        scheduler: bcc_core::SchedulerStats {
+            policy: "wfq".to_string(),
+            classes: vec![
+                bcc_core::ClassStats {
+                    class: "interactive".to_string(),
+                    weight: 4,
+                    rate_limit: None,
+                    submitted: 1,
+                    dispatched: 1,
+                    expired: 0,
+                    throttled: 0,
+                },
+                bcc_core::ClassStats {
+                    class: "bulk".to_string(),
+                    weight: 1,
+                    rate_limit: Some(bcc_core::RateLimit {
+                        tokens: 2,
+                        window: 8,
+                    }),
+                    submitted: 1,
+                    dispatched: 0,
+                    expired: 1,
+                    throttled: 3,
+                },
+            ],
+        },
         cache_hits: 0,
         cache_misses: 1,
         cache: CacheStats {
             hits: 0,
             misses: 1,
             evictions: 0,
+            lru_evictions: 0,
+            cost_evictions: 0,
             entries: 1,
             capacity: Some(4),
+            policy: "lru".to_string(),
         },
         total: RoundReport {
             total_rounds: 12,
@@ -690,12 +935,24 @@ fn a_real_stream_report_exposes_the_documented_field_names() {
         "\"interactive\"",
         "\"bulk\"",
         "\"rejected\"",
+        "\"expired\"",
+        "\"scheduler\"",
+        "\"policy\"",
+        "\"classes\"",
+        "\"class\"",
+        "\"weight\"",
+        "\"rate_limit\"",
+        "\"submitted\"",
+        "\"dispatched\"",
+        "\"throttled\"",
         "\"cache_hits\"",
         "\"cache_misses\"",
         "\"cache\"",
         "\"hits\"",
         "\"misses\"",
         "\"evictions\"",
+        "\"lru_evictions\"",
+        "\"cost_evictions\"",
         "\"entries\"",
         "\"capacity\"",
         "\"total\"",
