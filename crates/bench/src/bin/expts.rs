@@ -45,6 +45,14 @@ fn main() {
         for path in written {
             println!("wrote {}", path.display());
         }
+        // One-line cost-model calibration summary for the CI job log, read
+        // back from the artifact just written (no second trajectory run).
+        let stream: bench::trajectory::StreamTrajectory = serde_json::from_str(
+            &std::fs::read_to_string(root.join("BENCH_stream.json"))
+                .expect("BENCH_stream.json was just written"),
+        )
+        .expect("BENCH_stream.json parses back");
+        println!("{}", bench::trajectory::estimation_summary(&stream));
         return;
     }
     let quick = !args.iter().any(|a| a == "--full");

@@ -35,11 +35,21 @@
 //! `report` is a serialized [`StreamReport`] (`bcc-stream-report/v1`, see
 //! `bcc_core::stream`): request/class/backpressure/deadline counters, the
 //! per-class WFQ scheduler counters (`report.scheduler.classes[*]` with
-//! `{class, weight, rate_limit, submitted, dispatched, expired, throttled}`,
-//! see [`bcc_core::SchedulerStats`]), the bounded cache's
-//! [`bcc_core::CacheStats`] (including its eviction `policy` and per-policy
-//! eviction counters), the submission-order `per_request` costs and the
-//! once-per-fingerprint `preprocessing` costs.
+//! `{class, weight, rate_limit, submitted, dispatched, expired, throttled,
+//! infeasible, predicted_rounds, actual_rounds}`, see
+//! [`bcc_core::SchedulerStats`]), the bounded cache's
+//! [`bcc_core::CacheStats`] (including its eviction `policy`, per-policy
+//! eviction counters and the `rebuild_predicted_rounds` /
+//! `rebuild_actual_rounds` build-estimation sums), the submission-order
+//! `per_request` costs and the once-per-fingerprint `preprocessing` costs.
+//!
+//! The estimation-error fields (`predicted_rounds` / `actual_rounds` per
+//! scheduler class, `rebuild_*_rounds` on the cache) were added by the
+//! unified cost-model layer (`bcc_core::cost`). The addition is purely
+//! additive, so the schema tags stay `bcc-bench/v1` /
+//! `bcc-stream-report/v1`; the per-class numbers are produced by a
+//! deterministic submission-order replay of the calibration loop, which is
+//! what makes them safe for [`check_trend`] to guard.
 //!
 //! Field names in all three files are covered by golden-snapshot tests
 //! (`tests/batch.rs` and `tests/stream.rs` in the workspace root), so
@@ -528,7 +538,8 @@ pub fn trend_issues(
         fresh_stream.report.failures,
     );
     // Scheduler-level guards: the tracked workload carries no deadlines, so
-    // any expiration is a regression; rejected admissions likewise.
+    // any expiration is a regression; rejected and infeasible admissions
+    // likewise.
     check_counter(
         &mut issues,
         "stream expired (deadline) submissions",
@@ -541,7 +552,87 @@ pub fn trend_issues(
         committed_stream.report.rejected,
         fresh_stream.report.rejected,
     );
+    check_counter(
+        &mut issues,
+        "stream infeasible-deadline rejections",
+        committed_stream.report.infeasible,
+        fresh_stream.report.infeasible,
+    );
+    // Cost-model guards: the per-class predicted/actual sums come from a
+    // deterministic submission-order replay (bcc_core::cost), so on an
+    // unchanged tree they reproduce exactly; a drift means the model (or
+    // the workload's measured cost) changed and the artifacts need
+    // regenerating.
+    for committed in &committed_stream.report.scheduler.classes {
+        let Some(fresh) = fresh_stream
+            .report
+            .scheduler
+            .classes
+            .iter()
+            .find(|c| c.class == committed.class)
+        else {
+            issues.push(format!(
+                "BENCH_stream.json: scheduler class {:?} disappeared from the fresh run",
+                committed.class
+            ));
+            continue;
+        };
+        check_counter(
+            &mut issues,
+            &format!("stream class {} predicted_rounds", committed.class),
+            committed.predicted_rounds,
+            fresh.predicted_rounds,
+        );
+        check_counter(
+            &mut issues,
+            &format!("stream class {} actual_rounds", committed.class),
+            committed.actual_rounds,
+            fresh.actual_rounds,
+        );
+    }
+    check_counter(
+        &mut issues,
+        "stream cache rebuild_predicted_rounds",
+        committed_stream.report.cache.rebuild_predicted_rounds,
+        fresh_stream.report.cache.rebuild_predicted_rounds,
+    );
+    check_counter(
+        &mut issues,
+        "stream cache rebuild_actual_rounds",
+        committed_stream.report.cache.rebuild_actual_rounds,
+        fresh_stream.report.cache.rebuild_actual_rounds,
+    );
     issues
+}
+
+/// A one-line human-readable summary of the cost model's estimation error
+/// in a stream trajectory — printed by the bench CI job so the calibration
+/// quality shows up in the job log without digging through
+/// `BENCH_stream.json`.
+pub fn estimation_summary(stream: &StreamTrajectory) -> String {
+    let mut parts: Vec<String> = stream
+        .report
+        .scheduler
+        .classes
+        .iter()
+        .filter(|c| c.predicted_rounds > 0 || c.actual_rounds > 0)
+        .map(|c| {
+            let error = c
+                .estimation_error()
+                .map(|e| format!("{:.1}%", e * 100.0))
+                .unwrap_or_else(|| "n/a".to_string());
+            format!(
+                "{} pred={} act={} err={}",
+                c.class, c.predicted_rounds, c.actual_rounds, error
+            )
+        })
+        .collect();
+    let cache = &stream.report.cache;
+    parts.push(format!(
+        "cache-rebuild pred={} act={}",
+        cache.rebuild_predicted_rounds, cache.rebuild_actual_rounds
+    ));
+    format!("stream estimation error: {}", parts.join("; "))
 }
 
 // Reading + parsing stay separate (instead of one generic helper bounded on
@@ -674,6 +765,25 @@ mod tests {
         assert_eq!(dispatched, t.report.requests);
         // The trajectory is deterministic — CI's trend check relies on it.
         assert_eq!(t.report, stream_trajectory(7, true).report);
+        // The cost-model estimation error rides along: the bulk class (all
+        // Laplacian traffic) charged rounds and was predicted, and the
+        // cache recorded its rebuild estimation sums.
+        let bulk = t
+            .report
+            .scheduler
+            .classes
+            .iter()
+            .find(|c| c.class == "bulk")
+            .expect("bulk class present");
+        assert!(bulk.predicted_rounds > 0);
+        assert!(bulk.actual_rounds > 0);
+        assert!(bulk.estimation_error().is_some());
+        assert!(t.report.cache.rebuild_actual_rounds > 0);
+        assert_eq!(t.report.infeasible, 0);
+        let summary = estimation_summary(&t);
+        assert!(summary.starts_with("stream estimation error:"), "{summary}");
+        assert!(summary.contains("bulk pred="), "{summary}");
+        assert!(summary.contains("cache-rebuild pred="), "{summary}");
     }
 
     #[test]
@@ -726,6 +836,34 @@ mod tests {
         expiring.report.expired = 2;
         let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &expiring);
         assert!(issues.iter().any(|i| i.contains("expired")), "{issues:?}");
+
+        // An infeasible-deadline rejection appearing likewise.
+        let mut infeasible = stream.clone();
+        infeasible.report.infeasible = 1;
+        let issues = trend_issues(&pipelines, &pipelines, &batch, &batch, &stream, &infeasible);
+        assert!(
+            issues.iter().any(|i| i.contains("infeasible")),
+            "{issues:?}"
+        );
+
+        // The estimation-error sums are guarded per class: a >2x drift in a
+        // class's predicted rounds is flagged.
+        let mut drifted_model = stream.clone();
+        for class in &mut drifted_model.report.scheduler.classes {
+            class.predicted_rounds = class.predicted_rounds * 3 + 1;
+        }
+        let issues = trend_issues(
+            &pipelines,
+            &pipelines,
+            &batch,
+            &batch,
+            &stream,
+            &drifted_model,
+        );
+        assert!(
+            issues.iter().any(|i| i.contains("predicted_rounds")),
+            "{issues:?}"
+        );
 
         // Growth within the 2x budget passes.
         let mut within = pipelines.clone();

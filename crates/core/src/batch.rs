@@ -69,7 +69,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use bcc_graph::{fingerprint, GraphFingerprint};
@@ -77,6 +77,7 @@ use bcc_runtime::{ModelConfig, RoundLedger};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheEntry, CacheStats, EvictionPolicy};
+use crate::cost::{CostDims, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
@@ -179,6 +180,8 @@ pub struct BatchEngineBuilder {
     shards: usize,
     cache_capacity: Option<usize>,
     eviction_policy: EvictionPolicy,
+    /// The cost model the engine starts from; `None` builds a default one.
+    cost_model: Option<Arc<CostModel>>,
 }
 
 impl Default for BatchEngineBuilder {
@@ -191,6 +194,7 @@ impl Default for BatchEngineBuilder {
             shards: 16,
             cache_capacity: None,
             eviction_policy: EvictionPolicy::Lru,
+            cost_model: None,
         }
     }
 }
@@ -248,6 +252,16 @@ impl BatchEngineBuilder {
         self
     }
 
+    /// Replaces the engine's [`CostModel`] (default: a fresh model with the
+    /// standard priors). The batch engine consults it for cost-aware cache
+    /// eviction and calibrates its preprocessing rate from every build;
+    /// whatever it predicts may only affect eviction victims, never any
+    /// result.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(Arc::new(model));
+        self
+    }
+
     /// Copies model, seed and epsilon from an existing [`Session`], so the
     /// engine serves exactly what that session would serve.
     pub fn from_session(self, session: &Session) -> Self {
@@ -271,6 +285,8 @@ impl BatchEngineBuilder {
                 self.shards,
                 self.cache_capacity,
                 self.eviction_policy,
+                self.cost_model
+                    .unwrap_or_else(|| Arc::new(CostModel::new())),
             ),
             workers,
             ledger: RoundLedger::new(),
@@ -331,6 +347,12 @@ impl BatchEngine {
     /// The configured cache eviction policy.
     pub fn eviction_policy(&self) -> EvictionPolicy {
         self.core.cache.policy()
+    }
+
+    /// The engine's shared cost model — calibrated by every preprocessing
+    /// build, consulted by cost-aware eviction.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.core.cost
     }
 
     /// Drops every cached prepared solver (counters are kept).
@@ -400,10 +422,12 @@ impl BatchEngine {
                 Request::Laplacian { graph, .. } => graph,
                 _ => unreachable!("fingerprints index laplacian requests"),
             };
-            let (entry, _built) = self
-                .core
-                .cache
-                .get_or_build(*fp, || self.core.build_entry(graph));
+            let (entry, _built) =
+                self.core
+                    .cache
+                    .get_or_build(*fp, CostDims::of_graph(graph), || {
+                        self.core.build_entry(graph)
+                    });
             entry
         });
         let pinned: HashMap<u128, CacheEntry> =

@@ -18,13 +18,16 @@
 //!   least-recently-used entry — the right choice when request recency
 //!   predicts reuse.
 //! * [`EvictionPolicy::CostAware`] evicts the entry with the lowest
-//!   *retention score* — `(1 + hits since insertion) × (1 + rebuild rounds)`
-//!   — so a rarely-hit, cheap-to-rebuild entry goes before an expensive,
-//!   hot preprocessing even if the latter was used less recently. Ties
-//!   break toward the least recently used. This is the policy to pick when
-//!   topologies differ wildly in preprocessing cost (recomputation-heavy
-//!   deadline-sensitive serving): the evicted rounds, not the evicted
-//!   entry count, are what the next miss re-pays.
+//!   *retention score* — `(1 + hits since insertion) × (1 + estimated
+//!   rebuild rounds)`, where the rebuild estimate comes from the engine's
+//!   shared [`CostModel`] ([`crate::cost::CostKind::LaplacianPreprocess`] at
+//!   the entry's graph dimensions, calibrated online by the builds the
+//!   cache itself observes) — so a rarely-hit, cheap-to-rebuild entry goes
+//!   before an expensive, hot preprocessing even if the latter was used
+//!   less recently. Ties break toward the least recently used. This is the
+//!   policy to pick when topologies differ wildly in preprocessing cost
+//!   (recomputation-heavy deadline-sensitive serving): the evicted rounds,
+//!   not the evicted entry count, are what the next miss re-pays.
 //!
 //! Eviction never changes results — a prepared solver is a pure function of
 //! `(master seed, graph)`, so a rebuilt entry is bit-identical to the
@@ -42,11 +45,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use bcc_graph::GraphFingerprint;
 use serde::{Deserialize, Serialize};
 
+use crate::cost::{CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::session::PreparedLaplacian;
@@ -69,6 +73,8 @@ pub enum EvictionPolicy {
     Lru,
     /// Evict the entry with the lowest rebuild-cost × recent-hit retention
     /// score, so hot or expensive preprocessings outlive cold, cheap ones.
+    /// Rebuild costs are the shared [`CostModel`]'s calibrated estimates at
+    /// the entry's graph dimensions.
     CostAware,
 }
 
@@ -119,12 +125,29 @@ pub struct CacheStats {
     pub capacity: Option<u64>,
     /// The configured eviction policy ([`EvictionPolicy::as_str`]).
     pub policy: String,
+    /// Sum of the cost model's **prior** (uncalibrated) rebuild estimates
+    /// over every completed preprocessing build — the predicted half of the
+    /// cache's estimation error. The prior is a pure function of the graph
+    /// dimensions, so with an unbounded cache this sum is
+    /// scheduling-independent (the calibrated estimate is not: it depends
+    /// on build completion order, so it steers eviction but is never
+    /// reported).
+    pub rebuild_predicted_rounds: u64,
+    /// Sum of the actual preprocessing rounds over every completed build —
+    /// the measured half of the cache's estimation error. Compare against
+    /// [`CacheStats::rebuild_predicted_rounds`] to see how far the
+    /// uncalibrated prior is from reality (the calibrated model closes
+    /// exactly this gap).
+    pub rebuild_actual_rounds: u64,
 }
 
 /// One cached slot: the entry plus the recency/usage bookkeeping the
 /// eviction policies rank by.
 struct Slot {
     entry: CacheEntry,
+    /// Graph dimensions of the cached topology — what the cost model prices
+    /// a rebuild of this slot from.
+    dims: CostDims,
     /// Last-use tick (LRU order; tie-break for cost-aware eviction).
     tick: u64,
     /// Hits served from this slot since it was inserted.
@@ -133,11 +156,13 @@ struct Slot {
 
 impl Slot {
     /// The cost-aware retention score: entries with many recent hits or an
-    /// expensive rebuild score high and survive, cold cheap entries score
-    /// low and go first. `+1` on both factors keeps never-hit and
-    /// zero-round (failed) entries comparable instead of collapsing to 0.
-    fn retention_score(&self) -> u128 {
-        (1 + self.uses as u128) * (1 + self.entry.1.total_rounds as u128)
+    /// expensive *estimated* rebuild (per the shared [`CostModel`]) score
+    /// high and survive, cold cheap entries score low and go first. `+1` on
+    /// both factors keeps never-hit and zero-estimate entries comparable
+    /// instead of collapsing to 0.
+    fn retention_score(&self, cost: &CostModel) -> u128 {
+        let rebuild = cost.estimate(CostKind::LaplacianPreprocess, self.dims);
+        (1 + self.uses as u128) * (1 + rebuild as u128)
     }
 }
 
@@ -146,6 +171,9 @@ pub(crate) struct LaplacianCache {
     shards: Vec<Mutex<HashMap<u128, Slot>>>,
     capacity: Option<usize>,
     policy: EvictionPolicy,
+    /// The engine's shared cost model: calibrated by every completed build,
+    /// consulted by cost-aware eviction for rebuild estimates.
+    cost: Arc<CostModel>,
     /// Monotonic logical clock; every lookup/insert stamps its slot.
     clock: AtomicU64,
     hits: AtomicU64,
@@ -153,6 +181,11 @@ pub(crate) struct LaplacianCache {
     evictions: AtomicU64,
     lru_evictions: AtomicU64,
     cost_evictions: AtomicU64,
+    /// Sum of prior rebuild estimates over completed builds (see
+    /// [`CacheStats::rebuild_predicted_rounds`]).
+    rebuild_predicted: AtomicU64,
+    /// Sum of actual preprocessing rounds over completed builds.
+    rebuild_actual: AtomicU64,
     /// Fingerprints currently being preprocessed, so concurrent misses on the
     /// same graph collapse into one build.
     building: Mutex<HashSet<u128>>,
@@ -190,21 +223,29 @@ impl Drop for BuildClaim<'_> {
 
 impl LaplacianCache {
     /// An empty cache with `shards` shards, an optional capacity bound
-    /// (total entries across all shards; `None` = unbounded) and an
-    /// eviction policy.
-    pub(crate) fn new(shards: usize, capacity: Option<usize>, policy: EvictionPolicy) -> Self {
+    /// (total entries across all shards; `None` = unbounded), an eviction
+    /// policy and the engine's shared cost model.
+    pub(crate) fn new(
+        shards: usize,
+        capacity: Option<usize>,
+        policy: EvictionPolicy,
+        cost: Arc<CostModel>,
+    ) -> Self {
         LaplacianCache {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             capacity,
             policy,
+            cost,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             lru_evictions: AtomicU64::new(0),
             cost_evictions: AtomicU64::new(0),
+            rebuild_predicted: AtomicU64::new(0),
+            rebuild_actual: AtomicU64::new(0),
             building: Mutex::new(HashSet::new()),
             built: Condvar::new(),
         }
@@ -247,6 +288,8 @@ impl LaplacianCache {
             entries: self.len() as u64,
             capacity: self.capacity.map(|c| c as u64),
             policy: self.policy.as_str().to_string(),
+            rebuild_predicted_rounds: self.rebuild_predicted.load(Ordering::Relaxed),
+            rebuild_actual_rounds: self.rebuild_actual.load(Ordering::Relaxed),
         }
     }
 
@@ -279,14 +322,22 @@ impl LaplacianCache {
         Some(entry)
     }
 
-    /// Returns the cached entry for `fp`, building (and caching) it with
-    /// `build` on a miss. The boolean is `true` when this call built the
-    /// entry. Concurrent callers on the same fingerprint wait for the one
-    /// build instead of duplicating it (and count as **hits** once it
-    /// lands); callers on other fingerprints are never blocked.
+    /// Returns the cached entry for `fp` (a topology of dimensions `dims`),
+    /// building (and caching) it with `build` on a miss. The boolean is
+    /// `true` when this call built the entry. Concurrent callers on the
+    /// same fingerprint wait for the one build instead of duplicating it
+    /// (and count as **hits** once it lands); callers on other fingerprints
+    /// are never blocked.
+    ///
+    /// Every completed build feeds the shared cost model: its actual
+    /// preprocessing rounds calibrate the
+    /// [`CostKind::LaplacianPreprocess`] rate, and the predicted/actual
+    /// sums of [`CacheStats`] record how far the uncalibrated prior was
+    /// from reality.
     pub(crate) fn get_or_build(
         &self,
         fp: GraphFingerprint,
+        dims: CostDims,
         build: impl FnOnce() -> CacheEntry,
     ) -> (CacheEntry, bool) {
         let key = fp.as_u128();
@@ -315,10 +366,20 @@ impl LaplacianCache {
                 return (entry, false);
             }
             let entry = build();
-            // Count the miss only for a *completed* build, so an aborted
-            // build never skews the hit/miss ratio.
+            // Count the miss (and feed the calibration loop) only for a
+            // *completed* build, so an aborted build never skews the
+            // hit/miss ratio or the model.
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.insert(fp, entry.clone());
+            self.rebuild_predicted.fetch_add(
+                self.cost
+                    .prior_estimate(CostKind::LaplacianPreprocess, dims),
+                Ordering::Relaxed,
+            );
+            self.rebuild_actual
+                .fetch_add(entry.1.total_rounds, Ordering::Relaxed);
+            self.cost
+                .observe(CostKind::LaplacianPreprocess, dims, entry.1.total_rounds);
+            self.insert(fp, dims, entry.clone());
             drop(claim);
             return (entry, true);
         }
@@ -326,12 +387,13 @@ impl LaplacianCache {
 
     /// Inserts an entry, then evicts per the configured policy until the
     /// capacity bound holds again.
-    fn insert(&self, fp: GraphFingerprint, entry: CacheEntry) {
+    fn insert(&self, fp: GraphFingerprint, dims: CostDims, entry: CacheEntry) {
         let tick = self.tick();
         self.shard(fp).lock().expect("shard").insert(
             fp.as_u128(),
             Slot {
                 entry,
+                dims,
                 tick,
                 uses: 0,
             },
@@ -363,7 +425,7 @@ impl LaplacianCache {
             let rank = |slot: &Slot| -> (u128, u64) {
                 match self.policy {
                     EvictionPolicy::Lru => (0, slot.tick),
-                    EvictionPolicy::CostAware => (slot.retention_score(), slot.tick),
+                    EvictionPolicy::CostAware => (slot.retention_score(&self.cost), slot.tick),
                 }
             };
             // The most recently stamped slot (normally the entry whose
@@ -417,6 +479,25 @@ mod tests {
     use crate::session::Session;
     use bcc_graph::{fingerprint, generators};
 
+    /// A test cache with a fresh default cost model.
+    fn cache_with(
+        shards: usize,
+        capacity: Option<usize>,
+        policy: EvictionPolicy,
+    ) -> LaplacianCache {
+        LaplacianCache::new(shards, capacity, policy, Arc::new(CostModel::new()))
+    }
+
+    /// `get_or_build` with the dims derived from the graph, as the engines
+    /// call it.
+    fn get_or_build_for(
+        cache: &LaplacianCache,
+        graph: &bcc_graph::Graph,
+        build: impl FnOnce() -> CacheEntry,
+    ) -> (CacheEntry, bool) {
+        cache.get_or_build(fingerprint(graph), CostDims::of_graph(graph), build)
+    }
+
     fn entry_for(seed: u64, graph: &bcc_graph::Graph) -> CacheEntry {
         let session = Session::builder().seed(seed).build();
         match session.laplacian(graph).preprocess() {
@@ -438,17 +519,17 @@ mod tests {
 
     #[test]
     fn capacity_one_evicts_the_least_recently_used_entry() {
-        let cache = LaplacianCache::new(16, Some(1), EvictionPolicy::Lru);
+        let cache = cache_with(16, Some(1), EvictionPolicy::Lru);
         let a = generators::grid(3, 3);
         let b = generators::grid(2, 4);
         let fa = fingerprint(&a);
         let fb = fingerprint(&b);
 
-        let (_, built) = cache.get_or_build(fa, || entry_for(1, &a));
+        let (_, built) = get_or_build_for(&cache, &a, || entry_for(1, &a));
         assert!(built);
         assert_eq!(cache.len(), 1);
 
-        let (_, built) = cache.get_or_build(fb, || entry_for(1, &b));
+        let (_, built) = get_or_build_for(&cache, &b, || entry_for(1, &b));
         assert!(built, "second graph is a miss");
         assert_eq!(cache.len(), 1, "capacity bound holds");
         assert!(cache.contains(fb));
@@ -466,9 +547,9 @@ mod tests {
         // Re-requesting the evicted graph rebuilds it (a pure function of the
         // seed and graph, so the rebuilt entry is identical) and evicts the
         // other one.
-        let (rebuilt, built) = cache.get_or_build(fa, || entry_for(1, &a));
+        let (rebuilt, built) = get_or_build_for(&cache, &a, || entry_for(1, &a));
         assert!(built);
-        let (original, _) = cache.get_or_build(fa, || entry_for(1, &a));
+        let (original, _) = get_or_build_for(&cache, &a, || entry_for(1, &a));
         assert_eq!(rebuilt.1, original.1);
         assert!(!cache.contains(fb));
         assert_eq!(cache.len(), 1);
@@ -476,12 +557,12 @@ mod tests {
 
     #[test]
     fn unbounded_cache_counts_hits_and_never_evicts() {
-        let cache = LaplacianCache::new(4, None, EvictionPolicy::Lru);
+        let cache = cache_with(4, None, EvictionPolicy::Lru);
         let g = generators::grid(3, 3);
-        let fp = fingerprint(&g);
-        let _ = cache.get_or_build(fp, || entry_for(1, &g));
+        let _fp = fingerprint(&g);
+        let _ = get_or_build_for(&cache, &g, || entry_for(1, &g));
         for _ in 0..3 {
-            let (_, built) = cache.get_or_build(fp, || entry_for(1, &g));
+            let (_, built) = get_or_build_for(&cache, &g, || entry_for(1, &g));
             assert!(!built);
         }
         let stats = cache.stats();
@@ -495,16 +576,16 @@ mod tests {
 
     #[test]
     fn lru_order_follows_recency_of_use_not_insertion() {
-        let cache = LaplacianCache::new(8, Some(2), EvictionPolicy::Lru);
+        let cache = cache_with(8, Some(2), EvictionPolicy::Lru);
         let a = generators::grid(3, 3);
         let b = generators::grid(2, 4);
         let c = generators::grid(2, 5);
         let (fa, fb, fc) = (fingerprint(&a), fingerprint(&b), fingerprint(&c));
-        let _ = cache.get_or_build(fa, || entry_for(1, &a));
-        let _ = cache.get_or_build(fb, || entry_for(1, &b));
+        let _ = get_or_build_for(&cache, &a, || entry_for(1, &a));
+        let _ = get_or_build_for(&cache, &b, || entry_for(1, &b));
         // Touch `a` so `b` becomes the LRU entry.
-        let _ = cache.get_or_build(fa, || entry_for(1, &a));
-        let _ = cache.get_or_build(fc, || entry_for(1, &c));
+        let _ = get_or_build_for(&cache, &a, || entry_for(1, &a));
+        let _ = get_or_build_for(&cache, &c, || entry_for(1, &c));
         assert_eq!(cache.len(), 2);
         assert!(cache.contains(fa));
         assert!(cache.contains(fc));
@@ -519,25 +600,25 @@ mod tests {
         let a = generators::grid(3, 3);
         let b = generators::grid(2, 4);
         let c = generators::grid(2, 5);
-        let (fa, fb, fc) = (fingerprint(&a), fingerprint(&b), fingerprint(&c));
+        let (fa, fb, _fc) = (fingerprint(&a), fingerprint(&b), fingerprint(&c));
         let exercise = |cache: &LaplacianCache| {
-            let _ = cache.get_or_build(fa, || entry_for(1, &a));
+            let _ = get_or_build_for(cache, &a, || entry_for(1, &a));
             for _ in 0..3 {
-                let _ = cache.get_or_build(fa, || entry_for(1, &a));
+                let _ = get_or_build_for(cache, &a, || entry_for(1, &a));
             }
-            let _ = cache.get_or_build(fb, || entry_for(1, &b));
-            let _ = cache.get_or_build(fb, || entry_for(1, &b));
+            let _ = get_or_build_for(cache, &b, || entry_for(1, &b));
+            let _ = get_or_build_for(cache, &b, || entry_for(1, &b));
             // The insert that overflows capacity 2.
-            let _ = cache.get_or_build(fc, || entry_for(1, &c));
+            let _ = get_or_build_for(cache, &c, || entry_for(1, &c));
         };
 
-        let lru = LaplacianCache::new(8, Some(2), EvictionPolicy::Lru);
+        let lru = cache_with(8, Some(2), EvictionPolicy::Lru);
         exercise(&lru);
         assert!(!lru.contains(fa), "LRU drops the older-touched entry");
         assert!(lru.contains(fb));
         assert_eq!(lru.stats().lru_evictions, 1);
 
-        let cost = LaplacianCache::new(8, Some(2), EvictionPolicy::CostAware);
+        let cost = cache_with(8, Some(2), EvictionPolicy::CostAware);
         exercise(&cost);
         assert!(
             cost.contains(fa),
@@ -558,7 +639,7 @@ mod tests {
         let cheap = generators::grid(2, 2);
         let dear = generators::grid(5, 5);
         let next = generators::grid(2, 3);
-        let (fc_, fd, fn_) = (fingerprint(&cheap), fingerprint(&dear), fingerprint(&next));
+        let (fc_, fd, _fn_) = (fingerprint(&cheap), fingerprint(&dear), fingerprint(&next));
         let cheap_entry = entry_for(1, &cheap);
         let dear_entry = entry_for(1, &dear);
         assert!(
@@ -566,11 +647,11 @@ mod tests {
             "the larger grid must cost more to preprocess"
         );
 
-        let cache = LaplacianCache::new(8, Some(2), EvictionPolicy::CostAware);
+        let cache = cache_with(8, Some(2), EvictionPolicy::CostAware);
         // Insert the expensive entry FIRST so pure LRU would evict it.
-        let _ = cache.get_or_build(fd, || entry_for(1, &dear));
-        let _ = cache.get_or_build(fc_, || entry_for(1, &cheap));
-        let _ = cache.get_or_build(fn_, || entry_for(1, &next));
+        let _ = get_or_build_for(&cache, &dear, || entry_for(1, &dear));
+        let _ = get_or_build_for(&cache, &cheap, || entry_for(1, &cheap));
+        let _ = get_or_build_for(&cache, &next, || entry_for(1, &next));
         assert!(
             cache.contains(fd),
             "the expensive preprocessing must survive"
@@ -583,9 +664,9 @@ mod tests {
         // Regression test for the collapsed-miss accounting: N workers race
         // on one uncached fingerprint; exactly one build happens, and the
         // N-1 collapsed waiters are hits, never misses.
-        let cache = LaplacianCache::new(4, None, EvictionPolicy::Lru);
+        let cache = cache_with(4, None, EvictionPolicy::Lru);
         let g = generators::grid(4, 4);
-        let fp = fingerprint(&g);
+        let _fp = fingerprint(&g);
         let threads = 6;
         let barrier = std::sync::Barrier::new(threads);
         let builds: Vec<bool> = std::thread::scope(|scope| {
@@ -593,7 +674,7 @@ mod tests {
                 .map(|_| {
                     scope.spawn(|| {
                         barrier.wait();
-                        let (_, built) = cache.get_or_build(fp, || {
+                        let (_, built) = get_or_build_for(&cache, &g, || {
                             // Widen the race window so the waiters really
                             // queue up behind this build.
                             std::thread::sleep(std::time::Duration::from_millis(50));
@@ -626,14 +707,14 @@ mod tests {
     fn a_panicking_build_releases_its_claim_so_waiters_take_over() {
         // The claim is RAII-released: if a build dies, a waiter must be able
         // to build instead of blocking forever on the never-notified claim.
-        let cache = LaplacianCache::new(4, None, EvictionPolicy::Lru);
+        let cache = cache_with(4, None, EvictionPolicy::Lru);
         let g = generators::grid(3, 3);
         let fp = fingerprint(&g);
         let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.get_or_build(fp, || panic!("injected preprocessing failure"))
+            get_or_build_for(&cache, &g, || panic!("injected preprocessing failure"))
         }));
         assert!(first.is_err(), "the injected panic propagates");
-        let (_, built) = cache.get_or_build(fp, || entry_for(1, &g));
+        let (_, built) = get_or_build_for(&cache, &g, || entry_for(1, &g));
         assert!(built, "the claim was released, so the retry builds");
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "an aborted build is not a miss");

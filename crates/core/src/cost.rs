@@ -1,0 +1,415 @@
+//! The unified cost model every engine decision is priced by.
+//!
+//! The paper's contribution is a *cost model* — round complexity in the
+//! Broadcast Congested Clique — yet a serving stack that schedules, admits
+//! and evicts as if every request were a unit job throws that information
+//! away. [`CostModel`] closes the gap: it predicts the work of one request
+//! (estimated rounds) from its pipeline kind and instance dimensions, and
+//! **calibrates itself online** from the actual
+//! [`RoundLedger`](bcc_runtime::RoundLedger) charges every completed request
+//! reports back.
+//!
+//! Three engine layers consume the predictions:
+//!
+//! 1. **Scheduling** — [`crate::stream::StreamEngine`]'s weighted fair queue
+//!    charges each job's virtual finish tag with its estimated cost instead
+//!    of one unit ([`crate::stream::StreamEngineBuilder::cost_aware_tags`],
+//!    default on), so one enormous LP no longer counts like one tiny solve
+//!    when apportioning class shares.
+//! 2. **Admission** — [`crate::stream::StreamClient::submit_with_deadline`]
+//!    rejects at submit time with [`crate::Error::DeadlineInfeasible`] when
+//!    the class's expected wait (backlog cost ÷ weight share, converted to
+//!    wall-clock through the calibrated service rate) already exceeds the
+//!    deadline — instead of queueing work that is doomed to expire.
+//! 3. **Eviction** — [`crate::cache::EvictionPolicy::CostAware`] retention
+//!    scores use the model's *rebuild* estimates
+//!    ([`CostKind::LaplacianPreprocess`]), so the cache keeps the entries
+//!    whose loss would cost the most rounds to re-pay.
+//!
+//! # The calibration loop
+//!
+//! Every estimate is `base(kind, dims) × scale(kind)`, where
+//!
+//! * `base(kind, dims) = n + m` is a deterministic **work unit** count
+//!   derived from the instance dimensions (vertices + edges; variables +
+//!   constraints for LPs) — the shape of the prediction;
+//! * `scale(kind)` is the calibrated **rounds per work unit**: the ratio of
+//!   all observed actual rounds to all observed base units of that kind.
+//!   Before the first observation a per-kind prior is used instead.
+//!
+//! Completed requests feed the loop through [`CostModel::observe`]: the
+//! engines call it with the request's dimensions and the actual
+//! `total_rounds` its [`crate::RoundReport`] charged. Because calibration
+//! state is a pair of *sums* per kind, the fully-calibrated model is
+//! independent of the order observations arrive in — only *mid-flight*
+//! estimates depend on how much has been observed so far.
+//!
+//! The same loop also calibrates a **service rate** (wall-clock nanoseconds
+//! per charged round, [`CostModel::observe_service`]): rounds are the
+//! model's native currency, deadlines are wall-clock, and the service rate
+//! is the bridge. Until the first completion calibrates it,
+//! [`CostModel::expected_duration`] returns `None` and deadline admission
+//! stays permissive — an engine that has never served anything cannot call
+//! any deadline infeasible.
+//!
+//! # Determinism contract
+//!
+//! Predictions steer *latency-side* decisions only — dispatch order,
+//! admission verdicts, eviction victims. Results stay bit-identical to the
+//! sequential [`crate::Session`] loop whatever the model predicts (including
+//! adversarial zero or huge estimates — `tests/stream.rs` proptests this).
+//! Reported estimation errors ([`crate::stream::ClassStats`]) are computed
+//! by **replaying** the calibration loop in submission order at aggregation
+//! time, so they are pure functions of the admitted workload: the live
+//! model's mid-flight estimates may diverge under concurrency, but the
+//! *reported* predicted-vs-actual numbers never do. Wall-clock-derived
+//! state (the service rate) is never reported.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bcc_graph::Graph;
+
+use crate::serve::Request;
+
+/// The work categories the model prices separately. Each kind carries its
+/// own prior and its own calibration sums — an LP round budget says nothing
+/// about a sparsifier's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Theorem 1.2 — spectral sparsification of one graph.
+    Sparsify,
+    /// Theorem 1.3 — one Laplacian solve on a prepared topology (excludes
+    /// preprocessing, which is priced as [`CostKind::LaplacianPreprocess`]).
+    LaplacianSolve,
+    /// Theorem 1.3 — building (or rebuilding, after eviction) the prepared
+    /// solver of one topology.
+    LaplacianPreprocess,
+    /// Theorem 1.4 — one LP solve.
+    Lp,
+    /// Theorem 1.1 — one min-cost max-flow solve.
+    Mcmf,
+}
+
+impl CostKind {
+    const ALL: [CostKind; 5] = [
+        CostKind::Sparsify,
+        CostKind::LaplacianSolve,
+        CostKind::LaplacianPreprocess,
+        CostKind::Lp,
+        CostKind::Mcmf,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CostKind::Sparsify => 0,
+            CostKind::LaplacianSolve => 1,
+            CostKind::LaplacianPreprocess => 2,
+            CostKind::Lp => 3,
+            CostKind::Mcmf => 4,
+        }
+    }
+
+    /// The uncalibrated prior: rounds per work unit assumed before the first
+    /// observation of this kind. Deliberately coarse — one completion is
+    /// enough to replace it with a measured rate.
+    fn default_prior(self) -> u64 {
+        match self {
+            CostKind::Sparsify => 2,
+            CostKind::LaplacianSolve => 1,
+            CostKind::LaplacianPreprocess => 2,
+            CostKind::Lp => 64,
+            CostKind::Mcmf => 64,
+        }
+    }
+}
+
+/// The instance dimensions a prediction is derived from: vertices and edges
+/// for graph pipelines, variables and constraints for LPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostDims {
+    /// Vertex count (variable count for LPs).
+    pub n: u64,
+    /// Edge count (constraint count for LPs).
+    pub m: u64,
+}
+
+impl CostDims {
+    /// Dimensions of a graph instance.
+    pub fn of_graph(graph: &Graph) -> Self {
+        CostDims {
+            n: graph.n() as u64,
+            m: graph.m() as u64,
+        }
+    }
+
+    /// The deterministic work-unit count of an instance: `n + m`, floored at
+    /// one unit so even degenerate instances carry a non-zero base.
+    pub fn units(self) -> u64 {
+        (self.n + self.m).max(1)
+    }
+}
+
+/// Estimates are clamped to this many rounds, so adversarial priors cannot
+/// push the scheduler's fixed-point tag arithmetic anywhere near overflow.
+pub const MAX_ESTIMATE_ROUNDS: u64 = 1 << 40;
+
+/// Per-kind calibration state: monotone sums, so the fully-observed state is
+/// independent of observation order.
+#[derive(Debug, Default)]
+struct KindState {
+    /// Sum of `dims.units()` over every observation of this kind.
+    base_units: AtomicU64,
+    /// Sum of actual rounds over every observation of this kind.
+    actual_rounds: AtomicU64,
+    /// Number of observations.
+    observations: AtomicU64,
+}
+
+/// An online-calibrated predictor of per-request work (rounds), shared by
+/// the scheduler, deadline admission and cache eviction. See the [module
+/// documentation](self) for the calibration loop and the determinism
+/// contract.
+///
+/// The model is thread-safe: estimates are lock-free reads, observations are
+/// lock-free sums. A model starts from per-kind priors
+/// ([`CostModel::new`], or [`CostModel::with_prior`] to override them — the
+/// hook the adversarial proptests use) and converges to the measured
+/// rounds-per-unit rate of each kind as completions feed back.
+#[derive(Debug)]
+pub struct CostModel {
+    kinds: [KindState; 5],
+    priors: [u64; 5],
+    /// Service-rate calibration: total observed execution nanoseconds and
+    /// the rounds they served. Never reported — wall-clock state stays out
+    /// of the deterministic reports.
+    service_nanos: AtomicU64,
+    service_rounds: AtomicU64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new()
+    }
+}
+
+impl CostModel {
+    /// A fresh model with the default per-kind priors and no observations.
+    pub fn new() -> Self {
+        CostModel {
+            kinds: Default::default(),
+            priors: CostKind::ALL.map(CostKind::default_prior),
+            service_nanos: AtomicU64::new(0),
+            service_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the prior (rounds per work unit assumed before the first
+    /// observation) of one kind. Zero is allowed — a zero prior predicts
+    /// zero rounds until calibrated, which the scheduler must (and does)
+    /// survive; estimates above [`MAX_ESTIMATE_ROUNDS`] are clamped.
+    pub fn with_prior(mut self, kind: CostKind, rounds_per_unit: u64) -> Self {
+        self.priors[kind.index()] = rounds_per_unit;
+        self
+    }
+
+    /// A fresh, observation-free model with the same priors as `self` — the
+    /// deterministic replica the report aggregation replays the calibration
+    /// loop on.
+    pub(crate) fn fresh_replica(&self) -> CostModel {
+        CostModel {
+            kinds: Default::default(),
+            priors: self.priors,
+            service_nanos: AtomicU64::new(0),
+            service_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// The uncalibrated prior estimate of one kind at the given dimensions:
+    /// `units × prior`, clamped to [`MAX_ESTIMATE_ROUNDS`]. A pure function
+    /// of its arguments — this is the deterministic half of
+    /// [`CostModel::estimate`], and what the cache reports its
+    /// predicted-rebuild sums with (the calibrated estimate depends on
+    /// observation order, which scheduling controls).
+    pub fn prior_estimate(&self, kind: CostKind, dims: CostDims) -> u64 {
+        let units = dims.units() as u128;
+        let prior = self.priors[kind.index()] as u128;
+        (units * prior).min(MAX_ESTIMATE_ROUNDS as u128) as u64
+    }
+
+    /// Predicts the rounds one request of `kind` at `dims` will charge:
+    /// `units × (observed rounds ÷ observed units)` once the kind has been
+    /// observed, the prior otherwise. Clamped to [`MAX_ESTIMATE_ROUNDS`].
+    pub fn estimate(&self, kind: CostKind, dims: CostDims) -> u64 {
+        let state = &self.kinds[kind.index()];
+        let base = state.base_units.load(Ordering::Relaxed);
+        if base == 0 {
+            return self.prior_estimate(kind, dims);
+        }
+        let actual = state.actual_rounds.load(Ordering::Relaxed);
+        let units = dims.units() as u128;
+        let scaled = units * actual as u128 / base as u128;
+        scaled.min(MAX_ESTIMATE_ROUNDS as u128) as u64
+    }
+
+    /// Predicts the rounds of one [`Request`]: its execution kind at its
+    /// instance dimensions. For Laplacian requests this prices the *solve*
+    /// alone; a possible preprocessing rebuild is priced separately with
+    /// [`CostKind::LaplacianPreprocess`].
+    pub fn estimate_request(&self, request: &Request) -> u64 {
+        let (kind, dims) = request.cost_profile();
+        self.estimate(kind, dims)
+    }
+
+    /// Feeds one completed unit of work back into the calibration loop.
+    pub fn observe(&self, kind: CostKind, dims: CostDims, actual_rounds: u64) {
+        let state = &self.kinds[kind.index()];
+        state.base_units.fetch_add(dims.units(), Ordering::Relaxed);
+        state
+            .actual_rounds
+            .fetch_add(actual_rounds, Ordering::Relaxed);
+        state.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations of one kind so far.
+    pub fn observations(&self, kind: CostKind) -> u64 {
+        self.kinds[kind.index()]
+            .observations
+            .load(Ordering::Relaxed)
+    }
+
+    /// Calibrates the service rate: `elapsed` of wall-clock execution served
+    /// `rounds` charged rounds. Zero-round completions still count their
+    /// time (they establish a floor for the rate).
+    pub fn observe_service(&self, rounds: u64, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.service_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.service_rounds
+            .fetch_add(rounds.max(1), Ordering::Relaxed);
+    }
+
+    /// Converts a round estimate into expected wall-clock time through the
+    /// calibrated service rate. `None` until the first
+    /// [`CostModel::observe_service`] — an uncalibrated model refuses to
+    /// predict durations, which keeps deadline admission permissive on a
+    /// fresh engine.
+    pub fn expected_duration(&self, rounds: u64) -> Option<Duration> {
+        let service_rounds = self.service_rounds.load(Ordering::Relaxed);
+        if service_rounds == 0 {
+            return None;
+        }
+        let nanos = self.service_nanos.load(Ordering::Relaxed);
+        let expected = rounds as u128 * nanos as u128 / service_rounds as u128;
+        Some(Duration::from_nanos(
+            u64::try_from(expected).unwrap_or(u64::MAX),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graph::generators;
+
+    #[test]
+    fn priors_drive_estimates_until_the_first_observation() {
+        let model = CostModel::new();
+        let dims = CostDims { n: 10, m: 20 };
+        assert_eq!(
+            model.estimate(CostKind::Sparsify, dims),
+            30 * CostKind::Sparsify.default_prior()
+        );
+        assert_eq!(
+            model.estimate(CostKind::Sparsify, dims),
+            model.prior_estimate(CostKind::Sparsify, dims)
+        );
+        // Kinds calibrate independently: observing LPs leaves sparsify on
+        // its prior.
+        model.observe(CostKind::Lp, CostDims { n: 4, m: 2 }, 600);
+        assert_eq!(
+            model.estimate(CostKind::Sparsify, dims),
+            model.prior_estimate(CostKind::Sparsify, dims)
+        );
+        assert_eq!(model.observations(CostKind::Lp), 1);
+        assert_eq!(model.observations(CostKind::Sparsify), 0);
+    }
+
+    #[test]
+    fn calibration_converges_to_the_observed_rate() {
+        let model = CostModel::new();
+        // Two observations at 10 rounds per unit.
+        model.observe(CostKind::LaplacianSolve, CostDims { n: 3, m: 2 }, 50);
+        model.observe(CostKind::LaplacianSolve, CostDims { n: 7, m: 8 }, 150);
+        // 200 rounds over 20 units -> 10 rounds/unit.
+        let estimate = model.estimate(CostKind::LaplacianSolve, CostDims { n: 6, m: 4 });
+        assert_eq!(estimate, 100);
+        // Order independence: the same observations in the other order give
+        // the same calibrated state.
+        let other = CostModel::new();
+        other.observe(CostKind::LaplacianSolve, CostDims { n: 7, m: 8 }, 150);
+        other.observe(CostKind::LaplacianSolve, CostDims { n: 3, m: 2 }, 50);
+        assert_eq!(
+            other.estimate(CostKind::LaplacianSolve, CostDims { n: 6, m: 4 }),
+            estimate
+        );
+    }
+
+    #[test]
+    fn zero_and_adversarial_priors_are_clamped_not_ub() {
+        let zero = CostModel::new().with_prior(CostKind::Sparsify, 0);
+        assert_eq!(
+            zero.estimate(CostKind::Sparsify, CostDims { n: 100, m: 1000 }),
+            0
+        );
+        let huge = CostModel::new().with_prior(CostKind::Sparsify, u64::MAX);
+        assert_eq!(
+            huge.estimate(CostKind::Sparsify, CostDims { n: 100, m: 1000 }),
+            MAX_ESTIMATE_ROUNDS,
+            "estimates are clamped"
+        );
+        // Degenerate dimensions still carry one work unit.
+        assert_eq!(CostDims { n: 0, m: 0 }.units(), 1);
+    }
+
+    #[test]
+    fn request_profiles_price_the_execution_kind_at_instance_dims() {
+        let g = generators::grid(3, 3);
+        let dims = CostDims::of_graph(&g);
+        assert_eq!(dims, CostDims { n: 9, m: 12 });
+        let model = CostModel::new();
+        let request = Request::laplacian(g.clone(), vec![0.0; g.n()]);
+        assert_eq!(
+            model.estimate_request(&request),
+            model.estimate(CostKind::LaplacianSolve, dims)
+        );
+        let request = Request::sparsify(g, 0.5);
+        assert_eq!(
+            model.estimate_request(&request),
+            model.estimate(CostKind::Sparsify, dims)
+        );
+    }
+
+    #[test]
+    fn service_rate_is_none_until_calibrated_then_scales_linearly() {
+        let model = CostModel::new();
+        assert_eq!(model.expected_duration(1000), None);
+        model.observe_service(100, Duration::from_micros(200));
+        // 2 microseconds per round.
+        assert_eq!(
+            model.expected_duration(50),
+            Some(Duration::from_micros(100))
+        );
+        assert_eq!(model.expected_duration(0), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn replicas_copy_priors_but_not_observations() {
+        let model = CostModel::new().with_prior(CostKind::Mcmf, 7);
+        model.observe(CostKind::Mcmf, CostDims { n: 1, m: 1 }, 9999);
+        let replica = model.fresh_replica();
+        let dims = CostDims { n: 2, m: 3 };
+        assert_eq!(replica.estimate(CostKind::Mcmf, dims), 5 * 7);
+        assert_eq!(replica.observations(CostKind::Mcmf), 0);
+        assert_eq!(replica.expected_duration(10), None);
+    }
+}

@@ -48,6 +48,27 @@ pub enum Error {
         /// scheduler expired it.
         late_by: std::time::Duration,
     },
+    /// A submission made with [`crate::stream::StreamClient::submit_with_deadline`]
+    /// was rejected **at submit time**: the class's expected wait — queued
+    /// backlog cost over its weight share, priced by the engine's
+    /// calibrated [`crate::cost::CostModel`] — already exceeded the
+    /// deadline, so admitting the work would only queue it to expire. The
+    /// submission was never admitted and consumes no submission index. An
+    /// idle engine (no backlog) or an uncalibrated one (no completion
+    /// observed yet) never reports this error.
+    DeadlineInfeasible {
+        /// The deadline the submission asked for.
+        deadline: std::time::Duration,
+        /// The expected wait the admission check predicted.
+        expected_wait: std::time::Duration,
+    },
+    /// A [`crate::stream::StreamClient::wait_timeout`] elapsed before the
+    /// submission completed. The ticket stays redeemable — the submission
+    /// keeps running, and its result can still be collected later.
+    WaitTimeout {
+        /// The timeout that elapsed.
+        waited: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -73,6 +94,22 @@ impl std::fmt::Display for Error {
                     "deadline exceeded: request was still queued {late_by:?} past its deadline"
                 )
             }
+            Error::DeadlineInfeasible {
+                deadline,
+                expected_wait,
+            } => {
+                write!(
+                    f,
+                    "deadline infeasible: expected wait {expected_wait:?} already exceeds the \
+                     deadline {deadline:?}, rejected at admission"
+                )
+            }
+            Error::WaitTimeout { waited } => {
+                write!(
+                    f,
+                    "wait timed out after {waited:?}: the submission has not completed yet"
+                )
+            }
         }
     }
 }
@@ -87,7 +124,9 @@ impl std::error::Error for Error {
             Error::Flow(e) => Some(e),
             Error::InvalidEpsilon { .. }
             | Error::Overloaded { .. }
-            | Error::DeadlineExceeded { .. } => None,
+            | Error::DeadlineExceeded { .. }
+            | Error::DeadlineInfeasible { .. }
+            | Error::WaitTimeout { .. } => None,
         }
     }
 }
@@ -154,6 +193,20 @@ mod tests {
         };
         assert!(err.to_string().contains("deadline exceeded"));
         assert!(err.to_string().contains("still queued"));
+        assert!(err.source().is_none());
+
+        let err = Error::DeadlineInfeasible {
+            deadline: std::time::Duration::from_millis(5),
+            expected_wait: std::time::Duration::from_millis(90),
+        };
+        assert!(err.to_string().contains("deadline infeasible"));
+        assert!(err.to_string().contains("rejected at admission"));
+        assert!(err.source().is_none());
+
+        let err = Error::WaitTimeout {
+            waited: std::time::Duration::from_millis(7),
+        };
+        assert!(err.to_string().contains("timed out"));
         assert!(err.source().is_none());
     }
 }

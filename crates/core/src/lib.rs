@@ -65,6 +65,7 @@ pub use bcc_sparsifier as sparsifier;
 pub mod algorithm;
 pub mod batch;
 pub mod cache;
+pub mod cost;
 pub mod error;
 pub mod report;
 mod serve;
@@ -77,6 +78,7 @@ pub use algorithm::{
 };
 pub use batch::{BatchEngine, BatchEngineBuilder, BatchOutput, BatchReport, Request, Response};
 pub use cache::{CacheStats, EvictionPolicy};
+pub use cost::{CostDims, CostKind, CostModel};
 pub use error::Error;
 pub use report::RoundReport;
 pub use session::{
@@ -91,6 +93,7 @@ pub use stream::{
 pub mod prelude {
     pub use crate::algorithm::BccAlgorithm;
     pub use crate::cache::EvictionPolicy;
+    pub use crate::cost::{CostDims, CostKind, CostModel};
     pub use crate::error::Error;
     pub use crate::report::RoundReport;
     pub use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};

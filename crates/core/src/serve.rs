@@ -10,6 +10,7 @@
 //! front-end scheduled them.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bcc_flow::{McmfOptions, McmfResult};
 use bcc_graph::{FlowInstance, Graph, GraphFingerprint};
@@ -20,6 +21,7 @@ use bcc_sparsifier::SparsifierOutput;
 
 use crate::batch::{PreprocessingCost, RequestCost};
 use crate::cache::{CacheEntry, EvictionPolicy, LaplacianCache};
+use crate::cost::{CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::session::{LpRequest, Outcome, Session};
@@ -111,6 +113,34 @@ impl Request {
             Request::MinCostMaxFlow { .. } => "mcmf",
         }
     }
+
+    /// What a [`CostModel`] prices this request as: the execution cost kind
+    /// plus the instance dimensions the prediction is derived from. For
+    /// Laplacian requests this is the *solve*; a possible preprocessing
+    /// (re)build is priced separately under
+    /// [`CostKind::LaplacianPreprocess`].
+    pub fn cost_profile(&self) -> (CostKind, CostDims) {
+        match self {
+            Request::Sparsify { graph, .. } => (CostKind::Sparsify, CostDims::of_graph(graph)),
+            Request::Laplacian { graph, .. } => {
+                (CostKind::LaplacianSolve, CostDims::of_graph(graph))
+            }
+            Request::Lp { instance, .. } => (
+                CostKind::Lp,
+                CostDims {
+                    n: instance.n() as u64,
+                    m: instance.m() as u64,
+                },
+            ),
+            Request::MinCostMaxFlow { instance, .. } => (
+                CostKind::Mcmf,
+                CostDims {
+                    n: instance.graph.n() as u64,
+                    m: instance.graph.m() as u64,
+                },
+            ),
+        }
+    }
 }
 
 /// The value computed by one [`Request`].
@@ -169,15 +199,20 @@ pub(crate) fn derive_request_seed(master: u64, index: usize) -> u64 {
     )
 }
 
-/// The engine-agnostic serving core: configuration, seed derivation and the
-/// shared Laplacian cache. Scheduling front-ends (batch slices, streaming
-/// queues) layer on top of this without touching result semantics.
+/// The engine-agnostic serving core: configuration, seed derivation, the
+/// shared Laplacian cache and the shared [`CostModel`] every engine decision
+/// is priced by. Scheduling front-ends (batch slices, streaming queues)
+/// layer on top of this without touching result semantics.
 #[derive(Debug)]
 pub(crate) struct EngineCore {
     pub(crate) model: ModelConfig,
     pub(crate) seed: u64,
     pub(crate) epsilon: f64,
     pub(crate) cache: LaplacianCache,
+    /// The unified cost model: calibrated by completions (and cache
+    /// builds), consulted by the scheduler, deadline admission and
+    /// cost-aware eviction.
+    pub(crate) cost: Arc<CostModel>,
 }
 
 impl EngineCore {
@@ -188,12 +223,14 @@ impl EngineCore {
         shards: usize,
         cache_capacity: Option<usize>,
         eviction_policy: EvictionPolicy,
+        cost: Arc<CostModel>,
     ) -> Self {
         EngineCore {
             model,
             seed,
             epsilon,
-            cache: LaplacianCache::new(shards, cache_capacity, eviction_policy),
+            cache: LaplacianCache::new(shards, cache_capacity, eviction_policy, Arc::clone(&cost)),
+            cost,
         }
     }
 

@@ -35,11 +35,39 @@
 //! job runs anyway. Per-class submission/dispatch/expiry/throttle counters
 //! are surfaced in [`StreamReport::scheduler`].
 //!
+//! # Size-aware tags: the unified cost model
+//!
+//! By default the virtual-clock tags are **size-aware**
+//! ([`StreamEngineBuilder::cost_aware_tags`], default on): instead of one
+//! unit per job, a job charges its *estimated rounds* as predicted by the
+//! engine's shared [`crate::cost::CostModel`] — `max(V, F_class) +
+//! cost / weight` — so a giant LP consumes proportionally more of its
+//! class's share than a tiny solve, which is what "weighted fair" should
+//! mean under the paper's round-complexity cost model. The model calibrates
+//! itself online from completed requests (see [`crate::cost`]); its
+//! predictions steer dispatch order, deadline admission and cost-aware
+//! cache eviction, and per-class predicted-vs-actual sums are reported in
+//! [`ClassStats::predicted_rounds`] / [`ClassStats::actual_rounds`]
+//! (computed by a deterministic submission-order replay of the calibration
+//! loop, so the report never depends on scheduling). With
+//! `cost_aware_tags(false)` every job charges one unit, which is exactly
+//! the previous behaviour.
+//!
 //! # Deadlines
 //!
 //! [`StreamClient::submit_with_deadline`] attaches a deadline to one
-//! submission. A request that is **still queued** when its deadline passes
-//! is never dispatched: it completes with the typed
+//! submission. Admission is **deadline-aware**: when the class's expected
+//! wait — queued backlog cost divided by the class's weight share, converted
+//! to wall-clock through the model's calibrated service rate — already
+//! exceeds the deadline, the submission is rejected *at submit time* with
+//! the typed [`Error::DeadlineInfeasible`] (counted in
+//! [`ClassStats::infeasible`]; like [`Error::Overloaded`] rejections it
+//! consumes no submission index). An engine that has never completed a
+//! request has no calibrated service rate and admits everything — an idle
+//! engine never calls a deadline infeasible.
+//!
+//! A request that was admitted but is **still queued** when its deadline
+//! passes is never dispatched: it completes with the typed
 //! [`Error::DeadlineExceeded`] instead (and counts into
 //! [`ClassStats::expired`]). Work that was already dispatched always runs to
 //! completion — a deadline bounds queueing delay, it never cancels running
@@ -56,14 +84,16 @@
 //! the shared bounded cache of [`crate::cache`]. Consequently a stream run
 //! is bit-identical to the sequential [`crate::Session`] loop of the batch
 //! contract for **any** worker count, class/weight vector, rate limit, queue
-//! capacity and submission/collection interleaving — WFQ may only reorder
+//! capacity, cost-model configuration (size-aware tags on or off, whatever
+//! the model predicts — including adversarial zero or enormous estimates)
+//! and submission/collection interleaving — WFQ may only reorder
 //! *completion*, never change a per-submission seed — and cache eviction
 //! (whatever the [`crate::cache::EvictionPolicy`]) only re-pays
 //! preprocessing rounds, it never changes a result. Deadlines are the one
-//! deliberate exception: whether a deadline expires depends on wall-clock
-//! scheduling, so only submissions without (or with generous) deadlines are
-//! covered by the bit-identity contract. `tests/stream.rs` enforces all of
-//! this.
+//! deliberate exception: whether a deadline expires (or is rejected as
+//! infeasible at admission) depends on wall-clock scheduling, so only
+//! submissions without (or with generous) deadlines are covered by the
+//! bit-identity contract. `tests/stream.rs` enforces all of this.
 //!
 //! # Shutdown and drain
 //!
@@ -113,7 +143,7 @@ use std::collections::VecDeque;
 use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -123,6 +153,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::{PreprocessingCost, RequestCost};
 use crate::cache::{CacheStats, EvictionPolicy};
+use crate::cost::{CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
@@ -283,6 +314,35 @@ pub struct ClassStats {
     /// budget for the current window was spent. Timing-dependent under
     /// concurrency; always zero without a rate limit.
     pub throttled: u64,
+    /// Submissions rejected at admission with [`Error::DeadlineInfeasible`]
+    /// (expected wait already past the deadline). Like rejected
+    /// backpressure they consume no submission index. Timing-dependent
+    /// under concurrency; always zero for deadline-less workloads.
+    pub infeasible: u64,
+    /// Sum of the cost model's predicted rounds over this class's executed
+    /// submissions, computed by a deterministic submission-order replay of
+    /// the calibration loop (so it is a pure function of the admitted
+    /// workload — see [`crate::cost`]). Expired submissions are excluded:
+    /// they never executed, so there is no actual to compare against.
+    pub predicted_rounds: u64,
+    /// Sum of the actual rounds this class's executed submissions charged —
+    /// the measured half of [`ClassStats::predicted_rounds`]. Compare the
+    /// two for the class's estimation error
+    /// ([`ClassStats::estimation_error`]).
+    pub actual_rounds: u64,
+}
+
+impl ClassStats {
+    /// The class's relative estimation error:
+    /// `|predicted − actual| / actual`, or `None` when the class charged no
+    /// rounds (nothing to compare against).
+    pub fn estimation_error(&self) -> Option<f64> {
+        if self.actual_rounds == 0 {
+            return None;
+        }
+        let diff = self.predicted_rounds.abs_diff(self.actual_rounds);
+        Some(diff as f64 / self.actual_rounds as f64)
+    }
 }
 
 /// Scheduler-level accounting of one serve scope: the discipline plus one
@@ -307,6 +367,11 @@ impl SchedulerStats {
     /// Total deadline expirations across all classes.
     pub fn expired(&self) -> u64 {
         self.classes.iter().map(|c| c.expired).sum()
+    }
+
+    /// Total infeasible-deadline admission rejections across all classes.
+    pub fn infeasible(&self) -> u64 {
+        self.classes.iter().map(|c| c.infeasible).sum()
     }
 }
 
@@ -336,6 +401,13 @@ pub struct StreamReport {
     /// [`StreamReport::failures`] and per class in
     /// [`ClassStats::expired`]).
     pub expired: u64,
+    /// Submissions rejected at admission with
+    /// [`Error::DeadlineInfeasible`] — their deadline was already infeasible
+    /// given the queued backlog and the calibrated service rate. Like
+    /// [`StreamReport::rejected`] they consume no submission index and
+    /// appear nowhere else in the report (per class in
+    /// [`ClassStats::infeasible`]).
+    pub infeasible: u64,
     /// Per-class WFQ scheduler counters of this serve scope.
     pub scheduler: SchedulerStats,
     /// Laplacian submissions that reused a prepared solver (first submission
@@ -399,6 +471,9 @@ pub struct StreamEngineBuilder {
     backpressure: BackpressurePolicy,
     cache_capacity: Option<usize>,
     eviction_policy: EvictionPolicy,
+    cost_aware_tags: bool,
+    /// The cost model the engine starts from; `None` builds a default one.
+    cost_model: Option<Arc<CostModel>>,
     /// Class overrides in configuration order; normalized in `build`.
     classes: Vec<(Priority, ClassConfig)>,
 }
@@ -415,6 +490,8 @@ impl Default for StreamEngineBuilder {
             backpressure: BackpressurePolicy::Block,
             cache_capacity: None,
             eviction_policy: EvictionPolicy::Lru,
+            cost_aware_tags: true,
+            cost_model: None,
             classes: Vec::new(),
         }
     }
@@ -486,6 +563,26 @@ impl StreamEngineBuilder {
         self
     }
 
+    /// Enables or disables size-aware WFQ tags (default **on**): when on,
+    /// each job's virtual finish tag charges its estimated cost per the
+    /// engine's shared [`CostModel`]; when off, every job charges one unit
+    /// (the pre-cost-model discipline). Either way results stay
+    /// bit-identical to the sequential [`Session`] loop — the tags decide
+    /// dispatch order only.
+    pub fn cost_aware_tags(mut self, enabled: bool) -> Self {
+        self.cost_aware_tags = enabled;
+        self
+    }
+
+    /// Replaces the engine's [`CostModel`] (default: a fresh model with the
+    /// standard priors). Useful to carry calibration across engines, or to
+    /// inject adversarial priors in tests — any model, however wrong, may
+    /// only affect latency, never results.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(Arc::new(model));
+        self
+    }
+
     /// Sets the WFQ weight of one scheduling class (clamped to at least 1).
     /// Defaults: [`Priority::Interactive`] 4, [`Priority::Bulk`] 1, custom
     /// classes 1. A class with weight `w` receives a `w`-proportional share
@@ -546,10 +643,13 @@ impl StreamEngineBuilder {
                 self.shards,
                 self.cache_capacity,
                 self.eviction_policy,
+                self.cost_model
+                    .unwrap_or_else(|| Arc::new(CostModel::new())),
             ),
             workers,
             queue_capacity: self.queue_capacity,
             backpressure: self.backpressure,
+            cost_aware_tags: self.cost_aware_tags,
             classes,
             ledger: RoundLedger::new(),
             scopes: 0,
@@ -568,6 +668,8 @@ pub struct StreamEngine {
     workers: usize,
     queue_capacity: usize,
     backpressure: BackpressurePolicy,
+    /// Whether WFQ tags charge estimated cost (true) or one unit (false).
+    cost_aware_tags: bool,
     /// Normalized class configuration, sorted by class key.
     classes: Vec<(Priority, ClassConfig)>,
     ledger: RoundLedger,
@@ -607,6 +709,18 @@ impl StreamEngine {
     /// The configured backpressure policy.
     pub fn backpressure(&self) -> BackpressurePolicy {
         self.backpressure
+    }
+
+    /// Whether WFQ tags are size-aware (charge estimated cost) or unit
+    /// jobs.
+    pub fn cost_aware_tags(&self) -> bool {
+        self.cost_aware_tags
+    }
+
+    /// The engine's shared cost model — calibrated by completions, consulted
+    /// by the scheduler, deadline admission and cost-aware eviction.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.core.cost
     }
 
     /// The WFQ weight of a class (its default if never configured).
@@ -684,6 +798,8 @@ impl StreamEngine {
             scope: self.scopes,
             queue_capacity: self.queue_capacity,
             policy: self.backpressure,
+            cost_aware_tags: self.cost_aware_tags,
+            workers: self.workers,
             queue: Mutex::new(WfqScheduler::new(&self.classes)),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -732,7 +848,39 @@ impl StreamEngine {
         meta.sort_by_key(|m| m.index);
         let mut done = shared.done.lock().expect("completion table");
         let prep = shared.prep.lock().expect("preprocessing reports");
-        let scheduler = shared.queue.lock().expect("stream queue").stats();
+        let mut scheduler = shared.queue.lock().expect("stream queue").stats();
+
+        // Replay the calibration loop deterministically, in submission
+        // order, on a fresh replica of the engine's model: the per-class
+        // predicted/actual sums this produces are a pure function of the
+        // admitted workload, independent of how scheduling interleaved the
+        // live model's mid-flight estimates. Expired submissions never
+        // executed, and failed ones charge no rounds and are not observed
+        // by the live loop either — both are skipped on both sides of the
+        // comparison.
+        let replay = self.core.cost.fresh_replica();
+        let mut errors: HashMap<String, (u64, u64)> = HashMap::new();
+        for m in &meta {
+            let completion = done
+                .costs
+                .get(&m.index)
+                .expect("the drained scope completed every admitted submission");
+            if completion.expired || !completion.ok {
+                continue;
+            }
+            let predicted = replay.estimate(m.cost_kind, m.dims);
+            let actual = completion.report.total_rounds;
+            let entry = errors.entry(m.priority.label()).or_insert((0, 0));
+            entry.0 += predicted;
+            entry.1 += actual;
+            replay.observe(m.cost_kind, m.dims, actual);
+        }
+        for class in &mut scheduler.classes {
+            if let Some((predicted, actual)) = errors.get(&class.class) {
+                class.predicted_rounds = *predicted;
+                class.actual_rounds = *actual;
+            }
+        }
 
         let mut interactive = 0u64;
         let mut bulk = 0u64;
@@ -785,6 +933,7 @@ impl StreamEngine {
             bulk,
             rejected: shared.rejected.load(Ordering::Relaxed),
             expired: scheduler.expired(),
+            infeasible: scheduler.infeasible(),
             scheduler,
             cache_hits: accounting.cache_hits,
             cache_misses: accounting.cache_misses,
@@ -806,13 +955,22 @@ struct Job {
     /// Queueing deadline; a job still queued past it expires instead of
     /// dispatching.
     deadline: Option<Instant>,
+    /// The job's estimated cost in rounds (including a preprocessing
+    /// rebuild when its fingerprint was uncached at admission) — what its
+    /// virtual finish tag charged, and its contribution to the class
+    /// backlog deadline admission prices.
+    cost: u64,
     /// WFQ virtual finish tag, assigned at admission.
     finish: u128,
 }
 
-/// Virtual-time cost of one dispatch at weight 1. Tags are
-/// `max(V, F_class) + VT_UNIT / weight` in fixed-point arithmetic, so any
-/// weight up to `u32::MAX` keeps a non-zero, exactly representable cost.
+/// Virtual-time charge of one estimated round at weight 1. Tags are
+/// `max(V, F_class) + cost × VT_UNIT / weight` in fixed-point arithmetic,
+/// so any weight up to `u32::MAX` keeps a non-zero, exactly representable
+/// per-round charge; with unit costs (size-aware tags off) this degenerates
+/// to the classic unit-job virtual clock. Costs are clamped to
+/// [`crate::cost::MAX_ESTIMATE_ROUNDS`] (2⁴⁰), so `cost × VT_UNIT` stays
+/// below 2⁷² and the u128 clock cannot realistically overflow.
 const VT_UNIT: u128 = 1 << 32;
 
 /// One class inside the scheduler: its FIFO queue, WFQ state, rate-limit
@@ -822,6 +980,9 @@ struct ClassState {
     weight: u32,
     rate: Option<RateLimit>,
     queue: VecDeque<Job>,
+    /// Summed estimated cost of the queued jobs — the class backlog
+    /// deadline admission prices.
+    queued_cost: u128,
     /// Finish tag of the last job admitted to this class.
     last_finish: u128,
     /// Rate-limit window this class last dispatched in.
@@ -832,6 +993,7 @@ struct ClassState {
     dispatched: u64,
     expired: u64,
     throttled: u64,
+    infeasible: u64,
 }
 
 impl ClassState {
@@ -841,6 +1003,7 @@ impl ClassState {
             weight: config.weight.max(1),
             rate: config.rate.map(RateLimit::clamped),
             queue: VecDeque::new(),
+            queued_cost: 0,
             last_finish: 0,
             window_index: 0,
             window_used: 0,
@@ -848,6 +1011,7 @@ impl ClassState {
             dispatched: 0,
             expired: 0,
             throttled: 0,
+            infeasible: 0,
         }
     }
 
@@ -868,6 +1032,11 @@ impl ClassState {
             dispatched: self.dispatched,
             expired: self.expired,
             throttled: self.throttled,
+            infeasible: self.infeasible,
+            // Filled in by the deterministic replay at aggregation; the
+            // live scheduler never sees actual costs.
+            predicted_rounds: 0,
+            actual_rounds: 0,
         }
     }
 }
@@ -935,26 +1104,35 @@ impl WfqScheduler {
     }
 
     /// Admits one job, assigning its submission index and WFQ finish tag.
+    /// `cost` is the job's estimated rounds; the tag charges
+    /// `cost × VT_UNIT / weight` (unit-job scheduling passes `cost = 1`). A
+    /// zero cost is legal — the tag simply does not advance, and the
+    /// `(finish, index)` tie-break keeps dispatch FIFO and starvation-free
+    /// regardless.
     fn push(
         &mut self,
         priority: Priority,
         request: Request,
         fp: Option<GraphFingerprint>,
         deadline: Option<Instant>,
+        cost: u64,
     ) -> u64 {
         let index = self.next_index;
         self.next_index += 1;
         let virtual_time = self.virtual_time;
         let class = self.class_mut(priority);
-        let finish = virtual_time.max(class.last_finish) + VT_UNIT / class.weight as u128;
+        let finish =
+            virtual_time.max(class.last_finish) + cost as u128 * VT_UNIT / class.weight as u128;
         class.last_finish = finish;
         class.submitted += 1;
+        class.queued_cost += cost as u128;
         class.queue.push_back(Job {
             index,
             priority,
             request,
             fp,
             deadline,
+            cost,
             finish,
         });
         self.queued += 1;
@@ -962,6 +1140,44 @@ impl WfqScheduler {
             self.deadlined += 1;
         }
         index
+    }
+
+    /// The rounds a new submission of `priority` should expect to wait for
+    /// before dispatch, given the queued backlog: the class's own backlog
+    /// served at its WFQ weight share (but never more than the whole
+    /// backlog — the scheduler is work-conserving), spread over the worker
+    /// pool. Zero on an idle engine.
+    fn expected_wait_rounds(&self, priority: Priority, workers: usize) -> u64 {
+        let mut class_backlog = 0u128;
+        let mut total_backlog = 0u128;
+        let mut active_weight = 0u128;
+        let mut class_weight = u128::from(
+            self.classes
+                .iter()
+                .find(|c| c.priority == priority)
+                .map(|c| c.weight)
+                .unwrap_or_else(|| priority.default_weight()),
+        );
+        for class in &self.classes {
+            total_backlog += class.queued_cost;
+            if class.priority == priority {
+                class_backlog = class.queued_cost;
+                class_weight = u128::from(class.weight);
+                active_weight += u128::from(class.weight);
+            } else if !class.queue.is_empty() {
+                active_weight += u128::from(class.weight);
+            }
+        }
+        // The class's share of service is weight / active_weight, so its
+        // backlog takes backlog ÷ share rounds of total service — capped at
+        // the whole backlog, which a work-conserving scheduler never exceeds.
+        let scaled = (class_backlog * active_weight / class_weight).min(total_backlog);
+        u64::try_from(scaled / workers.max(1) as u128).unwrap_or(u64::MAX)
+    }
+
+    /// Charges one infeasible-deadline admission rejection to a class.
+    fn reject_infeasible(&mut self, priority: Priority) {
+        self.class_mut(priority).infeasible += 1;
     }
 
     /// Removes every queued job whose deadline has passed, returning each
@@ -981,6 +1197,7 @@ impl WfqScheduler {
                     Some(deadline) if deadline <= now => {
                         let job = class.queue.remove(i).expect("index in bounds");
                         class.expired += 1;
+                        class.queued_cost -= job.cost as u128;
                         expired.push((job, now.duration_since(deadline)));
                     }
                     _ => i += 1,
@@ -1041,6 +1258,7 @@ impl WfqScheduler {
         let consumed_slot = self.dispatches - 1;
         let class = &mut self.classes[i];
         class.dispatched += 1;
+        class.queued_cost -= job.cost as u128;
         if let Some(rate) = class.rate {
             let window = consumed_slot / rate.window as u64;
             if class.window_index != window {
@@ -1072,6 +1290,10 @@ struct SubmitMeta {
     /// submitted in this scope (the stream analogue of
     /// [`PreprocessingCost::cached`]).
     pre_cached: bool,
+    /// The request's cost kind and instance dimensions — what the
+    /// deterministic calibration replay prices it by at aggregation.
+    cost_kind: CostKind,
+    dims: CostDims,
 }
 
 /// What a worker records about one completed submission (the result payload
@@ -1104,6 +1326,10 @@ struct Shared<'e> {
     scope: u64,
     queue_capacity: usize,
     policy: BackpressurePolicy,
+    /// Whether WFQ tags charge estimated cost or one unit.
+    cost_aware_tags: bool,
+    /// Worker count, for expected-wait estimates at admission.
+    workers: usize,
     queue: Mutex<WfqScheduler>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -1176,16 +1402,34 @@ fn worker_loop(shared: &Shared<'_>) {
         // typed API. Poison the scope before re-panicking so a client
         // blocked in `wait`/`submit` fails loudly instead of hanging, then
         // let `thread::scope` propagate the panic out of `serve`.
-        let result = match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job))) {
-            Ok(result) => result,
-            Err(payload) => {
-                shared.queue.lock().expect("stream queue").poisoned = true;
-                shared.not_full.notify_all();
-                shared.done.lock().expect("completion table").poisoned = true;
-                shared.done_cv.notify_all();
-                panic::resume_unwind(payload);
-            }
-        };
+        let started = Instant::now();
+        let (result, built_rounds) =
+            match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job))) {
+                Ok(result) => result,
+                Err(payload) => {
+                    shared.queue.lock().expect("stream queue").poisoned = true;
+                    shared.not_full.notify_all();
+                    shared.done.lock().expect("completion table").poisoned = true;
+                    shared.done_cv.notify_all();
+                    panic::resume_unwind(payload);
+                }
+            };
+        // Feed the calibration loop: a successful completion's actual
+        // rounds calibrate its kind's rate, and its wall-clock time
+        // calibrates the service rate deadline admission converts rounds
+        // with (counting any preprocessing this dispatch built — the build
+        // shared the measured wall-clock). Failures are skipped — their
+        // discarded partial work says nothing about the cost of work that
+        // completes.
+        if let Ok(outcome) = &result {
+            let (kind, dims) = job.request.cost_profile();
+            let rounds = outcome.report.total_rounds;
+            shared.core.cost.observe(kind, dims, rounds);
+            shared
+                .core
+                .cost
+                .observe_service(rounds + built_rounds, started.elapsed());
+        }
         let completion = match &result {
             Ok(outcome) => Completion {
                 ok: true,
@@ -1208,17 +1452,24 @@ fn worker_loop(shared: &Shared<'_>) {
     }
 }
 
-fn execute_job(shared: &Shared<'_>, job: &Job) -> Result<Outcome<Response>, Error> {
+/// Executes one job, returning its result plus the preprocessing rounds
+/// this call *built* (zero on cache hits and for non-Laplacian jobs) — a
+/// build shares the job's wall-clock, so the service-rate observation must
+/// count its rounds alongside the solve's.
+fn execute_job(shared: &Shared<'_>, job: &Job) -> (Result<Outcome<Response>, Error>, u64) {
     match job.fp {
         Some(fp) => {
             let graph = match &job.request {
                 Request::Laplacian { graph, .. } => graph,
                 _ => unreachable!("only laplacian jobs carry a fingerprint"),
             };
-            let (entry, _built) = shared
-                .core
-                .cache
-                .get_or_build(fp, || shared.core.build_entry(graph));
+            let (entry, built) =
+                shared
+                    .core
+                    .cache
+                    .get_or_build(fp, CostDims::of_graph(graph), || {
+                        shared.core.build_entry(graph)
+                    });
             // Record the preprocessing cost once per distinct fingerprint —
             // a pure function of (master seed, graph), so whichever worker
             // records it first records the same value.
@@ -1228,11 +1479,18 @@ fn execute_job(shared: &Shared<'_>, job: &Job) -> Result<Outcome<Response>, Erro
                 .expect("preprocessing reports")
                 .entry(fp.as_u128())
                 .or_insert_with(|| entry.1.clone());
-            shared
-                .core
-                .execute(job.index as usize, &job.request, Some(&entry))
+            let built_rounds = if built { entry.1.total_rounds } else { 0 };
+            (
+                shared
+                    .core
+                    .execute(job.index as usize, &job.request, Some(&entry)),
+                built_rounds,
+            )
         }
-        None => shared.core.execute(job.index as usize, &job.request, None),
+        None => (
+            shared.core.execute(job.index as usize, &job.request, None),
+            0,
+        ),
     }
 }
 
@@ -1262,41 +1520,71 @@ impl StreamClient<'_> {
     }
 
     /// Submits one request under a scheduling class with a queueing
-    /// deadline, measured from now. If the request is still queued when the
-    /// deadline passes, it is never dispatched and completes with
-    /// [`Error::DeadlineExceeded`]; once dispatched it always runs to
-    /// completion. A zero deadline therefore always expires — the scheduler
-    /// checks deadlines before every dispatch.
+    /// deadline, measured from now.
+    ///
+    /// Admission is deadline-aware: when the class's expected wait — its
+    /// queued backlog cost over its WFQ weight share, converted to
+    /// wall-clock through the cost model's calibrated service rate —
+    /// already exceeds the deadline, the submission is rejected here with
+    /// [`Error::DeadlineInfeasible`] instead of queueing work that is
+    /// doomed to expire. Like [`Error::Overloaded`] rejections it then
+    /// consumes no submission index. An engine whose service rate is not
+    /// yet calibrated (no completion observed) admits everything; in
+    /// particular an **idle** engine has no backlog and never rejects.
+    ///
+    /// If the admitted request is still queued when the deadline passes, it
+    /// is never dispatched and completes with [`Error::DeadlineExceeded`];
+    /// once dispatched it always runs to completion. A zero deadline on a
+    /// busy engine therefore always expires — the scheduler checks
+    /// deadlines before every dispatch.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Overloaded`] under the reject policy when the queue
-    /// is at capacity. The deadline itself surfaces later, through
-    /// [`StreamClient::poll`] / [`StreamClient::wait`].
+    /// is at capacity, [`Error::DeadlineInfeasible`] when the expected wait
+    /// already exceeds the deadline. An admitted submission's deadline
+    /// surfaces later, through [`StreamClient::poll`] /
+    /// [`StreamClient::wait`].
     pub fn submit_with_deadline(
         &self,
         request: Request,
         priority: Priority,
         deadline: Duration,
     ) -> Result<Ticket, Error> {
-        let deadline = Instant::now().checked_add(deadline);
-        self.admit(request, priority, deadline)
+        self.admit(request, priority, Some(deadline))
     }
 
     fn admit(
         &self,
         request: Request,
         priority: Priority,
-        deadline: Option<Instant>,
+        deadline: Option<Duration>,
     ) -> Result<Ticket, Error> {
-        // Fingerprint outside the queue lock — it is the only non-trivial
-        // part of admission.
+        // The deadline is measured from the submit call, so anchor it
+        // before admission can block on backpressure — time spent waiting
+        // for a queue slot counts against it.
+        let deadline_at = deadline.and_then(|d| Instant::now().checked_add(d));
+        // Fingerprint and cost estimation outside the queue lock — they are
+        // the only non-trivial parts of admission.
         let fp = match &request {
             Request::Laplacian { graph, .. } => Some(fingerprint(graph)),
             _ => None,
         };
         let pre_cached = fp.is_some_and(|fp| self.shared.core.cache.contains(fp));
         let kind = request.kind();
+        let (cost_kind, dims) = request.cost_profile();
+        // The job's estimated cost: its execution, plus the preprocessing
+        // rebuild it will trigger if its topology is not cached right now.
+        let cost = if self.shared.cost_aware_tags {
+            let model = &self.shared.core.cost;
+            let mut cost = model.estimate(cost_kind, dims);
+            if fp.is_some() && !pre_cached {
+                cost = cost.saturating_add(model.estimate(CostKind::LaplacianPreprocess, dims));
+            }
+            cost
+        } else {
+            1
+        };
 
         let mut queue = self.shared.queue.lock().expect("stream queue");
         while queue.queued >= self.shared.queue_capacity {
@@ -1316,7 +1604,22 @@ impl StreamClient<'_> {
                 }
             }
         }
-        let index = queue.push(priority, request, fp, deadline);
+        // Deadline-aware admission: refuse work whose deadline the queued
+        // backlog already makes infeasible. Only possible once the service
+        // rate is calibrated — a fresh engine admits everything.
+        if let Some(deadline) = deadline {
+            let wait_rounds = queue.expected_wait_rounds(priority, self.shared.workers);
+            if let Some(expected_wait) = self.shared.core.cost.expected_duration(wait_rounds) {
+                if expected_wait > deadline {
+                    queue.reject_infeasible(priority);
+                    return Err(Error::DeadlineInfeasible {
+                        deadline,
+                        expected_wait,
+                    });
+                }
+            }
+        }
+        let index = queue.push(priority, request, fp, deadline_at, cost);
         // Record the admission while still holding the queue lock, so the
         // meta log is in submission order by construction.
         self.shared
@@ -1329,6 +1632,8 @@ impl StreamClient<'_> {
                 priority,
                 fingerprint: fp,
                 pre_cached,
+                cost_kind,
+                dims,
             });
         drop(queue);
         self.shared.not_empty.notify_all();
@@ -1396,6 +1701,59 @@ impl StreamClient<'_> {
         }
     }
 
+    /// Blocks until the submission completes and takes its result, or for
+    /// at most `timeout` — returning the typed [`Error::WaitTimeout`]
+    /// instead of blocking forever. A timed-out ticket stays redeemable:
+    /// the submission keeps running and a later
+    /// [`StreamClient::wait`] / [`StreamClient::poll`] /
+    /// `wait_timeout` can still collect it (or it surfaces in
+    /// [`StreamOutput::uncollected`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WaitTimeout`] when the submission has not completed
+    /// within `timeout`; the submission's own result (or typed error) once
+    /// it has.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`StreamClient::wait`]: a
+    /// ticket whose result was already collected, a ticket kept from an
+    /// earlier serve scope, or a worker panic while the wait was blocked.
+    pub fn wait_timeout(
+        &self,
+        ticket: Ticket,
+        timeout: Duration,
+    ) -> Result<Outcome<Response>, Error> {
+        self.check_scope(ticket);
+        let started = Instant::now();
+        let mut done = self.shared.done.lock().expect("completion table");
+        loop {
+            if let Some(result) = done.results.remove(&ticket.index) {
+                done.collected.insert(ticket.index);
+                return result;
+            }
+            assert!(
+                !done.collected.contains(&ticket.index),
+                "stream ticket {} was already collected",
+                ticket.index
+            );
+            assert!(
+                !done.poisoned,
+                "a stream worker panicked while this wait was blocked"
+            );
+            let Some(remaining) = timeout.checked_sub(started.elapsed()) else {
+                return Err(Error::WaitTimeout { waited: timeout });
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .done_cv
+                .wait_timeout(done, remaining)
+                .expect("completion table");
+            done = guard;
+        }
+    }
+
     /// Number of submissions admitted so far in this scope.
     pub fn submitted(&self) -> u64 {
         self.shared.queue.lock().expect("stream queue").next_index
@@ -1433,7 +1791,7 @@ mod tests {
     }
 
     fn push(s: &mut WfqScheduler, priority: Priority) -> u64 {
-        s.push(priority, request(), None, None)
+        s.push(priority, request(), None, None, 1)
     }
 
     #[test]
@@ -1598,6 +1956,7 @@ mod tests {
             request(),
             None,
             Some(Instant::now() + Duration::from_secs(600)),
+            1,
         );
         assert_eq!(s.deadlined, 1);
         while s.pop().is_some() {}
@@ -1611,7 +1970,7 @@ mod tests {
             (Priority::Bulk, 1, None),
         ]));
         let now = Instant::now();
-        s.push(Priority::Bulk, request(), None, Some(now));
+        s.push(Priority::Bulk, request(), None, Some(now), 1);
         push(&mut s, Priority::Interactive);
         // The sweep a worker runs before every dispatch decision.
         let expired = s.take_expired(now + Duration::from_millis(1));
@@ -1645,6 +2004,81 @@ mod tests {
         assert_eq!(stats.classes[2].class, "custom-3");
         assert_eq!(stats.classes[2].weight, 1);
         assert_eq!(stats.class(Priority::custom(3)).unwrap().dispatched, 1);
+    }
+
+    #[test]
+    fn cost_charged_tags_apportion_dispatches_by_work_not_job_count() {
+        // Equal weights, but class A's jobs are three times the estimated
+        // work of class B's: fair queueing over *work* means every window
+        // of 4 dispatches carries one A job (3 units) and three B jobs
+        // (3 units) — unit-job WFQ would alternate 2/2 instead.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 1, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        for _ in 0..4 {
+            s.push(Priority::Interactive, request(), None, None, 3);
+        }
+        for _ in 0..12 {
+            s.push(Priority::Bulk, request(), None, None, 1);
+        }
+        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
+        for (w, chunk) in order.chunks(4).take(3).enumerate() {
+            let heavy = chunk
+                .iter()
+                .filter(|p| **p == Priority::Interactive)
+                .count();
+            assert_eq!(
+                heavy, 1,
+                "window {w} must carry exactly one heavy dispatch: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_tags_degrade_to_global_fifo_without_starvation() {
+        // An adversarial (or merely uncalibrated-to-zero) model charges
+        // nothing: tags never advance, the (finish, index) tie-break takes
+        // over, and everything still drains in submission order.
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 4, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        for i in 0..6 {
+            let priority = if i % 2 == 0 {
+                Priority::Bulk
+            } else {
+                Priority::Interactive
+            };
+            s.push(priority, request(), None, None, 0);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j.index).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn expected_wait_scales_with_backlog_weight_share_and_workers() {
+        let mut s = WfqScheduler::new(&config(&[
+            (Priority::Interactive, 3, None),
+            (Priority::Bulk, 1, None),
+        ]));
+        // An idle queue predicts zero wait for every class.
+        assert_eq!(s.expected_wait_rounds(Priority::Bulk, 1), 0);
+        assert_eq!(s.expected_wait_rounds(Priority::Interactive, 4), 0);
+        // 100 rounds queued in each class; active weight is 3 + 1 = 4.
+        s.push(Priority::Interactive, request(), None, None, 100);
+        s.push(Priority::Bulk, request(), None, None, 100);
+        // Bulk serves its backlog at a 1/4 share: 400 scaled rounds, capped
+        // at the 200-round total backlog (work conservation), one worker.
+        assert_eq!(s.expected_wait_rounds(Priority::Bulk, 1), 200);
+        // Interactive's 3/4 share: 100 × 4 / 3 = 133 rounds.
+        assert_eq!(s.expected_wait_rounds(Priority::Interactive, 1), 133);
+        // More workers shrink the wait proportionally.
+        assert_eq!(s.expected_wait_rounds(Priority::Bulk, 4), 50);
+        // Infeasible rejections are charged to their class.
+        s.reject_infeasible(Priority::Bulk);
+        assert_eq!(s.stats().class(Priority::Bulk).unwrap().infeasible, 1);
+        assert_eq!(s.stats().infeasible(), 1);
     }
 
     #[test]

@@ -216,4 +216,26 @@ fn main() {
         warm.report.cache_hits,
         warm.report.cache_misses == 0
     );
+
+    // The unified cost model priced every scheduling decision above
+    // (size-aware WFQ tags are on by default); its predicted-vs-actual
+    // per-class sums come back in the scheduler stats.
+    println!("cost model estimation error (first scope):");
+    for class in &report.scheduler.classes {
+        if class.actual_rounds == 0 {
+            continue;
+        }
+        let error = class
+            .estimation_error()
+            .map(|e| format!("{:.1}%", e * 100.0))
+            .unwrap_or_else(|| "n/a".to_string());
+        println!(
+            "  {:<12} predicted {:>8} rounds, actual {:>8} rounds (error {})",
+            class.class, class.predicted_rounds, class.actual_rounds, error
+        );
+    }
+    println!(
+        "  cache rebuilds predicted {} rounds (uncalibrated prior), actual {}",
+        report.cache.rebuild_predicted_rounds, report.cache.rebuild_actual_rounds
+    );
 }

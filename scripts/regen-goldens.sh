@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every committed artifact the CI guards compare against:
+#
+#   * tests/golden/*.json      — the report JSON schema snapshots
+#                                (golden-freshness guard in the `test` job)
+#   * BENCH_*.json             — the quick cost trajectories
+#                                (`expts --check-trend` in the `bench` job)
+#
+# Run this after any intentional change to the report schemas or to a
+# pipeline's communication cost, then commit the result. Bump the report
+# schema tags (BATCH_REPORT_SCHEMA / STREAM_REPORT_SCHEMA / bcc-bench/v1)
+# if a schema change is not purely additive.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== regenerating tests/golden/*.json =="
+UPDATE_GOLDEN=1 cargo test -q --test batch --test stream golden
+
+echo "== regenerating BENCH_*.json (quick trajectories) =="
+cargo run -p bench --release --bin expts -- --quick-json
+
+echo "== done; review and commit the diff =="
+git --no-pager diff --stat -- tests/golden 'BENCH_*.json' || true

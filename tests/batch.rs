@@ -395,6 +395,8 @@ fn golden_report() -> BatchReport {
             entries: 1,
             capacity: None,
             policy: "lru".to_string(),
+            rebuild_predicted_rounds: 10,
+            rebuild_actual_rounds: 9,
         },
         total: RoundReport {
             total_rounds: 12,
@@ -462,12 +464,12 @@ fn batch_report_json_schema_matches_the_golden_snapshot() {
         std::fs::write(path, format!("{json}\n")).unwrap();
     }
     let golden = std::fs::read_to_string(path)
-        .expect("tests/golden/batch_report.json exists (regenerate with UPDATE_GOLDEN=1)");
+        .expect("tests/golden/batch_report.json exists (regenerate with scripts/regen-goldens.sh)");
     assert_eq!(
         json,
         golden.trim_end(),
         "BatchReport JSON schema changed — regenerate tests/golden/batch_report.json with \
-         UPDATE_GOLDEN=1 and bump BATCH_REPORT_SCHEMA if the change is not additive"
+         scripts/regen-goldens.sh and bump BATCH_REPORT_SCHEMA if the change is not additive"
     );
     // And it round-trips.
     let back: BatchReport = serde_json::from_str(&json).unwrap();
@@ -498,6 +500,8 @@ fn a_real_batch_report_exposes_the_documented_field_names() {
         "\"entries\"",
         "\"capacity\"",
         "\"policy\"",
+        "\"rebuild_predicted_rounds\"",
+        "\"rebuild_actual_rounds\"",
         "\"total\"",
         "\"preprocessing\"",
         "\"per_request\"",

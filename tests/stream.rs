@@ -442,6 +442,17 @@ fn failures_are_isolated_and_metered_as_in_batch() {
         })
         .unwrap();
     assert_eq!(failed_entry.report.total_rounds, 0);
+    // Failures are excluded from the estimation-error replay, exactly as
+    // the live calibration loop skips them: the interactive class's only
+    // submission failed, so it has nothing predicted or measured.
+    let interactive = output
+        .report
+        .scheduler
+        .class(Priority::Interactive)
+        .unwrap();
+    assert_eq!(interactive.predicted_rounds, 0);
+    assert_eq!(interactive.actual_rounds, 0);
+    assert_eq!(interactive.estimation_error(), None);
 }
 
 // ---------------------------------------------------------------------------
@@ -725,6 +736,297 @@ fn dispatched_work_always_completes_within_a_generous_deadline() {
     assert_eq!(dispatched, workload.len() as u64);
 }
 
+// ---------------------------------------------------------------------------
+// The unified cost model: size-aware tags and deadline-aware admission steer
+// latency only; estimation error is reported deterministically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cost_aware_tags_on_and_off_are_bit_identical_across_configurations() {
+    let workload = mixed_workload();
+    let requests: Vec<Request> = workload.iter().map(|(r, _)| r.clone()).collect();
+    let reference = sequential_reference(&requests);
+
+    // The estimation-error baseline every configuration must reproduce: a
+    // single-worker scope over the same submissions.
+    let reference_report = {
+        let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
+        engine
+            .serve(|client| {
+                for (r, p) in &workload {
+                    client.submit(r.clone(), *p).unwrap();
+                }
+            })
+            .report
+    };
+
+    // Sweep worker counts, adversarial weights, a rate limit, generous
+    // deadlines and both tag disciplines: none of it may leak into results.
+    for workers in [1, 3, 7] {
+        for cost_aware in [true, false] {
+            let mut engine = StreamEngine::builder()
+                .seed(MASTER_SEED)
+                .workers(workers)
+                .cost_aware_tags(cost_aware)
+                .class_weight(Priority::Bulk, 5)
+                .class_weight(Priority::Interactive, 1)
+                .class_rate_limit(Priority::Bulk, RateLimit::new(1, 3))
+                .build();
+            assert_eq!(engine.cost_aware_tags(), cost_aware);
+            let output = engine.serve(|client| {
+                let tickets: Vec<Ticket> = workload
+                    .iter()
+                    .map(|(r, p)| {
+                        client
+                            .submit_with_deadline(
+                                r.clone(),
+                                *p,
+                                std::time::Duration::from_secs(3600),
+                            )
+                            .unwrap()
+                    })
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|t| client.wait(t))
+                    .collect::<Vec<_>>()
+            });
+            assert_results_match(&output.value, &reference);
+            assert_eq!(output.report.expired, 0, "generous deadlines never trip");
+            assert_eq!(output.report.infeasible, 0);
+
+            // The reported estimation error is a deterministic replay of
+            // the calibration loop in submission order: identical whatever
+            // the worker count or tag discipline.
+            let scheduler = &output.report.scheduler;
+            for class in &scheduler.classes {
+                if class.class == "interactive" {
+                    // sparsify + laplacian + lp all completed under this
+                    // class; the replay observed every one of them.
+                    assert!(class.actual_rounds > 0);
+                }
+            }
+            for (got, want) in scheduler
+                .classes
+                .iter()
+                .zip(&reference_report.scheduler.classes)
+            {
+                assert_eq!(got.class, want.class);
+                assert_eq!(got.predicted_rounds, want.predicted_rounds, "{}", got.class);
+                assert_eq!(got.actual_rounds, want.actual_rounds, "{}", got.class);
+            }
+        }
+    }
+}
+
+#[test]
+fn calibration_tightens_the_estimation_error_across_scopes() {
+    // First scope: the model runs on priors, so predicted and actual can
+    // be far apart. Second scope over the same workload: the replay starts
+    // fresh each scope, but within one scope later requests of a kind are
+    // predicted from earlier observations of that kind — repeated
+    // laplacian solves on one topology converge onto the measured rate.
+    let grid = generators::grid(4, 4);
+    let requests: Vec<Request> = (1..=6)
+        .map(|k| {
+            let mut b = vec![0.0; grid.n()];
+            b[k % grid.n()] = 1.0;
+            b[grid.n() - 1 - k % grid.n()] -= 1.0;
+            Request::laplacian(grid.clone(), b)
+        })
+        .collect();
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(2).build();
+    let output = engine.serve(|client| {
+        for r in &requests {
+            client.submit(r.clone(), Priority::Bulk).unwrap();
+        }
+    });
+    let bulk = output.report.scheduler.class(Priority::Bulk).unwrap();
+    assert!(bulk.actual_rounds > 0);
+    assert!(bulk.predicted_rounds > 0, "the prior predicts something");
+    let error = bulk.estimation_error().expect("rounds were charged");
+    // Six solves on one topology: after the first observation the replay
+    // predicts at the measured per-unit rate, so the aggregate error is
+    // far below the uncalibrated prior's (which mispredicts every solve).
+    let prior_only = bcc_core::CostModel::new();
+    let (kind, dims) = requests[0].cost_profile();
+    let prior_predicted = prior_only.prior_estimate(kind, dims) * requests.len() as u64;
+    let prior_error =
+        (prior_predicted.abs_diff(bulk.actual_rounds)) as f64 / bulk.actual_rounds as f64;
+    assert!(
+        error <= prior_error,
+        "calibration must not be worse than the prior: {error} vs {prior_error}"
+    );
+    // The live engine model is calibrated too, and the cache recorded its
+    // rebuild estimation error.
+    assert!(
+        engine
+            .cost_model()
+            .observations(bcc_core::CostKind::LaplacianSolve)
+            >= 6
+    );
+    assert!(output.report.cache.rebuild_actual_rounds > 0);
+    assert!(output.report.cache.rebuild_predicted_rounds > 0);
+}
+
+#[test]
+fn an_idle_engine_never_rejects_a_deadline_as_infeasible() {
+    // Regression guard for deadline-aware admission: with no backlog the
+    // expected wait is zero, so even a zero deadline — and even on a fully
+    // calibrated engine — must be admitted (and then expire in the queue
+    // with DeadlineExceeded, never DeadlineInfeasible).
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(2).build();
+
+    // Calibrate the service rate with a completed scope.
+    engine.serve(|client| {
+        let t = client
+            .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+            .unwrap();
+        client.wait(t).unwrap();
+    });
+    assert!(
+        engine.cost_model().expected_duration(1).is_some(),
+        "the service rate is calibrated"
+    );
+
+    // Idle engine, zero deadline: admitted, then expired — not infeasible.
+    let output = engine.serve(|client| {
+        let doomed = client
+            .submit_with_deadline(
+                Request::laplacian(grid.clone(), b.clone()),
+                Priority::Bulk,
+                std::time::Duration::ZERO,
+            )
+            .expect("an idle engine admits every deadline");
+        client.wait(doomed)
+    });
+    assert!(matches!(output.value, Err(Error::DeadlineExceeded { .. })));
+    assert_eq!(output.report.infeasible, 0);
+
+    // And a generous deadline on the idle engine just completes.
+    let output = engine.serve(|client| {
+        let t = client
+            .submit_with_deadline(
+                Request::laplacian(grid.clone(), b.clone()),
+                Priority::Bulk,
+                std::time::Duration::from_secs(3600),
+            )
+            .unwrap();
+        client.wait(t)
+    });
+    assert!(output.value.is_ok());
+    assert_eq!(output.report.infeasible, 0);
+    assert_eq!(output.report.expired, 0);
+}
+
+#[test]
+fn an_infeasible_deadline_is_rejected_at_admission_with_a_typed_error() {
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
+
+    // Scope 1 calibrates the service rate (sparsify rounds and duration).
+    engine.serve(|client| {
+        let t = client
+            .submit(
+                Request::sparsify(generators::complete(14), 0.5),
+                Priority::Interactive,
+            )
+            .unwrap();
+        client.wait(t).unwrap();
+    });
+
+    // Scope 2: the single worker is pinned on the first slow job while a
+    // second is still queued — a zero deadline behind that backlog is
+    // infeasible by any calibrated estimate.
+    let output = engine.serve(|client| {
+        let running = client
+            .submit(
+                Request::sparsify(generators::complete(16), 0.5),
+                Priority::Interactive,
+            )
+            .unwrap();
+        let queued = client
+            .submit(
+                Request::sparsify(generators::complete(14), 0.5),
+                Priority::Interactive,
+            )
+            .unwrap();
+        let verdict = client.submit_with_deadline(
+            Request::laplacian(grid.clone(), b.clone()),
+            Priority::Interactive,
+            std::time::Duration::ZERO,
+        );
+        let rejected = match verdict {
+            Err(Error::DeadlineInfeasible {
+                deadline,
+                expected_wait,
+            }) => {
+                assert_eq!(deadline, std::time::Duration::ZERO);
+                assert!(expected_wait > std::time::Duration::ZERO);
+                true
+            }
+            Ok(ticket) => {
+                // The worker drained the queue faster than we submitted (a
+                // scheduling race this test tolerates): the submission was
+                // admitted against an empty backlog.
+                let _ = client.wait(ticket);
+                false
+            }
+            Err(other) => panic!("expected DeadlineInfeasible, got {other}"),
+        };
+        let _ = client.wait(running);
+        let _ = client.wait(queued);
+        rejected
+    });
+    if output.value {
+        assert_eq!(output.report.infeasible, 1);
+        let class = output
+            .report
+            .scheduler
+            .class(Priority::Interactive)
+            .unwrap();
+        assert_eq!(class.infeasible, 1);
+        // The rejection consumed no submission index.
+        assert_eq!(output.report.requests, 2);
+    }
+}
+
+#[test]
+fn wait_timeout_returns_a_typed_error_and_keeps_the_ticket_redeemable() {
+    let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
+    let reference = sequential_reference(&[Request::sparsify(generators::complete(16), 0.5)]);
+    let output = engine.serve(|client| {
+        let slow = client
+            .submit(
+                Request::sparsify(generators::complete(16), 0.5),
+                Priority::Interactive,
+            )
+            .unwrap();
+        // A zero timeout cannot have completed the sparsify yet.
+        let timed_out = client.wait_timeout(slow, std::time::Duration::ZERO);
+        assert!(matches!(timed_out, Err(Error::WaitTimeout { .. })));
+        if let Err(e) = timed_out {
+            assert!(e.to_string().contains("timed out"));
+        }
+        // The ticket stays redeemable: a later (generous) timed wait
+        // collects the result.
+        client
+            .wait_timeout(slow, std::time::Duration::from_secs(600))
+            .map(|o| vec![Ok(o)])
+            .unwrap_or_else(|e| vec![Err(e)])
+    });
+    assert_results_match(&output.value, &reference);
+    assert!(output.uncollected.is_empty());
+    assert_eq!(output.report.failures, 0);
+}
+
 #[test]
 fn stream_cumulative_ledger_accumulates_and_absorbs_into_sessions() {
     let workload = mixed_workload();
@@ -781,6 +1083,107 @@ fn a_stale_ticket_from_an_earlier_scope_panics_instead_of_misredeeming() {
 }
 
 // ---------------------------------------------------------------------------
+// Property: whatever the cost model predicts — adversarial zero, tiny or
+// astronomically wrong priors included — scheduling stays starvation-free
+// and results stay bit-identical to the sequential Session loop.
+// ---------------------------------------------------------------------------
+
+mod cost_model_properties {
+    use super::*;
+    use bcc_core::{CostKind, CostModel};
+    use proptest::prelude::*;
+
+    /// The adversarial prior palette: a selector indexes zero, tiny, the
+    /// default-ish, huge, and u64::MAX rounds-per-unit priors.
+    fn prior(selector: u64) -> u64 {
+        [0, 1, 64, 1 << 30, u64::MAX][(selector % 5) as usize]
+    }
+
+    /// A small cross-pipeline workload with a repeated Laplacian topology,
+    /// cheap enough to serve once per proptest case.
+    fn small_workload() -> Vec<(Request, Priority)> {
+        let grid = generators::grid(3, 3);
+        let mut b1 = vec![0.0; grid.n()];
+        b1[0] = 1.0;
+        b1[8] = -1.0;
+        let mut b2 = vec![0.0; grid.n()];
+        b2[2] = 1.0;
+        b2[6] = -1.0;
+        let lp = LpInstance {
+            a: bcc_core::linalg::CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]),
+            b: vec![1.0],
+            c: vec![0.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![1.0, 1.0],
+        };
+        let lp_request = LpRequest::new(
+            vec![0.5, 0.5],
+            LpOptions::new(1e-3, lp.m(), 7).with_uniform_weights(),
+        );
+        vec![
+            (Request::laplacian(grid.clone(), b1), Priority::Bulk),
+            (
+                Request::sparsify(generators::complete(8), 0.5),
+                Priority::Interactive,
+            ),
+            (Request::laplacian(grid, b2), Priority::Bulk),
+            (Request::lp(lp, lp_request), Priority::Interactive),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn any_cost_model_output_preserves_bit_identity_and_starvation_freedom(
+            selectors in (0u64..5, 0u64..5, 0u64..5, 0u64..5, 0u64..5),
+            workers in 1usize..5,
+            cost_aware in 0u64..2,
+        ) {
+            let model = CostModel::new()
+                .with_prior(CostKind::Sparsify, prior(selectors.0))
+                .with_prior(CostKind::LaplacianSolve, prior(selectors.1))
+                .with_prior(CostKind::LaplacianPreprocess, prior(selectors.2))
+                .with_prior(CostKind::Lp, prior(selectors.3))
+                .with_prior(CostKind::Mcmf, prior(selectors.4));
+            let workload = small_workload();
+            let requests: Vec<Request> = workload.iter().map(|(r, _)| r.clone()).collect();
+            let reference = sequential_reference(&requests);
+
+            let mut engine = StreamEngine::builder()
+                .seed(MASTER_SEED)
+                .workers(workers)
+                .cost_aware_tags(cost_aware == 1)
+                .cost_model(model)
+                .build();
+            // Every wait() returning is the starvation-freedom claim: no
+            // tag assignment may leave a submission undispatched forever.
+            let output = engine.serve(|client| {
+                let tickets: Vec<Ticket> = workload
+                    .iter()
+                    .map(|(r, p)| client.submit(r.clone(), *p).unwrap())
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|t| client.wait(t))
+                    .collect::<Vec<_>>()
+            });
+            assert_results_match(&output.value, &reference);
+            prop_assert_eq!(output.report.requests, workload.len() as u64);
+            prop_assert_eq!(output.report.failures, 0);
+            let dispatched: u64 = output
+                .report
+                .scheduler
+                .classes
+                .iter()
+                .map(|c| c.dispatched)
+                .sum();
+            prop_assert_eq!(dispatched, workload.len() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Golden snapshot: the StreamReport JSON schema is stable.
 // ---------------------------------------------------------------------------
 
@@ -799,6 +1202,7 @@ fn golden_report() -> StreamReport {
         bulk: 1,
         rejected: 3,
         expired: 1,
+        infeasible: 2,
         scheduler: bcc_core::SchedulerStats {
             policy: "wfq".to_string(),
             classes: vec![
@@ -810,6 +1214,9 @@ fn golden_report() -> StreamReport {
                     dispatched: 1,
                     expired: 0,
                     throttled: 0,
+                    infeasible: 0,
+                    predicted_rounds: 2,
+                    actual_rounds: 3,
                 },
                 bcc_core::ClassStats {
                     class: "bulk".to_string(),
@@ -822,6 +1229,9 @@ fn golden_report() -> StreamReport {
                     dispatched: 0,
                     expired: 1,
                     throttled: 3,
+                    infeasible: 2,
+                    predicted_rounds: 0,
+                    actual_rounds: 0,
                 },
             ],
         },
@@ -836,6 +1246,8 @@ fn golden_report() -> StreamReport {
             entries: 1,
             capacity: Some(4),
             policy: "lru".to_string(),
+            rebuild_predicted_rounds: 10,
+            rebuild_actual_rounds: 9,
         },
         total: RoundReport {
             total_rounds: 12,
@@ -902,13 +1314,14 @@ fn stream_report_json_schema_matches_the_golden_snapshot() {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(path, format!("{json}\n")).unwrap();
     }
-    let golden = std::fs::read_to_string(path)
-        .expect("tests/golden/stream_report.json exists (regenerate with UPDATE_GOLDEN=1)");
+    let golden = std::fs::read_to_string(path).expect(
+        "tests/golden/stream_report.json exists (regenerate with scripts/regen-goldens.sh)",
+    );
     assert_eq!(
         json,
         golden.trim_end(),
         "StreamReport JSON schema changed — regenerate tests/golden/stream_report.json with \
-         UPDATE_GOLDEN=1 and bump STREAM_REPORT_SCHEMA if the change is not additive"
+         scripts/regen-goldens.sh and bump STREAM_REPORT_SCHEMA if the change is not additive"
     );
     // And it round-trips.
     let back: StreamReport = serde_json::from_str(&json).unwrap();
@@ -936,8 +1349,11 @@ fn a_real_stream_report_exposes_the_documented_field_names() {
         "\"bulk\"",
         "\"rejected\"",
         "\"expired\"",
+        "\"infeasible\"",
         "\"scheduler\"",
         "\"policy\"",
+        "\"rebuild_predicted_rounds\"",
+        "\"rebuild_actual_rounds\"",
         "\"classes\"",
         "\"class\"",
         "\"weight\"",
@@ -945,6 +1361,8 @@ fn a_real_stream_report_exposes_the_documented_field_names() {
         "\"submitted\"",
         "\"dispatched\"",
         "\"throttled\"",
+        "\"predicted_rounds\"",
+        "\"actual_rounds\"",
         "\"cache_hits\"",
         "\"cache_misses\"",
         "\"cache\"",
