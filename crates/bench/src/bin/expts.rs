@@ -6,10 +6,17 @@
 //!   `cargo run -p bench --release --bin expts -- --quick-json`  (CI)
 //!   `cargo run -p bench --release --bin expts -- --full-json`
 //!   `cargo run -p bench --release --bin expts -- --check-trend` (CI)
+//!   `cargo run -p bench --release --bin expts -- --load scenarios/smoke.json`
 //!
-//! The `--*-json` modes write `BENCH_pipelines.json`, `BENCH_batch.json` and
-//! `BENCH_stream.json` to the repository root (schema documented in
-//! `bench::trajectory`) and print the written paths.
+//! The `--*-json` modes write `BENCH_pipelines.json`, `BENCH_batch.json`,
+//! `BENCH_stream.json` and `BENCH_load.json` to the repository root (schema
+//! documented in `bench::trajectory` and `bench::load`) and print the
+//! written paths.
+//!
+//! `--load <scenario.json>` runs one declarative load scenario through the
+//! deterministic virtual-clock harness (`bench::load`) and prints its
+//! per-class latency percentiles (the standalone `load` binary runs whole
+//! scenario sets and can emit JSON).
 //!
 //! `--check-trend` regenerates the quick trajectories in memory, compares
 //! them against the committed `BENCH_*.json` files without touching them,
@@ -20,6 +27,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick_json = args.iter().any(|a| a == "--quick-json");
     let full_json = args.iter().any(|a| a == "--full-json");
+    if let Some(pos) = args.iter().position(|a| a == "--load") {
+        let path = args
+            .get(pos + 1)
+            .unwrap_or_else(|| panic!("--load needs a scenario path"));
+        let scenario = bench::load::read_scenario(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("reading scenario failed: {e}"));
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let trajectory = bench::load::run_scenario(&scenario, workers)
+            .unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", scenario.name));
+        print!("{}", bench::load::summarize(&trajectory));
+        return;
+    }
     if args.iter().any(|a| a == "--check-trend") {
         let root = bench::trajectory::repo_root();
         let issues = bench::trajectory::check_trend(&root, 2022, true)

@@ -1,0 +1,86 @@
+//! Scenario-driven load-harness runner.
+//!
+//! Usage:
+//!   `cargo run -p bench --bin load`                      — run the whole
+//!   committed library (`scenarios/*.json`) and print per-class latency
+//!   summaries.
+//!   `cargo run -p bench --bin load -- scenarios/smoke.json ...` — run the
+//!   named scenario files only.
+//!   `... -- --json <path>` — additionally write the results as a
+//!   `BENCH_load.json`-shaped [`bench::load::LoadBench`] document.
+//!   `... -- --profile-workers <n>` — threads for demand profiling (purely
+//!   a wall-clock knob; results are identical for every value).
+//!
+//! Every run is deterministic: the same scenario files produce byte-identical
+//! results (see `bench::load` for the virtual-clock guarantees).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+/// Print a readable error and exit non-zero: bad scenario files are an
+/// operator mistake, not a bug worth a panic backtrace.
+fn fail(message: String) -> ! {
+    eprintln!("error: {message}");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
+    let mut profile_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = it
+                    .next()
+                    .unwrap_or_else(|| fail("--json needs a path".to_string()));
+                json_out = Some(PathBuf::from(path));
+            }
+            "--profile-workers" => {
+                let n = it
+                    .next()
+                    .unwrap_or_else(|| fail("--profile-workers needs a count".to_string()));
+                profile_workers = n
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("bad --profile-workers value {n:?}")));
+            }
+            other if !other.starts_with("--") => paths.push(PathBuf::from(other)),
+            other => fail(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let scenarios = if paths.is_empty() {
+        let dir = bench::trajectory::repo_root().join("scenarios");
+        bench::load::scenario_library(&dir)
+            .unwrap_or_else(|e| fail(format!("loading the scenario library failed: {e}")))
+    } else {
+        paths
+            .iter()
+            .map(|p| {
+                bench::load::read_scenario(p)
+                    .unwrap_or_else(|e| fail(format!("reading scenario failed: {e}")))
+            })
+            .collect()
+    };
+
+    let mut results = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let trajectory = bench::load::run_scenario(scenario, profile_workers)
+            .unwrap_or_else(|e| fail(format!("scenario {:?} failed: {e}", scenario.name)));
+        print!("{}", bench::load::summarize(&trajectory));
+        results.push(trajectory);
+    }
+
+    if let Some(path) = json_out {
+        let payload = bench::load::LoadBench {
+            schema: bench::trajectory::BENCH_SCHEMA.to_string(),
+            scenarios: results,
+        };
+        let json = serde_json::to_string_pretty(&payload).expect("LoadBench serializes");
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| fail(format!("writing {} failed: {e}", path.display())));
+        println!("wrote {}", path.display());
+    }
+}

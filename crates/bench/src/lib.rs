@@ -7,13 +7,20 @@
 //!
 //! Machine-readable cost trajectories live in [`trajectory`]: running
 //! `cargo run -p bench --release --bin expts -- --quick-json` (or
-//! `--full-json`) writes `BENCH_pipelines.json` and `BENCH_batch.json` to the
-//! repository root. The JSON schemas are documented in [`trajectory`] and
+//! `--full-json`) writes the `BENCH_*.json` artifacts to the repository
+//! root. The JSON schemas are documented in [`trajectory`] and
 //! golden-snapshot-tested so downstream consumers can rely on the field
 //! names across PRs.
+//!
+//! The declarative load harness lives in [`load`]: scenario documents in
+//! `scenarios/` drive a deterministic virtual-clock simulation of the
+//! streaming service layer (`cargo run -p bench --bin load`), producing the
+//! per-class latency percentiles and ramp-search results of
+//! `BENCH_load.json`.
 
 #![forbid(unsafe_code)]
 
+pub mod load;
 pub mod trajectory;
 
 use bcc_core::prelude::*;

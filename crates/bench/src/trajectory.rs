@@ -1,7 +1,7 @@
 //! Machine-readable `BENCH_*.json` cost trajectories and the CI trend check.
 //!
 //! The experiment tables in [`crate`] are human-readable; serving systems and
-//! CI want the same round/bit accounting as JSON. This module emits three
+//! CI want the same round/bit accounting as JSON. This module emits four
 //! files into the repository root (see `write_bench_json`):
 //!
 //! * **`BENCH_pipelines.json`** — `Vec<PipelinePoint>`: one point per
@@ -17,6 +17,11 @@
 //!   to a [`bcc_core::StreamEngine`] and collected as completions arrive,
 //!   demonstrating that the streaming front-end meters exactly like the
 //!   batch one (same `RequestCost` / `PreprocessingCost` vocabulary).
+//! * **`BENCH_load.json`** — a [`crate::load::LoadBench`]: the committed
+//!   scenario library (`scenarios/*.json`) run through the deterministic
+//!   virtual-clock load harness, one [`crate::load::LoadTrajectory`] per
+//!   scenario with per-class latency percentiles and ramp-search results
+//!   (schema documented in [`crate::load`]).
 //!
 //! # Schema (`bcc-bench/v1`)
 //!
@@ -66,6 +71,17 @@
 //! unchanged tree always passes; the check exists so a PR that regresses a
 //! pipeline's communication cost (or forgets to regenerate the committed
 //! artifacts after an intentional change) fails loudly.
+//!
+//! Two further guards ride on the same check: [`load_trend_issues`] holds
+//! the load harness's loss counters, latency percentiles and ramp results
+//! to the committed `BENCH_load.json` (a halved sustainable rate or a >2x
+//! percentile regression fails CI), and [`estimation_issues`] bounds every
+//! scheduler class's relative cost-model estimation error at
+//! [`ESTIMATION_ERROR_MAX`] so a silent blow-up of the calibration (today's
+//! worst case is the interactive class's ~10⁴x round under-prediction,
+//! which still sits below the relative-error bound — see
+//! [`estimation_summary`]) turns the job red instead of hiding in the
+//! artifact.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -77,6 +93,8 @@ use bcc_core::{RoundReport, StreamReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+use crate::load::LoadBench;
 
 /// Schema tag of every `BENCH_*.json` artifact this module writes.
 pub const BENCH_SCHEMA: &str = "bcc-bench/v1";
@@ -342,9 +360,14 @@ pub fn stream_trajectory(seed: u64, quick: bool) -> StreamTrajectory {
     }
 }
 
-/// Writes `BENCH_pipelines.json`, `BENCH_batch.json` and `BENCH_stream.json`
-/// into `dir`, returning
-/// the written paths. Each file is verified to parse back before returning.
+/// Writes `BENCH_pipelines.json`, `BENCH_batch.json`, `BENCH_stream.json`
+/// and `BENCH_load.json` into `dir`, returning the written paths. Each file
+/// is verified to parse back before returning.
+///
+/// The load artifact always runs the *committed* scenario library
+/// (`scenarios/` at the repository root) — the scenario documents, not
+/// `seed`/`quick`, size that run, so the artifact stays bit-identical
+/// between quick and full regenerations.
 ///
 /// # Errors
 ///
@@ -398,7 +421,35 @@ pub fn write_bench_json(dir: &Path, seed: u64, quick: bool) -> io::Result<Vec<Pa
     }
     written.push(path);
 
+    let load = fresh_load_bench()?;
+    let path = dir.join("BENCH_load.json");
+    let json = serde_json::to_string_pretty(&load)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, format!("{json}\n"))?;
+    let back: LoadBench = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if back != load {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "BENCH_load.json did not round-trip",
+        ));
+    }
+    written.push(path);
+
     Ok(written)
+}
+
+/// Runs the committed scenario library through the load harness — the
+/// in-memory side of `BENCH_load.json`, shared by [`write_bench_json`] and
+/// [`check_trend`].
+///
+/// # Errors
+///
+/// Propagates [`crate::load::load_bench`] errors (missing library,
+/// malformed scenario).
+pub fn fresh_load_bench() -> io::Result<LoadBench> {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    crate::load::load_bench(&repo_root().join("scenarios"), workers)
 }
 
 // ---------------------------------------------------------------------------
@@ -605,6 +656,144 @@ pub fn trend_issues(
     issues
 }
 
+/// Compares a freshly simulated load run against the committed
+/// `BENCH_load.json`, returning one issue per schema drift, disappeared
+/// scenario or class, >2x regression in a loss counter or latency
+/// percentile, halved completion count, or halved ramp-sustainable rate
+/// (pure comparison logic; the I/O lives in [`check_trend`]).
+pub fn load_trend_issues(committed: &LoadBench, fresh: &LoadBench) -> Vec<String> {
+    let mut issues = Vec::new();
+    if committed.schema != fresh.schema {
+        issues.push(format!(
+            "BENCH_load.json: schema drift — committed {:?} vs fresh {:?}",
+            committed.schema, fresh.schema
+        ));
+    }
+    for c in &committed.scenarios {
+        let Some(f) = fresh.scenarios.iter().find(|s| s.scenario == c.scenario) else {
+            issues.push(format!(
+                "BENCH_load.json: scenario {:?} disappeared from the fresh run",
+                c.scenario
+            ));
+            continue;
+        };
+        let what = |field: &str| format!("load scenario {} {field}", c.scenario);
+        check_counter(&mut issues, &what("rejected"), c.rejected, f.rejected);
+        check_counter(&mut issues, &what("expired"), c.expired, f.expired);
+        check_counter(&mut issues, &what("infeasible"), c.infeasible, f.infeasible);
+        check_counter(
+            &mut issues,
+            &what("total_rounds"),
+            c.total_rounds,
+            f.total_rounds,
+        );
+        if f.completed * 2 < c.completed {
+            issues.push(format!(
+                "{}: completed {} vs committed {} (less than half)",
+                what("throughput"),
+                f.completed,
+                c.completed
+            ));
+        }
+        for cc in &c.classes {
+            let Some(fc) = f.classes.iter().find(|x| x.class == cc.class) else {
+                issues.push(format!(
+                    "BENCH_load.json: scenario {} class {:?} disappeared from the fresh run",
+                    c.scenario, cc.class
+                ));
+                continue;
+            };
+            for (axis, committed_p, fresh_p) in [
+                ("queue_wait", &cc.queue_wait, &fc.queue_wait),
+                ("end_to_end", &cc.end_to_end, &fc.end_to_end),
+            ] {
+                let what =
+                    |p: &str| format!("load scenario {} class {} {axis} {p}", c.scenario, cc.class);
+                check_counter(
+                    &mut issues,
+                    &what("p50_ns"),
+                    committed_p.p50_ns,
+                    fresh_p.p50_ns,
+                );
+                check_counter(
+                    &mut issues,
+                    &what("p95_ns"),
+                    committed_p.p95_ns,
+                    fresh_p.p95_ns,
+                );
+                check_counter(
+                    &mut issues,
+                    &what("p99_ns"),
+                    committed_p.p99_ns,
+                    fresh_p.p99_ns,
+                );
+            }
+        }
+        match (&c.ramp, &f.ramp) {
+            (Some(cr), Some(fr)) => {
+                if fr.max_sustainable_rps < cr.max_sustainable_rps * 0.5 {
+                    issues.push(format!(
+                        "load scenario {} ramp: max sustainable rate {:.1} rps vs committed \
+                         {:.1} rps (less than half)",
+                        c.scenario, fr.max_sustainable_rps, cr.max_sustainable_rps
+                    ));
+                }
+            }
+            (Some(_), None) => issues.push(format!(
+                "load scenario {}: ramp result disappeared from the fresh run",
+                c.scenario
+            )),
+            (None, _) => {}
+        }
+    }
+    issues
+}
+
+/// The bound [`estimation_issues`] holds every scheduler class's relative
+/// cost-model estimation error to.
+pub const ESTIMATION_ERROR_MAX: f64 = 2.0;
+
+/// Flags every scheduler class (and the cache's rebuild estimate) of a
+/// stream trajectory whose relative estimation error
+/// ([`bcc_core::wfq::ClassStats::estimation_error`], `|predicted − actual|
+/// / actual`) exceeds [`ESTIMATION_ERROR_MAX`].
+///
+/// An under-prediction saturates at error 1.0 however wrong it is — the
+/// interactive class's known ~10⁴x LP round blind spot sits at ≈0.9999 and
+/// passes; what this guard catches is the model drifting into *over*-
+/// charging, which would distort WFQ finish tags and deadline admission for
+/// every class. [`estimation_summary`] prints the raw numbers either way.
+pub fn estimation_issues(stream: &StreamTrajectory) -> Vec<String> {
+    let mut issues = Vec::new();
+    for class in &stream.report.scheduler.classes {
+        if let Some(error) = class.estimation_error() {
+            if error > ESTIMATION_ERROR_MAX {
+                issues.push(format!(
+                    "stream class {} estimation error {error:.2} exceeds \
+                     {ESTIMATION_ERROR_MAX} (predicted {} vs actual {} rounds) — recalibrate \
+                     the cost model or regenerate the artifacts",
+                    class.class, class.predicted_rounds, class.actual_rounds
+                ));
+            }
+        }
+    }
+    let cache = &stream.report.cache;
+    if cache.rebuild_actual_rounds > 0 {
+        let error = cache
+            .rebuild_predicted_rounds
+            .abs_diff(cache.rebuild_actual_rounds) as f64
+            / cache.rebuild_actual_rounds as f64;
+        if error > ESTIMATION_ERROR_MAX {
+            issues.push(format!(
+                "stream cache rebuild estimation error {error:.2} exceeds \
+                 {ESTIMATION_ERROR_MAX} (predicted {} vs actual {} rounds)",
+                cache.rebuild_predicted_rounds, cache.rebuild_actual_rounds
+            ));
+        }
+    }
+    issues
+}
+
 /// A one-line human-readable summary of the cost model's estimation error
 /// in a stream trajectory — printed by the bench CI job so the calibration
 /// quality shows up in the job log without digging through
@@ -678,17 +867,24 @@ pub fn check_trend(root: &Path, seed: u64, quick: bool) -> io::Result<Vec<String
     let path = root.join("BENCH_stream.json");
     let committed_stream: StreamTrajectory =
         serde_json::from_str(&read_committed(&path)?).map_err(|e| parse_error(&path, e))?;
+    let path = root.join("BENCH_load.json");
+    let committed_load: LoadBench =
+        serde_json::from_str(&read_committed(&path)?).map_err(|e| parse_error(&path, e))?;
     let fresh_pipelines = pipelines_trajectory(seed, quick);
     let fresh_batch = batch_trajectory(seed, quick);
     let fresh_stream = stream_trajectory(seed, quick);
-    Ok(trend_issues(
+    let fresh_load = fresh_load_bench()?;
+    let mut issues = trend_issues(
         &committed_pipelines,
         &fresh_pipelines,
         &committed_batch,
         &fresh_batch,
         &committed_stream,
         &fresh_stream,
-    ))
+    );
+    issues.extend(load_trend_issues(&committed_load, &fresh_load));
+    issues.extend(estimation_issues(&fresh_stream));
+    Ok(issues)
 }
 
 /// The repository root (two levels above this crate's manifest), where the
@@ -734,7 +930,7 @@ mod tests {
         let dir = std::env::temp_dir().join("bcc-bench-json-test");
         std::fs::create_dir_all(&dir).unwrap();
         let written = write_bench_json(&dir, 7, true).unwrap();
-        assert_eq!(written.len(), 3);
+        assert_eq!(written.len(), 4);
         for path in written {
             let text = std::fs::read_to_string(&path).unwrap();
             assert!(text.contains("bcc-bench/v1"), "{path:?} missing schema tag");
@@ -870,5 +1066,121 @@ mod tests {
         within[0].report.total_rounds = pipelines[0].report.total_rounds * 2;
         let issues = trend_issues(&pipelines, &within, &batch, &batch, &stream, &stream);
         assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    fn sample_load() -> LoadBench {
+        use crate::load::{LoadClassPoint, LoadTrajectory, RampProbe, RampResult};
+        use bcc_core::LatencyPercentiles;
+        LoadBench {
+            schema: BENCH_SCHEMA.to_string(),
+            scenarios: vec![LoadTrajectory {
+                schema: BENCH_SCHEMA.to_string(),
+                scenario: "sample".to_string(),
+                seed: 7,
+                duration_ms: 100,
+                offered: 50,
+                completed: 44,
+                rejected: 2,
+                expired: 3,
+                infeasible: 1,
+                cache_hits: 5,
+                cache_misses: 2,
+                total_rounds: 9000,
+                classes: vec![LoadClassPoint {
+                    class: "interactive".to_string(),
+                    offered: 50,
+                    completed: 44,
+                    rejected: 2,
+                    expired: 3,
+                    infeasible: 1,
+                    queue_wait: LatencyPercentiles::from_ns_samples(vec![100, 200, 900]),
+                    end_to_end: LatencyPercentiles::from_ns_samples(vec![400, 600, 1800]),
+                }],
+                ramp: Some(RampResult {
+                    max_sustainable_rps: 120.0,
+                    probes: vec![RampProbe {
+                        rps: 120.0,
+                        offered: 50,
+                        loss_fraction: 0.0,
+                        p99_e2e_ms: 1.2,
+                        sustainable: true,
+                    }],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn load_trend_check_accepts_identical_runs_and_flags_regressions() {
+        let committed = sample_load();
+        assert!(load_trend_issues(&committed, &committed).is_empty());
+
+        // A >2x latency percentile regression is flagged.
+        let mut slow = committed.clone();
+        slow.scenarios[0].classes[0].end_to_end.p99_ns *= 3;
+        let issues = load_trend_issues(&committed, &slow);
+        assert!(issues.iter().any(|i| i.contains("p99_ns")), "{issues:?}");
+
+        // Halving the ramp's sustainable rate is flagged.
+        let mut collapsed = committed.clone();
+        collapsed.scenarios[0]
+            .ramp
+            .as_mut()
+            .unwrap()
+            .max_sustainable_rps = 50.0;
+        let issues = load_trend_issues(&committed, &collapsed);
+        assert!(
+            issues.iter().any(|i| i.contains("max sustainable")),
+            "{issues:?}"
+        );
+
+        // New loss (expired jumping >2x) is flagged.
+        let mut lossy = committed.clone();
+        lossy.scenarios[0].expired = committed.scenarios[0].expired * 2 + 1;
+        let issues = load_trend_issues(&committed, &lossy);
+        assert!(issues.iter().any(|i| i.contains("expired")), "{issues:?}");
+
+        // Losing half the throughput is flagged even though lower counts
+        // never trip the 2x growth rule.
+        let mut starved = committed.clone();
+        starved.scenarios[0].completed = committed.scenarios[0].completed / 2 - 1;
+        let issues = load_trend_issues(&committed, &starved);
+        assert!(
+            issues.iter().any(|i| i.contains("less than half")),
+            "{issues:?}"
+        );
+
+        // A scenario disappearing from the fresh run is flagged.
+        let empty = LoadBench {
+            schema: BENCH_SCHEMA.to_string(),
+            scenarios: Vec::new(),
+        };
+        let issues = load_trend_issues(&committed, &empty);
+        assert!(
+            issues.iter().any(|i| i.contains("disappeared")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn estimation_guard_passes_today_and_flags_an_overcharging_model() {
+        let stream = stream_trajectory(7, true);
+        // The tracked workload's estimation errors all sit within the bound
+        // (the known interactive under-prediction saturates at 1.0).
+        let issues = estimation_issues(&stream);
+        assert!(issues.is_empty(), "{issues:?}");
+
+        // A model drifting into >2x over-charging turns the check red.
+        let mut drifted = stream.clone();
+        for class in &mut drifted.report.scheduler.classes {
+            if class.actual_rounds > 0 {
+                class.predicted_rounds = class.actual_rounds * 4;
+            }
+        }
+        let issues = estimation_issues(&drifted);
+        assert!(
+            issues.iter().any(|i| i.contains("estimation error")),
+            "{issues:?}"
+        );
     }
 }

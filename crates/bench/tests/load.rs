@@ -1,0 +1,101 @@
+//! Integration tests of the declarative load harness: committed scenarios
+//! replay bit-identically regardless of profiling parallelism, the committed
+//! `BENCH_load.json` golden stays fresh, Poisson arrival streams converge to
+//! their nominal rate, and the smoke scenario's ramp search brackets a
+//! sustainable rate inside its configured window.
+
+use bench::load::{class_arrivals, read_scenario, run_scenario, Arrival, LoadBench};
+use bench::trajectory::repo_root;
+use proptest::prelude::*;
+
+fn smoke_path() -> std::path::PathBuf {
+    repo_root().join("scenarios").join("smoke.json")
+}
+
+#[test]
+fn scenario_replays_identically_across_profile_worker_counts() {
+    let scenario = read_scenario(&smoke_path()).unwrap();
+    let serial = run_scenario(&scenario, 1).unwrap();
+    let parallel = run_scenario(&scenario, 4).unwrap();
+    let again = run_scenario(&scenario, 4).unwrap();
+    // Structural equality and byte equality of the serialized artifact: the
+    // profiling thread count may only change wall-clock time, never results.
+    assert_eq!(serial, parallel);
+    assert_eq!(parallel, again);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn committed_load_golden_matches_a_fresh_smoke_run() {
+    let committed = std::fs::read_to_string(repo_root().join("BENCH_load.json")).unwrap();
+    let committed: LoadBench = serde_json::from_str(&committed).unwrap();
+    let golden = committed
+        .scenarios
+        .iter()
+        .find(|t| t.scenario == "smoke")
+        .expect("committed BENCH_load.json covers the smoke scenario");
+    let fresh = run_scenario(&read_scenario(&smoke_path()).unwrap(), 2).unwrap();
+    assert_eq!(
+        golden, &fresh,
+        "committed BENCH_load.json is stale for the smoke scenario; \
+         run scripts/regen-goldens.sh"
+    );
+}
+
+#[test]
+fn smoke_ramp_converges_inside_its_window() {
+    let scenario = read_scenario(&smoke_path()).unwrap();
+    let spec = scenario
+        .ramp
+        .clone()
+        .expect("smoke scenario carries a ramp");
+    let result = run_scenario(&scenario, 2).unwrap();
+    let ramp = result.ramp.expect("ramp search ran");
+    assert_eq!(ramp.probes.len(), spec.iterations as usize);
+    assert!(ramp.max_sustainable_rps >= spec.min_rps);
+    assert!(ramp.max_sustainable_rps <= spec.max_rps);
+    assert!(ramp.probes.iter().any(|p| p.sustainable));
+    // Bisection tightens monotonically: every unsustainable probe sits above
+    // the reported maximum sustainable rate.
+    for probe in &ramp.probes {
+        if !probe.sustainable {
+            assert!(probe.rps > ramp.max_sustainable_rps);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Poisson arrival counts concentrate around `rps * duration`: with
+    // mean lambda the standard deviation is sqrt(lambda), so a six-sigma
+    // band (plus slack for tiny means) never trips on honest streams.
+    #[test]
+    fn poisson_arrivals_converge_to_the_nominal_rate(
+        rps in 5.0f64..50.0,
+        seed in any::<u64>(),
+        class_idx in 0usize..8,
+    ) {
+        let duration_ms = 5_000u64;
+        let arrival = Arrival::Poisson { rps };
+        let arrivals = class_arrivals(seed, class_idx, &arrival, duration_ms);
+        let expected = rps * duration_ms as f64 / 1_000.0;
+        let tolerance = 6.0 * expected.sqrt() + 10.0;
+        let count = arrivals.len() as f64;
+        prop_assert!(
+            (count - expected).abs() <= tolerance,
+            "count {} vs expected {} (tolerance {})",
+            count,
+            expected,
+            tolerance
+        );
+        // Streams are sorted and confined to the scenario horizon.
+        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(arrivals
+            .iter()
+            .all(|&t| t < duration_ms * 1_000_000));
+    }
+}

@@ -1,0 +1,147 @@
+//! Injectable time sources for the streaming service layer.
+//!
+//! Every time-dependent decision a [`crate::stream::StreamEngine`] makes —
+//! anchoring a submission's deadline, sweeping expired jobs before dispatch,
+//! timestamping jobs for the latency percentiles, measuring wall-clock
+//! service time for the cost model's calibrated service rate — reads one
+//! [`Clock`] instead of calling [`Instant::now`] directly. Production
+//! engines run on the default [`SystemClock`]; deterministic harnesses (the
+//! load harness in the `bench` crate, tests) inject a [`VirtualClock`] they
+//! advance explicitly, which makes deadline expiry, latency samples and
+//! service observations pure functions of the test script instead of the
+//! host's scheduler.
+//!
+//! A clock reports time as the [`Duration`] since its own epoch (engine
+//! construction for [`SystemClock`], zero for a fresh [`VirtualClock`]);
+//! only differences of readings are ever interpreted, so the epoch itself
+//! is arbitrary. Clocks must be monotone: a reading is never smaller than
+//! an earlier one. A **frozen** virtual clock is legal and useful — time
+//! simply never passes, so queued deadlines never expire and every latency
+//! sample is exactly zero; note that observed service times are then zero
+//! too, which leaves the cost model's service rate effectively uncalibrated
+//! (deadline admission admits everything, exactly like a fresh engine).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotone time source, read as the duration since the clock's epoch.
+///
+/// Implementations must be cheap to read and safe to share across worker
+/// threads. See the [module documentation](self) for the contract.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time: the duration elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The default production clock: wall-clock time measured from the moment
+/// the clock was created (via [`Instant`], so it is monotone even across
+/// system clock adjustments).
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A system clock whose epoch is the moment of this call.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually driven clock for deterministic tests and simulations: time
+/// stands still until [`VirtualClock::advance`] (or [`VirtualClock::set`])
+/// moves it. Readings are nanosecond-precise and shared across threads.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock frozen at its epoch (time zero).
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances the clock by `by` (saturating at the `u64` nanosecond
+    /// range, ~584 years).
+    pub fn advance(&self, by: Duration) {
+        let by = u64::try_from(by.as_nanos()).unwrap_or(u64::MAX);
+        // Saturating add via CAS: fetch_add could wrap past u64::MAX.
+        let mut current = self.nanos.load(Ordering::SeqCst);
+        loop {
+            let next = current.saturating_add(by);
+            match self
+                .nanos
+                .compare_exchange(current, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Moves the clock forward to `to` (a duration since the epoch). A
+    /// target in the past is ignored — the clock stays monotone.
+    pub fn set(&self, to: Duration) {
+        let to = u64::try_from(to.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_max(to, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone_and_starts_near_zero() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a < Duration::from_secs(60), "epoch is the creation moment");
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_driven() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.advance(Duration::from_nanos(1));
+        assert_eq!(clock.now(), Duration::from_nanos(5_000_001));
+        clock.set(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_secs(1));
+        // Setting backwards is ignored: the clock is monotone.
+        clock.set(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn virtual_clock_saturates_instead_of_wrapping() {
+        let clock = VirtualClock::new();
+        clock.advance(Duration::from_nanos(u64::MAX));
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_nanos(u64::MAX));
+    }
+}

@@ -1,0 +1,159 @@
+//! Latency percentile aggregation for the streaming service layer.
+//!
+//! Workers timestamp every job against the engine's [`crate::clock::Clock`]
+//! (admission, dispatch, completion); at the end of a serve scope those
+//! per-ticket timestamps are folded into per-class **queue-wait** and
+//! **end-to-end** percentiles ([`LatencyReport`], surfaced on
+//! [`crate::stream::StreamOutput::latency`]). The same types carry the
+//! simulated percentiles of the `bench` crate's load harness into
+//! `BENCH_load.json`.
+//!
+//! All figures are integer nanoseconds, so serialized reports are
+//! byte-stable wherever the underlying timestamps are deterministic (e.g.
+//! under a [`crate::clock::VirtualClock`]). Percentiles use the
+//! **nearest-rank** rule on the sorted samples: the p-th percentile is the
+//! `ceil(p/100 × n)`-th smallest sample, so every reported value is an
+//! actually observed latency.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Percentiles over one set of latency samples, in integer nanoseconds.
+/// An empty sample set reports all zeros with `samples = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Number of samples aggregated.
+    pub samples: u64,
+    /// Median (nearest-rank 50th percentile), nanoseconds.
+    pub p50_ns: u64,
+    /// Nearest-rank 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// Nearest-rank 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyPercentiles {
+    /// Aggregates a set of nanosecond samples (order irrelevant — the
+    /// samples are sorted internally).
+    pub fn from_ns_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        let nearest_rank = |p: u64| -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            // ceil(p/100 × n), 1-based rank, clamped into the sample range.
+            let rank = (p * samples.len() as u64).div_ceil(100).max(1);
+            samples[(rank - 1).min(samples.len() as u64 - 1) as usize]
+        };
+        LatencyPercentiles {
+            samples: samples.len() as u64,
+            p50_ns: nearest_rank(50),
+            p95_ns: nearest_rank(95),
+            p99_ns: nearest_rank(99),
+            max_ns: samples.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// The median as a [`Duration`].
+    pub fn p50(&self) -> Duration {
+        Duration::from_nanos(self.p50_ns)
+    }
+
+    /// The 95th percentile as a [`Duration`].
+    pub fn p95(&self) -> Duration {
+        Duration::from_nanos(self.p95_ns)
+    }
+
+    /// The 99th percentile as a [`Duration`].
+    pub fn p99(&self) -> Duration {
+        Duration::from_nanos(self.p99_ns)
+    }
+
+    /// The largest sample as a [`Duration`].
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+/// Latency percentiles of one scheduling class: how long its dispatched
+/// jobs waited in the queue, and how long from admission to completion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    /// Class name ([`crate::stream::Priority::label`]).
+    pub class: String,
+    /// Admission → dispatch, over the class's dispatched jobs.
+    pub queue_wait: LatencyPercentiles,
+    /// Admission → completion, over the class's completed jobs. Expired
+    /// submissions never dispatch and are excluded from both distributions
+    /// (they are counted in the scheduler's `expired` counters instead).
+    pub end_to_end: LatencyPercentiles,
+}
+
+/// Per-class latency percentiles of one serve scope (or one simulated load
+/// run), in deterministic class order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LatencyReport {
+    /// One entry per scheduling class, built-ins first, then customs by id.
+    pub classes: Vec<ClassLatency>,
+}
+
+impl LatencyReport {
+    /// The latency of one class, by its label (`"interactive"`, `"bulk"`,
+    /// `"custom-<id>"`).
+    pub fn class(&self, label: &str) -> Option<&ClassLatency> {
+        self.classes.iter().find(|c| c.class == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_report_zeros() {
+        let p = LatencyPercentiles::from_ns_samples(Vec::new());
+        assert_eq!(p.samples, 0);
+        assert_eq!(p.p50_ns, 0);
+        assert_eq!(p.p99_ns, 0);
+        assert_eq!(p.max_ns, 0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_observed_samples() {
+        // 1..=100: p50 is the 50th smallest, p95 the 95th, p99 the 99th.
+        let samples: Vec<u64> = (1..=100).rev().collect();
+        let p = LatencyPercentiles::from_ns_samples(samples);
+        assert_eq!(p.samples, 100);
+        assert_eq!(p.p50_ns, 50);
+        assert_eq!(p.p95_ns, 95);
+        assert_eq!(p.p99_ns, 99);
+        assert_eq!(p.max_ns, 100);
+        assert_eq!(p.p99(), Duration::from_nanos(99));
+    }
+
+    #[test]
+    fn one_sample_is_every_percentile() {
+        let p = LatencyPercentiles::from_ns_samples(vec![7]);
+        assert_eq!(p.samples, 1);
+        assert_eq!(p.p50_ns, 7);
+        assert_eq!(p.p95_ns, 7);
+        assert_eq!(p.p99_ns, 7);
+        assert_eq!(p.max_ns, 7);
+    }
+
+    #[test]
+    fn report_lookup_by_label() {
+        let report = LatencyReport {
+            classes: vec![ClassLatency {
+                class: "interactive".to_string(),
+                queue_wait: LatencyPercentiles::from_ns_samples(vec![1, 2]),
+                end_to_end: LatencyPercentiles::from_ns_samples(vec![3, 4]),
+            }],
+        };
+        assert!(report.class("interactive").is_some());
+        assert!(report.class("bulk").is_none());
+        assert_eq!(report.class("interactive").unwrap().queue_wait.max_ns, 2);
+    }
+}

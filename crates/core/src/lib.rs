@@ -65,12 +65,15 @@ pub use bcc_sparsifier as sparsifier;
 pub mod algorithm;
 pub mod batch;
 pub mod cache;
+pub mod clock;
 pub mod cost;
 pub mod error;
+pub mod latency;
 pub mod report;
 mod serve;
 pub mod session;
 pub mod stream;
+pub mod wfq;
 
 pub use algorithm::{
     BccAlgorithm, LaplacianAlgorithm, LaplacianProblem, LpAlgorithm, LpProblem, McmfAlgorithm,
@@ -78,8 +81,10 @@ pub use algorithm::{
 };
 pub use batch::{BatchEngine, BatchEngineBuilder, BatchOutput, BatchReport, Request, Response};
 pub use cache::{CacheStats, EvictionPolicy};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use cost::{CostDims, CostKind, CostModel};
 pub use error::Error;
+pub use latency::{ClassLatency, LatencyPercentiles, LatencyReport};
 pub use report::RoundReport;
 pub use session::{
     GramChoice, LaplacianRequest, LpRequest, Outcome, PreparedLaplacian, Session, SessionBuilder,
@@ -93,8 +98,10 @@ pub use stream::{
 pub mod prelude {
     pub use crate::algorithm::BccAlgorithm;
     pub use crate::cache::EvictionPolicy;
+    pub use crate::clock::{Clock, SystemClock, VirtualClock};
     pub use crate::cost::{CostDims, CostKind, CostModel};
     pub use crate::error::Error;
+    pub use crate::latency::{LatencyPercentiles, LatencyReport};
     pub use crate::report::RoundReport;
     pub use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
     pub use crate::stream::{BackpressurePolicy, Priority, RateLimit, StreamEngine};

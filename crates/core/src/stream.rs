@@ -95,6 +95,19 @@
 //! submissions without (or with generous) deadlines are covered by the
 //! bit-identity contract. `tests/stream.rs` enforces all of this.
 //!
+//! # Clocks and latency
+//!
+//! Every time-dependent decision — anchoring deadlines, sweeping expired
+//! jobs, timestamping submissions, measuring the wall-clock service time
+//! that calibrates deadline admission — reads the engine's injectable
+//! [`Clock`] ([`StreamEngineBuilder::clock`], default
+//! [`crate::clock::SystemClock`]). Injecting a
+//! [`crate::clock::VirtualClock`] makes all of it deterministic: a frozen
+//! virtual clock never expires a deadline and reports every latency sample
+//! as exactly zero. Per-ticket timestamps are folded into per-class
+//! queue-wait and end-to-end percentiles in [`StreamOutput::latency`]
+//! (expired submissions are excluded — they never dispatched).
+//!
 //! # Shutdown and drain
 //!
 //! [`StreamEngine::serve`] scopes the worker pool around a closure. When the
@@ -139,7 +152,6 @@
 //! assert!(output.uncollected.is_empty());
 //! ```
 
-use std::collections::VecDeque;
 use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,100 +165,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::{PreprocessingCost, RequestCost};
 use crate::cache::{CacheStats, EvictionPolicy};
+use crate::clock::{Clock, SystemClock};
 use crate::cost::{CostDims, CostKind, CostModel};
 use crate::error::Error;
+use crate::latency::{ClassLatency, LatencyPercentiles, LatencyReport};
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
 use crate::session::{Outcome, Session};
+use crate::wfq::{ClassConfig, WfqJob, WfqQueue};
 
 pub use crate::serve::{Request, Response};
-
-/// Scheduling class of one submission. Classes form a small open set: the
-/// two built-in classes plus up to 256 caller-defined ones
-/// ([`Priority::custom`]). Each class has a WFQ weight (and optionally a
-/// rate limit) configured on the [`StreamEngineBuilder`]; dispatch order
-/// follows virtual-finish-time weighted fair queueing, FIFO within a class.
-/// Classes affect *latency only* — results are bit-identical whichever
-/// class a request is submitted under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Priority {
-    /// Latency-sensitive traffic (default WFQ weight 4).
-    Interactive,
-    /// Throughput traffic (default WFQ weight 1).
-    Bulk,
-    /// A caller-defined class (default WFQ weight 1 unless configured via
-    /// [`StreamEngineBuilder::class_weight`]). Prefer the
-    /// [`Priority::custom`] constructor.
-    Custom(u8),
-}
-
-impl Priority {
-    /// A caller-defined scheduling class. Classes with the same id share
-    /// one queue, weight and rate limit.
-    pub fn custom(id: u8) -> Self {
-        Priority::Custom(id)
-    }
-
-    /// The class name used in [`ClassStats::class`]: `"interactive"`,
-    /// `"bulk"` or `"custom-<id>"`.
-    pub fn label(&self) -> String {
-        match self {
-            Priority::Interactive => "interactive".to_string(),
-            Priority::Bulk => "bulk".to_string(),
-            Priority::Custom(id) => format!("custom-{id}"),
-        }
-    }
-
-    /// Dense ordering key: built-in classes first, then customs by id. This
-    /// is the deterministic order of [`SchedulerStats::classes`].
-    fn key(self) -> usize {
-        match self {
-            Priority::Interactive => 0,
-            Priority::Bulk => 1,
-            Priority::Custom(id) => 2 + id as usize,
-        }
-    }
-
-    /// The default WFQ weight of the class.
-    fn default_weight(self) -> u32 {
-        match self {
-            Priority::Interactive => 4,
-            Priority::Bulk | Priority::Custom(_) => 1,
-        }
-    }
-}
-
-/// A token-bucket rate limit on one scheduling class: at most `tokens`
-/// dispatches of the class per scheduling window of `window` consecutive
-/// dispatches (across all classes). The limiter is work-conserving — it
-/// shapes dispatch order among competing classes but never idles a worker
-/// when only throttled work is queued.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RateLimit {
-    /// Dispatch budget of the class per window (min 1).
-    pub tokens: u32,
-    /// Window length, in consecutive dispatches across all classes (min 1).
-    pub window: u32,
-}
-
-impl RateLimit {
-    /// A rate limit of `tokens` dispatches per window of `window` total
-    /// dispatches. Both are clamped to at least 1.
-    pub fn new(tokens: u32, window: u32) -> Self {
-        RateLimit {
-            tokens: tokens.max(1),
-            window: window.max(1),
-        }
-    }
-
-    /// The same clamp as [`RateLimit::new`], re-applied where limits enter
-    /// the scheduler — the public fields (and `Deserialize`) can bypass the
-    /// constructor, and a zero window must never reach the window
-    /// arithmetic.
-    fn clamped(self) -> Self {
-        RateLimit::new(self.tokens, self.window)
-    }
-}
+pub use crate::wfq::{ClassStats, Priority, RateLimit, SchedulerStats};
 
 /// What [`StreamClient::submit`] does when the bounded admission queue is
 /// full.
@@ -292,88 +221,6 @@ impl Ticket {
 
 /// The version tag written into [`StreamReport::schema`].
 pub const STREAM_REPORT_SCHEMA: &str = "bcc-stream-report/v1";
-
-/// Per-class scheduler counters of one serve scope, surfaced in
-/// [`SchedulerStats::classes`] (and through it in `BENCH_stream.json`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ClassStats {
-    /// Class name ([`Priority::label`]).
-    pub class: String,
-    /// The configured WFQ weight.
-    pub weight: u32,
-    /// The configured rate limit, if any.
-    pub rate_limit: Option<RateLimit>,
-    /// Submissions admitted under this class.
-    pub submitted: u64,
-    /// Jobs of this class dispatched to a worker.
-    pub dispatched: u64,
-    /// Jobs that expired in the queue ([`Error::DeadlineExceeded`]) and were
-    /// never dispatched.
-    pub expired: u64,
-    /// Scheduling decisions that skipped this class because its rate-limit
-    /// budget for the current window was spent. Timing-dependent under
-    /// concurrency; always zero without a rate limit.
-    pub throttled: u64,
-    /// Submissions rejected at admission with [`Error::DeadlineInfeasible`]
-    /// (expected wait already past the deadline). Like rejected
-    /// backpressure they consume no submission index. Timing-dependent
-    /// under concurrency; always zero for deadline-less workloads.
-    pub infeasible: u64,
-    /// Sum of the cost model's predicted rounds over this class's executed
-    /// submissions, computed by a deterministic submission-order replay of
-    /// the calibration loop (so it is a pure function of the admitted
-    /// workload — see [`crate::cost`]). Expired submissions are excluded:
-    /// they never executed, so there is no actual to compare against.
-    pub predicted_rounds: u64,
-    /// Sum of the actual rounds this class's executed submissions charged —
-    /// the measured half of [`ClassStats::predicted_rounds`]. Compare the
-    /// two for the class's estimation error
-    /// ([`ClassStats::estimation_error`]).
-    pub actual_rounds: u64,
-}
-
-impl ClassStats {
-    /// The class's relative estimation error:
-    /// `|predicted − actual| / actual`, or `None` when the class charged no
-    /// rounds (nothing to compare against).
-    pub fn estimation_error(&self) -> Option<f64> {
-        if self.actual_rounds == 0 {
-            return None;
-        }
-        let diff = self.predicted_rounds.abs_diff(self.actual_rounds);
-        Some(diff as f64 / self.actual_rounds as f64)
-    }
-}
-
-/// Scheduler-level accounting of one serve scope: the discipline plus one
-/// [`ClassStats`] per class, in deterministic class order (built-ins first,
-/// then customs by id).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SchedulerStats {
-    /// The scheduling discipline (`"wfq"`).
-    pub policy: String,
-    /// Per-class counters. The built-in classes are always present; custom
-    /// classes appear once configured or used.
-    pub classes: Vec<ClassStats>,
-}
-
-impl SchedulerStats {
-    /// Counters of one class, by its [`Priority`].
-    pub fn class(&self, priority: Priority) -> Option<&ClassStats> {
-        let label = priority.label();
-        self.classes.iter().find(|c| c.class == label)
-    }
-
-    /// Total deadline expirations across all classes.
-    pub fn expired(&self) -> u64 {
-        self.classes.iter().map(|c| c.expired).sum()
-    }
-
-    /// Total infeasible-deadline admission rejections across all classes.
-    pub fn infeasible(&self) -> u64 {
-        self.classes.iter().map(|c| c.infeasible).sum()
-    }
-}
 
 /// Aggregated, serializable accounting of one [`StreamEngine::serve`] scope
 /// — the payload of the `BENCH_stream.json` trajectory. Mirrors
@@ -450,13 +297,13 @@ pub struct StreamOutput<T> {
     pub uncollected: Vec<(u64, Result<Outcome<Response>, Error>)>,
     /// Aggregated accounting of every admitted submission.
     pub report: StreamReport,
-}
-
-/// Per-class configuration collected by the builder.
-#[derive(Debug, Clone, Copy)]
-struct ClassConfig {
-    weight: u32,
-    rate: Option<RateLimit>,
+    /// Per-class queue-wait and end-to-end latency percentiles of this
+    /// scope, timestamped against the engine's [`Clock`]. Expired
+    /// submissions are excluded (they never dispatched); under the default
+    /// [`SystemClock`] the figures are wall-clock and timing-dependent,
+    /// under a [`crate::clock::VirtualClock`] they are a pure function of
+    /// how the test drove the clock.
+    pub latency: LatencyReport,
 }
 
 /// Builder of a [`StreamEngine`].
@@ -474,6 +321,8 @@ pub struct StreamEngineBuilder {
     cost_aware_tags: bool,
     /// The cost model the engine starts from; `None` builds a default one.
     cost_model: Option<Arc<CostModel>>,
+    /// The time source of the engine; `None` builds a [`SystemClock`].
+    clock: Option<Arc<dyn Clock>>,
     /// Class overrides in configuration order; normalized in `build`.
     classes: Vec<(Priority, ClassConfig)>,
 }
@@ -492,6 +341,7 @@ impl Default for StreamEngineBuilder {
             eviction_policy: EvictionPolicy::Lru,
             cost_aware_tags: true,
             cost_model: None,
+            clock: None,
             classes: Vec::new(),
         }
     }
@@ -583,6 +433,16 @@ impl StreamEngineBuilder {
         self
     }
 
+    /// Injects the engine's time source (default: a fresh [`SystemClock`]).
+    /// Every deadline anchor, expiry sweep, latency timestamp and
+    /// service-rate observation reads this clock; injecting a
+    /// [`crate::clock::VirtualClock`] makes them all deterministic (see
+    /// [`crate::clock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Sets the WFQ weight of one scheduling class (clamped to at least 1).
     /// Defaults: [`Priority::Interactive`] 4, [`Priority::Bulk`] 1, custom
     /// classes 1. A class with weight `w` receives a `w`-proportional share
@@ -650,6 +510,7 @@ impl StreamEngineBuilder {
             queue_capacity: self.queue_capacity,
             backpressure: self.backpressure,
             cost_aware_tags: self.cost_aware_tags,
+            clock: self.clock.unwrap_or_else(|| Arc::new(SystemClock::new())),
             classes,
             ledger: RoundLedger::new(),
             scopes: 0,
@@ -670,6 +531,8 @@ pub struct StreamEngine {
     backpressure: BackpressurePolicy,
     /// Whether WFQ tags charge estimated cost (true) or one unit (false).
     cost_aware_tags: bool,
+    /// The engine's time source (see [`crate::clock`]).
+    clock: Arc<dyn Clock>,
     /// Normalized class configuration, sorted by class key.
     classes: Vec<(Priority, ClassConfig)>,
     ledger: RoundLedger,
@@ -800,7 +663,8 @@ impl StreamEngine {
             policy: self.backpressure,
             cost_aware_tags: self.cost_aware_tags,
             workers: self.workers,
-            queue: Mutex::new(WfqScheduler::new(&self.classes)),
+            clock: self.clock.as_ref(),
+            queue: Mutex::new(StreamQueue::new(&self.classes)),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             done: Mutex::new(DoneState::default()),
@@ -825,13 +689,14 @@ impl StreamEngine {
                 Err(payload) => panic::resume_unwind(payload),
             }
         });
-        let (uncollected, report) = self.aggregate(&shared);
+        let (uncollected, report, latency) = self.aggregate(&shared);
         self.ledger
             .charge_phases(report.total.breakdown.iter().map(|(n, s)| (n.as_str(), *s)));
         StreamOutput {
             value,
             uncollected,
             report,
+            latency,
         }
     }
 
@@ -840,15 +705,52 @@ impl StreamEngine {
     /// costs in submission order, analytic hit/miss accounting (first
     /// submission of a fingerprint is the miss), preprocessing charged once
     /// per distinct new fingerprint — all independent of completion order.
+    #[allow(clippy::type_complexity)]
     fn aggregate(
         &self,
         shared: &Shared<'_>,
-    ) -> (Vec<(u64, Result<Outcome<Response>, Error>)>, StreamReport) {
+    ) -> (
+        Vec<(u64, Result<Outcome<Response>, Error>)>,
+        StreamReport,
+        LatencyReport,
+    ) {
         let mut meta = std::mem::take(&mut *shared.meta.lock().expect("submission meta"));
         meta.sort_by_key(|m| m.index);
         let mut done = shared.done.lock().expect("completion table");
         let prep = shared.prep.lock().expect("preprocessing reports");
-        let mut scheduler = shared.queue.lock().expect("stream queue").stats();
+        let mut scheduler = shared.queue.lock().expect("stream queue").q.stats();
+
+        // Fold the per-ticket timestamps into per-class latency samples, in
+        // submission order (so the fold itself is deterministic; the sample
+        // values are as deterministic as the engine's clock). Expired
+        // submissions never dispatched and carry no samples.
+        let mut samples: HashMap<String, (Vec<u64>, Vec<u64>)> = HashMap::new();
+        for m in &meta {
+            let completion = done
+                .costs
+                .get(&m.index)
+                .expect("the drained scope completed every admitted submission");
+            if completion.expired {
+                continue;
+            }
+            let entry = samples.entry(m.priority.label()).or_default();
+            entry.0.push(completion.wait_ns);
+            entry.1.push(completion.e2e_ns);
+        }
+        let latency = LatencyReport {
+            classes: scheduler
+                .classes
+                .iter()
+                .map(|class| {
+                    let (wait, e2e) = samples.remove(&class.class).unwrap_or_default();
+                    ClassLatency {
+                        class: class.class.clone(),
+                        queue_wait: LatencyPercentiles::from_ns_samples(wait),
+                        end_to_end: LatencyPercentiles::from_ns_samples(e2e),
+                    }
+                })
+                .collect(),
+        };
 
         // Replay the calibration loop deterministically, in submission
         // order, on a fresh replica of the engine's model: the per-class
@@ -942,339 +844,41 @@ impl StreamEngine {
             preprocessing: accounting.preprocessing,
             per_request: accounting.per_request,
         };
-        (uncollected, report)
+        (uncollected, report, latency)
     }
 }
 
-/// One admitted submission travelling from the client to a worker.
-struct Job {
-    index: u64,
-    priority: Priority,
+/// Stream-specific payload of one queued [`WfqJob`]: the request, its
+/// fingerprint (computed once at admission) and its admission timestamp.
+struct JobPayload {
     request: Request,
     fp: Option<GraphFingerprint>,
-    /// Queueing deadline; a job still queued past it expires instead of
-    /// dispatching.
-    deadline: Option<Instant>,
-    /// The job's estimated cost in rounds (including a preprocessing
-    /// rebuild when its fingerprint was uncached at admission) — what its
-    /// virtual finish tag charged, and its contribution to the class
-    /// backlog deadline admission prices.
-    cost: u64,
-    /// WFQ virtual finish tag, assigned at admission.
-    finish: u128,
+    /// Clock reading at the submit call, the zero point of the job's
+    /// queue-wait and end-to-end latency samples.
+    admitted_at: Duration,
 }
 
-/// Virtual-time charge of one estimated round at weight 1. Tags are
-/// `max(V, F_class) + cost × VT_UNIT / weight` in fixed-point arithmetic,
-/// so any weight up to `u32::MAX` keeps a non-zero, exactly representable
-/// per-round charge; with unit costs (size-aware tags off) this degenerates
-/// to the classic unit-job virtual clock. Costs are clamped to
-/// [`crate::cost::MAX_ESTIMATE_ROUNDS`] (2⁴⁰), so `cost × VT_UNIT` stays
-/// below 2⁷² and the u128 clock cannot realistically overflow.
-const VT_UNIT: u128 = 1 << 32;
+/// One admitted submission travelling from the client to a worker: the
+/// generic WFQ job carrying the stream payload. The job's `cost` is its
+/// estimated rounds, including a preprocessing rebuild when its fingerprint
+/// was uncached at admission.
+type Job = WfqJob<JobPayload>;
 
-/// One class inside the scheduler: its FIFO queue, WFQ state, rate-limit
-/// window and counters.
-struct ClassState {
-    priority: Priority,
-    weight: u32,
-    rate: Option<RateLimit>,
-    queue: VecDeque<Job>,
-    /// Summed estimated cost of the queued jobs — the class backlog
-    /// deadline admission prices.
-    queued_cost: u128,
-    /// Finish tag of the last job admitted to this class.
-    last_finish: u128,
-    /// Rate-limit window this class last dispatched in.
-    window_index: u64,
-    /// Dispatches consumed in that window.
-    window_used: u32,
-    submitted: u64,
-    dispatched: u64,
-    expired: u64,
-    throttled: u64,
-    infeasible: u64,
-}
-
-impl ClassState {
-    fn new(priority: Priority, config: ClassConfig) -> Self {
-        ClassState {
-            priority,
-            weight: config.weight.max(1),
-            rate: config.rate.map(RateLimit::clamped),
-            queue: VecDeque::new(),
-            queued_cost: 0,
-            last_finish: 0,
-            window_index: 0,
-            window_used: 0,
-            submitted: 0,
-            dispatched: 0,
-            expired: 0,
-            throttled: 0,
-            infeasible: 0,
-        }
-    }
-
-    /// Whether the class has spent its dispatch budget for the window the
-    /// next dispatch slot falls into.
-    fn throttled_at(&self, dispatches: u64) -> bool {
-        let Some(rate) = self.rate else { return false };
-        let window = dispatches / rate.window as u64;
-        self.window_index == window && self.window_used >= rate.tokens
-    }
-
-    fn stats(&self) -> ClassStats {
-        ClassStats {
-            class: self.priority.label(),
-            weight: self.weight,
-            rate_limit: self.rate,
-            submitted: self.submitted,
-            dispatched: self.dispatched,
-            expired: self.expired,
-            throttled: self.throttled,
-            infeasible: self.infeasible,
-            // Filled in by the deterministic replay at aggregation; the
-            // live scheduler never sees actual costs.
-            predicted_rounds: 0,
-            actual_rounds: 0,
-        }
-    }
-}
-
-/// The weighted-fair-queueing admission queue: one FIFO per class, dispatch
-/// by smallest virtual finish tag, token-bucket throttling, deadline expiry
-/// sweeps. Within a class, FIFO in submission order (tags are monotone per
-/// class by construction).
-struct WfqScheduler {
-    /// Classes in deterministic key order; extended on demand for custom
-    /// classes that were never configured.
-    classes: Vec<ClassState>,
-    queued: usize,
-    /// How many queued jobs carry a deadline, so the per-dispatch expiry
-    /// sweep is free for deadline-less workloads.
-    deadlined: usize,
+/// The engine's admission queue: the generic [`WfqQueue`] discipline of
+/// [`crate::wfq`] plus the serve-scope lifecycle flags that guard it.
+struct StreamQueue {
+    q: WfqQueue<JobPayload>,
     closed: bool,
     /// Set when a worker panicked: blocked submitters must panic, not hang.
     poisoned: bool,
-    next_index: u64,
-    /// WFQ virtual clock: the largest finish tag dispatched so far.
-    virtual_time: u128,
-    /// Total dispatches, the clock of the rate-limit windows.
-    dispatches: u64,
 }
 
-impl WfqScheduler {
+impl StreamQueue {
     fn new(classes: &[(Priority, ClassConfig)]) -> Self {
-        WfqScheduler {
-            classes: classes
-                .iter()
-                .map(|(p, c)| ClassState::new(*p, *c))
-                .collect(),
-            queued: 0,
-            deadlined: 0,
+        StreamQueue {
+            q: WfqQueue::new(classes),
             closed: false,
             poisoned: false,
-            next_index: 0,
-            virtual_time: 0,
-            dispatches: 0,
-        }
-    }
-
-    /// The class state of `priority`, created with defaults on first use.
-    fn class_mut(&mut self, priority: Priority) -> &mut ClassState {
-        let key = priority.key();
-        let pos = self
-            .classes
-            .iter()
-            .position(|c| c.priority.key() >= key)
-            .unwrap_or(self.classes.len());
-        if self.classes.get(pos).is_none_or(|c| c.priority != priority) {
-            self.classes.insert(
-                pos,
-                ClassState::new(
-                    priority,
-                    ClassConfig {
-                        weight: priority.default_weight(),
-                        rate: None,
-                    },
-                ),
-            );
-        }
-        &mut self.classes[pos]
-    }
-
-    /// Admits one job, assigning its submission index and WFQ finish tag.
-    /// `cost` is the job's estimated rounds; the tag charges
-    /// `cost × VT_UNIT / weight` (unit-job scheduling passes `cost = 1`). A
-    /// zero cost is legal — the tag simply does not advance, and the
-    /// `(finish, index)` tie-break keeps dispatch FIFO and starvation-free
-    /// regardless.
-    fn push(
-        &mut self,
-        priority: Priority,
-        request: Request,
-        fp: Option<GraphFingerprint>,
-        deadline: Option<Instant>,
-        cost: u64,
-    ) -> u64 {
-        let index = self.next_index;
-        self.next_index += 1;
-        let virtual_time = self.virtual_time;
-        let class = self.class_mut(priority);
-        let finish =
-            virtual_time.max(class.last_finish) + cost as u128 * VT_UNIT / class.weight as u128;
-        class.last_finish = finish;
-        class.submitted += 1;
-        class.queued_cost += cost as u128;
-        class.queue.push_back(Job {
-            index,
-            priority,
-            request,
-            fp,
-            deadline,
-            cost,
-            finish,
-        });
-        self.queued += 1;
-        if deadline.is_some() {
-            self.deadlined += 1;
-        }
-        index
-    }
-
-    /// The rounds a new submission of `priority` should expect to wait for
-    /// before dispatch, given the queued backlog: the class's own backlog
-    /// served at its WFQ weight share (but never more than the whole
-    /// backlog — the scheduler is work-conserving), spread over the worker
-    /// pool. Zero on an idle engine.
-    fn expected_wait_rounds(&self, priority: Priority, workers: usize) -> u64 {
-        let mut class_backlog = 0u128;
-        let mut total_backlog = 0u128;
-        let mut active_weight = 0u128;
-        let mut class_weight = u128::from(
-            self.classes
-                .iter()
-                .find(|c| c.priority == priority)
-                .map(|c| c.weight)
-                .unwrap_or_else(|| priority.default_weight()),
-        );
-        for class in &self.classes {
-            total_backlog += class.queued_cost;
-            if class.priority == priority {
-                class_backlog = class.queued_cost;
-                class_weight = u128::from(class.weight);
-                active_weight += u128::from(class.weight);
-            } else if !class.queue.is_empty() {
-                active_weight += u128::from(class.weight);
-            }
-        }
-        // The class's share of service is weight / active_weight, so its
-        // backlog takes backlog ÷ share rounds of total service — capped at
-        // the whole backlog, which a work-conserving scheduler never exceeds.
-        let scaled = (class_backlog * active_weight / class_weight).min(total_backlog);
-        u64::try_from(scaled / workers.max(1) as u128).unwrap_or(u64::MAX)
-    }
-
-    /// Charges one infeasible-deadline admission rejection to a class.
-    fn reject_infeasible(&mut self, priority: Priority) {
-        self.class_mut(priority).infeasible += 1;
-    }
-
-    /// Removes every queued job whose deadline has passed, returning each
-    /// with how late it already is. Expired jobs are charged to their class
-    /// and free their queue slots; they are never dispatched. Free when no
-    /// queued job carries a deadline — the common case on the dispatch hot
-    /// path.
-    fn take_expired(&mut self, now: Instant) -> Vec<(Job, Duration)> {
-        if self.deadlined == 0 {
-            return Vec::new();
-        }
-        let mut expired = Vec::new();
-        for class in &mut self.classes {
-            let mut i = 0;
-            while i < class.queue.len() {
-                match class.queue[i].deadline {
-                    Some(deadline) if deadline <= now => {
-                        let job = class.queue.remove(i).expect("index in bounds");
-                        class.expired += 1;
-                        class.queued_cost -= job.cost as u128;
-                        expired.push((job, now.duration_since(deadline)));
-                    }
-                    _ => i += 1,
-                }
-            }
-        }
-        self.queued -= expired.len();
-        self.deadlined -= expired.len();
-        expired.sort_by_key(|(job, _)| job.index);
-        expired
-    }
-
-    /// Dispatches the queued job with the smallest virtual finish tag whose
-    /// class still has rate-limit budget; when every queued class is
-    /// throttled, the smallest tag runs anyway (work-conserving). Ties break
-    /// by submission index.
-    fn pop(&mut self) -> Option<Job> {
-        if self.queued == 0 {
-            return None;
-        }
-        let dispatches = self.dispatches;
-        let mut best_allowed: Option<(u128, u64, usize)> = None;
-        let mut best_any: Option<(u128, u64, usize)> = None;
-        let mut throttled: Vec<usize> = Vec::new();
-        for (i, class) in self.classes.iter().enumerate() {
-            let Some(head) = class.queue.front() else {
-                continue;
-            };
-            let key = (head.finish, head.index, i);
-            if best_any.is_none_or(|b| key < b) {
-                best_any = Some(key);
-            }
-            if class.throttled_at(dispatches) {
-                throttled.push(i);
-            } else if best_allowed.is_none_or(|b| key < b) {
-                best_allowed = Some(key);
-            }
-        }
-        let (_, _, i) = match best_allowed {
-            Some(key) => {
-                for t in throttled {
-                    self.classes[t].throttled += 1;
-                }
-                key
-            }
-            // Every queued class is over budget: stay work-conserving and
-            // dispatch the smallest tag anyway.
-            None => best_any?,
-        };
-        let job = self.classes[i].queue.pop_front().expect("head exists");
-        debug_assert_eq!(self.classes[i].priority, job.priority);
-        self.queued -= 1;
-        if job.deadline.is_some() {
-            self.deadlined -= 1;
-        }
-        self.virtual_time = self.virtual_time.max(job.finish);
-        self.dispatches += 1;
-        let consumed_slot = self.dispatches - 1;
-        let class = &mut self.classes[i];
-        class.dispatched += 1;
-        class.queued_cost -= job.cost as u128;
-        if let Some(rate) = class.rate {
-            let window = consumed_slot / rate.window as u64;
-            if class.window_index != window {
-                class.window_index = window;
-                class.window_used = 0;
-            }
-            class.window_used += 1;
-        }
-        Some(job)
-    }
-
-    /// Per-class counters in deterministic class order.
-    fn stats(&self) -> SchedulerStats {
-        SchedulerStats {
-            policy: "wfq".to_string(),
-            classes: self.classes.iter().map(|c| c.stats()).collect(),
         }
     }
 }
@@ -1304,6 +908,11 @@ struct Completion {
     report: RoundReport,
     /// Whether the submission expired in the queue instead of executing.
     expired: bool,
+    /// Admission → dispatch on the engine's clock, nanoseconds (zero for
+    /// expired submissions, which are excluded from the latency report).
+    wait_ns: u64,
+    /// Admission → completion on the engine's clock, nanoseconds.
+    e2e_ns: u64,
 }
 
 #[derive(Default)]
@@ -1330,7 +939,9 @@ struct Shared<'e> {
     cost_aware_tags: bool,
     /// Worker count, for expected-wait estimates at admission.
     workers: usize,
-    queue: Mutex<WfqScheduler>,
+    /// The engine's time source (see [`crate::clock`]).
+    clock: &'e dyn Clock,
+    queue: Mutex<StreamQueue>,
     not_empty: Condvar,
     not_full: Condvar,
     done: Mutex<DoneState>,
@@ -1359,12 +970,12 @@ fn worker_loop(shared: &Shared<'_>) {
                 // Sweep deadline expirations before every scheduling
                 // decision: a job still queued past its deadline is failed
                 // here, never dispatched.
-                let expired = queue.take_expired(Instant::now());
+                let expired = queue.q.take_expired(shared.clock.now());
                 if !expired.is_empty() {
                     shared.not_full.notify_all();
                     break Work::Expired(expired);
                 }
-                if let Some(job) = queue.pop() {
+                if let Some(job) = queue.q.pop() {
                     shared.not_full.notify_all();
                     break Work::Run(job);
                 }
@@ -1387,6 +998,8 @@ fn worker_loop(shared: &Shared<'_>) {
                             error: Some(error.to_string()),
                             report: RoundReport::from_ledger(&RoundLedger::new()),
                             expired: true,
+                            wait_ns: 0,
+                            e2e_ns: 0,
                         },
                     );
                     done.results.insert(job.index, Err(error));
@@ -1402,7 +1015,7 @@ fn worker_loop(shared: &Shared<'_>) {
         // typed API. Poison the scope before re-panicking so a client
         // blocked in `wait`/`submit` fails loudly instead of hanging, then
         // let `thread::scope` propagate the panic out of `serve`.
-        let started = Instant::now();
+        let started = shared.clock.now();
         let (result, built_rounds) =
             match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job))) {
                 Ok(result) => result,
@@ -1414,6 +1027,7 @@ fn worker_loop(shared: &Shared<'_>) {
                     panic::resume_unwind(payload);
                 }
             };
+        let finished = shared.clock.now();
         // Feed the calibration loop: a successful completion's actual
         // rounds calibrate its kind's rate, and its wall-clock time
         // calibrates the service rate deadline admission converts rounds
@@ -1422,26 +1036,37 @@ fn worker_loop(shared: &Shared<'_>) {
         // discarded partial work says nothing about the cost of work that
         // completes.
         if let Ok(outcome) = &result {
-            let (kind, dims) = job.request.cost_profile();
+            let (kind, dims) = job.payload.request.cost_profile();
             let rounds = outcome.report.total_rounds;
             shared.core.cost.observe(kind, dims, rounds);
             shared
                 .core
                 .cost
-                .observe_service(rounds + built_rounds, started.elapsed());
+                .observe_service(rounds + built_rounds, finished.saturating_sub(started));
         }
+        // Latency samples on the engine's clock axis: admission → dispatch
+        // and admission → completion, saturating because a virtual clock
+        // may stand still between the readings.
+        let wait_ns = u64::try_from(started.saturating_sub(job.payload.admitted_at).as_nanos())
+            .unwrap_or(u64::MAX);
+        let e2e_ns = u64::try_from(finished.saturating_sub(job.payload.admitted_at).as_nanos())
+            .unwrap_or(u64::MAX);
         let completion = match &result {
             Ok(outcome) => Completion {
                 ok: true,
                 error: None,
                 report: outcome.report.clone(),
                 expired: false,
+                wait_ns,
+                e2e_ns,
             },
             Err(e) => Completion {
                 ok: false,
                 error: Some(e.to_string()),
                 report: RoundReport::from_ledger(&RoundLedger::new()),
                 expired: false,
+                wait_ns,
+                e2e_ns,
             },
         };
         let mut done = shared.done.lock().expect("completion table");
@@ -1457,9 +1082,9 @@ fn worker_loop(shared: &Shared<'_>) {
 /// build shares the job's wall-clock, so the service-rate observation must
 /// count its rounds alongside the solve's.
 fn execute_job(shared: &Shared<'_>, job: &Job) -> (Result<Outcome<Response>, Error>, u64) {
-    match job.fp {
+    match job.payload.fp {
         Some(fp) => {
-            let graph = match &job.request {
+            let graph = match &job.payload.request {
                 Request::Laplacian { graph, .. } => graph,
                 _ => unreachable!("only laplacian jobs carry a fingerprint"),
             };
@@ -1483,12 +1108,14 @@ fn execute_job(shared: &Shared<'_>, job: &Job) -> (Result<Outcome<Response>, Err
             (
                 shared
                     .core
-                    .execute(job.index as usize, &job.request, Some(&entry)),
+                    .execute(job.index as usize, &job.payload.request, Some(&entry)),
                 built_rounds,
             )
         }
         None => (
-            shared.core.execute(job.index as usize, &job.request, None),
+            shared
+                .core
+                .execute(job.index as usize, &job.payload.request, None),
             0,
         ),
     }
@@ -1560,10 +1187,12 @@ impl StreamClient<'_> {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<Ticket, Error> {
-        // The deadline is measured from the submit call, so anchor it
-        // before admission can block on backpressure — time spent waiting
-        // for a queue slot counts against it.
-        let deadline_at = deadline.and_then(|d| Instant::now().checked_add(d));
+        // The deadline (and the latency zero point) is measured from the
+        // submit call, so anchor it before admission can block on
+        // backpressure — time spent waiting for a queue slot counts against
+        // both.
+        let admitted_at = self.shared.clock.now();
+        let deadline_at = deadline.and_then(|d| admitted_at.checked_add(d));
         // Fingerprint and cost estimation outside the queue lock — they are
         // the only non-trivial parts of admission.
         let fp = match &request {
@@ -1587,7 +1216,7 @@ impl StreamClient<'_> {
         };
 
         let mut queue = self.shared.queue.lock().expect("stream queue");
-        while queue.queued >= self.shared.queue_capacity {
+        while queue.q.queued() >= self.shared.queue_capacity {
             assert!(
                 !queue.poisoned,
                 "a stream worker panicked while this submission was blocked on backpressure"
@@ -1608,10 +1237,10 @@ impl StreamClient<'_> {
         // backlog already makes infeasible. Only possible once the service
         // rate is calibrated — a fresh engine admits everything.
         if let Some(deadline) = deadline {
-            let wait_rounds = queue.expected_wait_rounds(priority, self.shared.workers);
+            let wait_rounds = queue.q.expected_wait_rounds(priority, self.shared.workers);
             if let Some(expected_wait) = self.shared.core.cost.expected_duration(wait_rounds) {
                 if expected_wait > deadline {
-                    queue.reject_infeasible(priority);
+                    queue.q.reject_infeasible(priority);
                     return Err(Error::DeadlineInfeasible {
                         deadline,
                         expected_wait,
@@ -1619,7 +1248,16 @@ impl StreamClient<'_> {
                 }
             }
         }
-        let index = queue.push(priority, request, fp, deadline_at, cost);
+        let index = queue.q.push(
+            priority,
+            JobPayload {
+                request,
+                fp,
+                admitted_at,
+            },
+            deadline_at,
+            cost,
+        );
         // Record the admission while still holding the queue lock, so the
         // meta log is in submission order by construction.
         self.shared
@@ -1756,7 +1394,12 @@ impl StreamClient<'_> {
 
     /// Number of submissions admitted so far in this scope.
     pub fn submitted(&self) -> u64 {
-        self.shared.queue.lock().expect("stream queue").next_index
+        self.shared
+            .queue
+            .lock()
+            .expect("stream queue")
+            .q
+            .next_index()
     }
 
     /// Number of submissions completed so far in this scope (collected or
@@ -1770,316 +1413,6 @@ impl StreamClient<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn config(classes: &[(Priority, u32, Option<RateLimit>)]) -> Vec<(Priority, ClassConfig)> {
-        classes
-            .iter()
-            .map(|(p, w, r)| {
-                (
-                    *p,
-                    ClassConfig {
-                        weight: *w,
-                        rate: *r,
-                    },
-                )
-            })
-            .collect()
-    }
-
-    fn request() -> Request {
-        Request::sparsify(bcc_graph::generators::complete(4), 0.5)
-    }
-
-    fn push(s: &mut WfqScheduler, priority: Priority) -> u64 {
-        s.push(priority, request(), None, None, 1)
-    }
-
-    #[test]
-    fn default_weights_schedule_interactive_ahead_of_bulk_fifo_within_class() {
-        // With the default 4:1 weights a small mixed burst still dispatches
-        // every interactive job first (their finish tags are 4x denser), and
-        // FIFO order holds within each class.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 4, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        push(&mut s, Priority::Bulk);
-        push(&mut s, Priority::Interactive);
-        push(&mut s, Priority::Bulk);
-        push(&mut s, Priority::Interactive);
-        assert_eq!(s.queued, 4);
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j.index).collect();
-        assert_eq!(order, vec![1, 3, 0, 2]);
-        assert_eq!(s.queued, 0);
-        assert!(s.pop().is_none());
-    }
-
-    #[test]
-    fn wfq_never_starves_bulk_under_sustained_interactive_load() {
-        // The regression the WFQ redesign fixes: under the old strict
-        // two-class priority queue, one bulk job behind a sustained
-        // interactive flood (one new interactive submission per dispatch)
-        // was NEVER dispatched — interactive always popped first. Under WFQ
-        // at weight 1:1 the bulk job's finish tag is passed by the second
-        // interactive arrival, so it dispatches within a small, bounded
-        // number of dispatches.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 1, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        push(&mut s, Priority::Interactive);
-        let bulk_index = push(&mut s, Priority::Bulk);
-        let mut bulk_dispatched_at = None;
-        for step in 0..16 {
-            let job = s.pop().expect("work is always queued");
-            if job.index == bulk_index {
-                bulk_dispatched_at = Some(step);
-                break;
-            }
-            // Sustained interactive load: a fresh submission per dispatch.
-            push(&mut s, Priority::Interactive);
-        }
-        let step = bulk_dispatched_at
-            .expect("WFQ must dispatch the bulk job despite the interactive flood");
-        assert!(
-            step <= 3,
-            "bulk work must complete within a bounded number of dispatches, took {step}"
-        );
-        // And the flood is still being served around it.
-        assert!(s.classes[0].dispatched >= 1);
-    }
-
-    #[test]
-    fn weights_apportion_dispatches_proportionally() {
-        // Weight 3:1 over a long backlog: every window of 4 dispatches
-        // carries 3 interactive and 1 bulk job.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 3, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        for _ in 0..12 {
-            push(&mut s, Priority::Interactive);
-        }
-        for _ in 0..4 {
-            push(&mut s, Priority::Bulk);
-        }
-        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
-        for (w, chunk) in order.chunks(4).take(3).enumerate() {
-            let bulk = chunk.iter().filter(|p| **p == Priority::Bulk).count();
-            assert_eq!(
-                bulk, 1,
-                "window {w} must carry one bulk dispatch: {order:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn rate_limited_class_stays_within_its_token_budget_while_contended() {
-        // Bulk limited to 1 dispatch per window of 4; equal weights so only
-        // the limiter shapes the schedule. While interactive work competes,
-        // every window of 4 dispatches carries at most one bulk job.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 1, None),
-            (Priority::Bulk, 1, Some(RateLimit::new(1, 4))),
-        ]));
-        for _ in 0..10 {
-            push(&mut s, Priority::Bulk);
-        }
-        for _ in 0..10 {
-            push(&mut s, Priority::Interactive);
-        }
-        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
-        assert_eq!(order.len(), 20, "the limiter never drops work");
-        // Interactive lasts through the first three windows; within them the
-        // budget must hold exactly.
-        for (w, chunk) in order.chunks(4).take(3).enumerate() {
-            let bulk = chunk.iter().filter(|p| **p == Priority::Bulk).count();
-            assert!(
-                bulk <= 1,
-                "window {w} exceeded the bulk token budget: {order:?}"
-            );
-        }
-        // Once only throttled work remains the scheduler stays
-        // work-conserving: everything still drains.
-        assert!(order[14..].iter().all(|p| *p == Priority::Bulk));
-        let stats = s.stats();
-        let bulk = stats.class(Priority::Bulk).unwrap();
-        assert_eq!(bulk.dispatched, 10);
-        assert!(
-            bulk.throttled > 0,
-            "the limiter must have bitten: {stats:?}"
-        );
-        assert_eq!(bulk.rate_limit, Some(RateLimit::new(1, 4)));
-        assert_eq!(stats.policy, "wfq");
-    }
-
-    #[test]
-    fn a_zero_window_rate_limit_is_clamped_not_a_division_panic() {
-        // The pub fields (and Deserialize) can bypass RateLimit::new, so the
-        // scheduler must clamp again: a literal zero window behaves as 1/1
-        // instead of panicking on the window arithmetic.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 1, None),
-            (
-                Priority::Bulk,
-                1,
-                Some(RateLimit {
-                    tokens: 0,
-                    window: 0,
-                }),
-            ),
-        ]));
-        push(&mut s, Priority::Bulk);
-        push(&mut s, Priority::Interactive);
-        push(&mut s, Priority::Bulk);
-        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
-        assert_eq!(order.len(), 3, "everything drains without panicking");
-        assert_eq!(
-            s.stats().class(Priority::Bulk).unwrap().rate_limit,
-            Some(RateLimit::new(1, 1)),
-            "the clamped limit is what the report surfaces"
-        );
-    }
-
-    #[test]
-    fn the_expiry_sweep_is_free_without_deadlines() {
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 4, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        push(&mut s, Priority::Bulk);
-        assert_eq!(s.deadlined, 0);
-        assert!(s.take_expired(Instant::now()).is_empty());
-        // A dispatched deadline job leaves the deadline count with it.
-        s.push(
-            Priority::Interactive,
-            request(),
-            None,
-            Some(Instant::now() + Duration::from_secs(600)),
-            1,
-        );
-        assert_eq!(s.deadlined, 1);
-        while s.pop().is_some() {}
-        assert_eq!(s.deadlined, 0);
-    }
-
-    #[test]
-    fn expired_jobs_are_swept_before_dispatch_and_charged_to_their_class() {
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 4, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        let now = Instant::now();
-        s.push(Priority::Bulk, request(), None, Some(now), 1);
-        push(&mut s, Priority::Interactive);
-        // The sweep a worker runs before every dispatch decision.
-        let expired = s.take_expired(now + Duration::from_millis(1));
-        assert_eq!(expired.len(), 1);
-        assert_eq!(expired[0].0.index, 0);
-        assert!(expired[0].1 >= Duration::from_millis(1));
-        assert_eq!(s.queued, 1, "expired jobs free their queue slots");
-        // The survivor dispatches normally; counters split expiry from
-        // dispatch.
-        assert_eq!(s.pop().unwrap().index, 1);
-        let stats = s.stats();
-        assert_eq!(stats.class(Priority::Bulk).unwrap().expired, 1);
-        assert_eq!(stats.class(Priority::Bulk).unwrap().dispatched, 0);
-        assert_eq!(stats.class(Priority::Interactive).unwrap().dispatched, 1);
-        assert_eq!(stats.expired(), 1);
-    }
-
-    #[test]
-    fn custom_classes_join_the_schedule_with_default_weight() {
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 4, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        push(&mut s, Priority::custom(3));
-        push(&mut s, Priority::Interactive);
-        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
-        // Weight 4 interactive outruns the default-weight-1 custom class.
-        assert_eq!(order, vec![Priority::Interactive, Priority::custom(3)]);
-        let stats = s.stats();
-        assert_eq!(stats.classes.len(), 3);
-        assert_eq!(stats.classes[2].class, "custom-3");
-        assert_eq!(stats.classes[2].weight, 1);
-        assert_eq!(stats.class(Priority::custom(3)).unwrap().dispatched, 1);
-    }
-
-    #[test]
-    fn cost_charged_tags_apportion_dispatches_by_work_not_job_count() {
-        // Equal weights, but class A's jobs are three times the estimated
-        // work of class B's: fair queueing over *work* means every window
-        // of 4 dispatches carries one A job (3 units) and three B jobs
-        // (3 units) — unit-job WFQ would alternate 2/2 instead.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 1, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        for _ in 0..4 {
-            s.push(Priority::Interactive, request(), None, None, 3);
-        }
-        for _ in 0..12 {
-            s.push(Priority::Bulk, request(), None, None, 1);
-        }
-        let order: Vec<Priority> = std::iter::from_fn(|| s.pop()).map(|j| j.priority).collect();
-        for (w, chunk) in order.chunks(4).take(3).enumerate() {
-            let heavy = chunk
-                .iter()
-                .filter(|p| **p == Priority::Interactive)
-                .count();
-            assert_eq!(
-                heavy, 1,
-                "window {w} must carry exactly one heavy dispatch: {order:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn zero_cost_tags_degrade_to_global_fifo_without_starvation() {
-        // An adversarial (or merely uncalibrated-to-zero) model charges
-        // nothing: tags never advance, the (finish, index) tie-break takes
-        // over, and everything still drains in submission order.
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 4, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        for i in 0..6 {
-            let priority = if i % 2 == 0 {
-                Priority::Bulk
-            } else {
-                Priority::Interactive
-            };
-            s.push(priority, request(), None, None, 0);
-        }
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j.index).collect();
-        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn expected_wait_scales_with_backlog_weight_share_and_workers() {
-        let mut s = WfqScheduler::new(&config(&[
-            (Priority::Interactive, 3, None),
-            (Priority::Bulk, 1, None),
-        ]));
-        // An idle queue predicts zero wait for every class.
-        assert_eq!(s.expected_wait_rounds(Priority::Bulk, 1), 0);
-        assert_eq!(s.expected_wait_rounds(Priority::Interactive, 4), 0);
-        // 100 rounds queued in each class; active weight is 3 + 1 = 4.
-        s.push(Priority::Interactive, request(), None, None, 100);
-        s.push(Priority::Bulk, request(), None, None, 100);
-        // Bulk serves its backlog at a 1/4 share: 400 scaled rounds, capped
-        // at the 200-round total backlog (work conservation), one worker.
-        assert_eq!(s.expected_wait_rounds(Priority::Bulk, 1), 200);
-        // Interactive's 3/4 share: 100 × 4 / 3 = 133 rounds.
-        assert_eq!(s.expected_wait_rounds(Priority::Interactive, 1), 133);
-        // More workers shrink the wait proportionally.
-        assert_eq!(s.expected_wait_rounds(Priority::Bulk, 4), 50);
-        // Infeasible rejections are charged to their class.
-        s.reject_infeasible(Priority::Bulk);
-        assert_eq!(s.stats().class(Priority::Bulk).unwrap().infeasible, 1);
-        assert_eq!(s.stats().infeasible(), 1);
-    }
 
     #[test]
     fn tickets_expose_index_and_priority() {

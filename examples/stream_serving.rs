@@ -238,4 +238,23 @@ fn main() {
         "  cache rebuilds predicted {} rounds (uncalibrated prior), actual {}",
         report.cache.rebuild_predicted_rounds, report.cache.rebuild_actual_rounds
     );
+
+    // The engine also surfaces wall-clock latency percentiles per class:
+    // queue wait (submission to dispatch) and end-to-end (submission to
+    // completion). Under the default SystemClock these are real timings and
+    // vary run to run; a VirtualClock makes them deterministic.
+    println!("latency percentiles (first scope, wall clock):");
+    for class in &output.latency.classes {
+        println!(
+            "  {:<12} wait p50/p95/p99 {:>9.3?}/{:>9.3?}/{:>9.3?}  e2e p50/p95/p99 {:>9.3?}/{:>9.3?}/{:>9.3?} ({} samples)",
+            class.class,
+            class.queue_wait.p50(),
+            class.queue_wait.p95(),
+            class.queue_wait.p99(),
+            class.end_to_end.p50(),
+            class.end_to_end.p95(),
+            class.end_to_end.p99(),
+            class.end_to_end.samples,
+        );
+    }
 }

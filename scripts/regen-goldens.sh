@@ -3,20 +3,22 @@
 #
 #   * tests/golden/*.json      — the report JSON schema snapshots
 #                                (golden-freshness guard in the `test` job)
-#   * BENCH_*.json             — the quick cost trajectories
+#   * BENCH_*.json             — the quick cost trajectories plus the
+#                                scenario-library load replay BENCH_load.json
 #                                (`expts --check-trend` in the `bench` job)
 #
-# Run this after any intentional change to the report schemas or to a
-# pipeline's communication cost, then commit the result. Bump the report
-# schema tags (BATCH_REPORT_SCHEMA / STREAM_REPORT_SCHEMA / bcc-bench/v1)
-# if a schema change is not purely additive.
+# Run this after any intentional change to the report schemas, to a
+# pipeline's communication cost, or to the committed scenarios/*.json load
+# library, then commit the result. Bump the report schema tags
+# (BATCH_REPORT_SCHEMA / STREAM_REPORT_SCHEMA / bcc-bench/v1) if a schema
+# change is not purely additive.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== regenerating tests/golden/*.json =="
 UPDATE_GOLDEN=1 cargo test -q --test batch --test stream golden
 
-echo "== regenerating BENCH_*.json (quick trajectories) =="
+echo "== regenerating BENCH_*.json (quick trajectories + load scenarios) =="
 cargo run -p bench --release --bin expts -- --quick-json
 
 echo "== done; review and commit the diff =="

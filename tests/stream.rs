@@ -737,6 +737,103 @@ fn dispatched_work_always_completes_within_a_generous_deadline() {
 }
 
 // ---------------------------------------------------------------------------
+// Injectable clocks: a frozen VirtualClock makes every time-dependent
+// decision — deadline expiry and the latency report — deterministic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_frozen_virtual_clock_expires_zero_deadlines_deterministically() {
+    let grid = generators::grid(4, 4);
+    let mut b = vec![0.0; grid.n()];
+    b[0] = 1.0;
+    b[15] = -1.0;
+
+    // Under a frozen clock, time-dependent behavior is a pure function of
+    // the submissions: an already-elapsed deadline expires on every run and
+    // every worker count, a generous one never trips.
+    for workers in [1, 4] {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let mut engine = StreamEngine::builder()
+            .seed(MASTER_SEED)
+            .workers(workers)
+            .clock(clock)
+            .build();
+        let output = engine.serve(|client| {
+            let doomed = client
+                .submit_with_deadline(
+                    Request::laplacian(grid.clone(), b.clone()),
+                    Priority::Interactive,
+                    std::time::Duration::ZERO,
+                )
+                .unwrap();
+            let safe = client
+                .submit_with_deadline(
+                    Request::laplacian(grid.clone(), b.clone()),
+                    Priority::Bulk,
+                    std::time::Duration::from_secs(3600),
+                )
+                .unwrap();
+            (client.wait(doomed), client.wait(safe))
+        });
+        let (doomed, safe) = output.value;
+        assert!(matches!(doomed, Err(Error::DeadlineExceeded { .. })));
+        assert!(safe.is_ok(), "a frozen clock never reaches a real deadline");
+        assert_eq!(output.report.expired, 1);
+    }
+}
+
+#[test]
+fn a_frozen_virtual_clock_reports_all_zero_latency_samples() {
+    let workload = mixed_workload();
+    let mut reports = Vec::new();
+    for workers in [1, 3] {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let mut engine = StreamEngine::builder()
+            .seed(MASTER_SEED)
+            .workers(workers)
+            .clock(clock)
+            .build();
+        let output = engine.serve(|client| {
+            let tickets: Vec<Ticket> = workload
+                .iter()
+                .map(|(r, p)| client.submit(r.clone(), *p).unwrap())
+                .collect();
+            for t in tickets {
+                let _ = client.wait(t);
+            }
+        });
+        // Every completion was timestamped against a clock that never moved,
+        // so each percentile of each axis collapses to exactly zero.
+        let completed: u64 = output
+            .report
+            .scheduler
+            .classes
+            .iter()
+            .map(|c| c.dispatched)
+            .sum();
+        let sampled: u64 = output
+            .latency
+            .classes
+            .iter()
+            .map(|c| c.end_to_end.samples)
+            .sum();
+        assert_eq!(sampled, completed, "one sample per dispatched request");
+        for class in &output.latency.classes {
+            for axis in [&class.queue_wait, &class.end_to_end] {
+                assert_eq!(axis.p50_ns, 0);
+                assert_eq!(axis.p95_ns, 0);
+                assert_eq!(axis.p99_ns, 0);
+                assert_eq!(axis.max_ns, 0);
+            }
+        }
+        reports.push(output.latency);
+    }
+    // With wall time out of the picture the whole latency report is
+    // reproducible across worker counts.
+    assert_eq!(reports[0], reports[1]);
+}
+
+// ---------------------------------------------------------------------------
 // The unified cost model: size-aware tags and deadline-aware admission steer
 // latency only; estimation error is reported deterministically.
 // ---------------------------------------------------------------------------
@@ -1000,27 +1097,32 @@ fn an_infeasible_deadline_is_rejected_at_admission_with_a_typed_error() {
 
 #[test]
 fn wait_timeout_returns_a_typed_error_and_keeps_the_ticket_redeemable() {
+    let requests = [
+        Request::sparsify(generators::complete(24), 0.5),
+        Request::sparsify(generators::complete(16), 0.5),
+    ];
+    let reference = sequential_reference(&requests);
     let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
-    let reference = sequential_reference(&[Request::sparsify(generators::complete(16), 0.5)]);
     let output = engine.serve(|client| {
+        // Pin the single worker on a slow job; the probe queued behind it
+        // cannot possibly have completed when the zero wait looks for it.
         let slow = client
-            .submit(
-                Request::sparsify(generators::complete(16), 0.5),
-                Priority::Interactive,
-            )
+            .submit(requests[0].clone(), Priority::Interactive)
             .unwrap();
-        // A zero timeout cannot have completed the sparsify yet.
-        let timed_out = client.wait_timeout(slow, std::time::Duration::ZERO);
+        let probe = client
+            .submit(requests[1].clone(), Priority::Interactive)
+            .unwrap();
+        let timed_out = client.wait_timeout(probe, std::time::Duration::ZERO);
         assert!(matches!(timed_out, Err(Error::WaitTimeout { .. })));
         if let Err(e) = timed_out {
             assert!(e.to_string().contains("timed out"));
         }
         // The ticket stays redeemable: a later (generous) timed wait
         // collects the result.
-        client
-            .wait_timeout(slow, std::time::Duration::from_secs(600))
-            .map(|o| vec![Ok(o)])
-            .unwrap_or_else(|e| vec![Err(e)])
+        [slow, probe]
+            .into_iter()
+            .map(|t| client.wait_timeout(t, std::time::Duration::from_secs(600)))
+            .collect::<Vec<_>>()
     });
     assert_results_match(&output.value, &reference);
     assert!(output.uncollected.is_empty());
