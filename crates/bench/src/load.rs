@@ -20,10 +20,14 @@
 //!   round cost the class's jobs charge (see "Demand profiling" below).
 //!
 //! Scenario-level fields size the simulated plant: `workers` parallel
-//! servers, `service_rounds_per_ms` (how many rounds one server retires per
-//! simulated millisecond), a bounded admission queue (`queue_capacity`,
-//! `0` = unbounded) and a bounded preprocessing cache (`cache_capacity`
-//! LRU slots, `0` = unbounded) that Laplacian topologies churn through.
+//! servers (optionally elastic up to `max_workers`: the pool grows when the
+//! queued backlog cost exceeds what the current workers drain within the
+//! resize horizon and parks back down when the queue empties, mirroring the
+//! engine's elastic pool), `service_rounds_per_ms` (how many rounds one
+//! server retires per simulated millisecond), a bounded admission queue
+//! (`queue_capacity`, `0` = unbounded) and a bounded preprocessing cache
+//! (`cache_capacity` LRU slots, `0` = unbounded) that Laplacian topologies
+//! churn through.
 //!
 //! # Virtual-clock guarantees
 //!
@@ -100,6 +104,11 @@ const SEED_VARIANTS: usize = 3;
 /// rate (e.g. an absurd ramp `max_rps`) allocating unboundedly, not a knob.
 const MAX_ARRIVALS_PER_CLASS: usize = 1 << 20;
 
+/// Elastic-pool resize horizon in simulated milliseconds: the pool grows
+/// when the queued backlog cost would take the current workers longer than
+/// this to drain (the simulated analog of the engine's wall-clock horizon).
+const POOL_DRAIN_HORIZON_MS: u64 = 10;
+
 // ---------------------------------------------------------------------------
 // Scenario model.
 // ---------------------------------------------------------------------------
@@ -121,8 +130,16 @@ pub struct Scenario {
     /// Service rate of one simulated worker, in rounds per simulated
     /// millisecond.
     pub service_rounds_per_ms: u64,
-    /// Parallel simulated workers.
+    /// Parallel simulated workers (the elastic pool's floor when
+    /// `max_workers` is set).
     pub workers: u64,
+    /// Elastic worker-pool ceiling (`0` = a fixed pool of `workers`): the
+    /// simulated plant grows from `workers` toward this bound when the
+    /// queued backlog cost exceeds what the current pool drains within the
+    /// resize horizon, and parks back down to `workers` when the queue
+    /// empties — the same backlog-cost ÷ service-rate rule as
+    /// [`bcc_core::StreamEngine`]'s elastic pool.
+    pub max_workers: u64,
     /// Admission queue bound (`0` = unbounded): arrivals past it are
     /// rejected, mirroring [`bcc_core::stream::BackpressurePolicy::Reject`].
     pub queue_capacity: u64,
@@ -297,6 +314,12 @@ impl Scenario {
                 self.name
             ));
         }
+        if self.max_workers != 0 && self.max_workers < self.workers {
+            return Err(format!(
+                "scenario {:?}: max_workers ({}) below workers ({})",
+                self.name, self.max_workers, self.workers
+            ));
+        }
         for (i, class) in self.classes.iter().enumerate() {
             if Priority::parse_label(&class.name).is_none() {
                 return Err(format!(
@@ -396,6 +419,9 @@ pub struct LoadTrajectory {
     pub cache_misses: u64,
     /// Total rounds of service charged, preprocessing included.
     pub total_rounds: u64,
+    /// Highest worker-pool target the elastic resize rule reached (equal to
+    /// the scenario's `workers` when the pool is fixed).
+    pub peak_workers: u64,
     /// Per-class counters and latency percentiles, in scenario class order.
     pub classes: Vec<LoadClassPoint>,
     /// The ramp-search result, when the scenario configured one.
@@ -790,7 +816,11 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
     }
     arrivals.sort_unstable();
 
-    let workers = scenario.workers as usize;
+    let min_workers = scenario.workers as usize;
+    let max_workers = match scenario.max_workers {
+        0 => min_workers,
+        m => m as usize,
+    };
     let rate = scenario.service_rounds_per_ms;
     let service_ns = |rounds: u64| -> u64 {
         u64::try_from((rounds as u128 * NS_PER_MS as u128) / rate as u128)
@@ -808,22 +838,38 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
     // Busy workers as (finish time, submission index, class, admitted-at):
     // the index keeps equal-time completions deterministic.
     let mut busy: BinaryHeap<Reverse<(u64, u64, usize, u64)>> = BinaryHeap::new();
-    let mut idle = workers;
+    let mut pool_target = min_workers;
+    let mut peak_workers = min_workers;
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     let mut total_rounds = 0u64;
     let mut ai = 0usize;
 
-    // Sweeps expired jobs, then feeds idle workers — run after every event.
+    // Sweeps expired jobs, resizes the pool, then feeds free workers — run
+    // after every event.
     let mut dispatch_ready = |now: u64,
                               queue: &mut WfqQueue<SimPayload>,
                               busy: &mut BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
-                              idle: &mut usize,
+                              target: &mut usize,
                               acc: &mut Vec<ClassAccum>| {
         for (job, _late) in queue.take_expired(Duration::from_nanos(now)) {
             acc[job.payload.class_idx].expired += 1;
         }
-        while *idle > 0 {
+        // The engine's resize rule: an empty queue parks the pool back to
+        // its floor; otherwise grow enough to drain the backlog cost
+        // within the horizon, clamped to the configured bounds. A busy
+        // worker above a shrunken target simply finishes its job (no
+        // preemption), exactly like a parked engine worker.
+        *target = if queue.queued() == 0 {
+            min_workers
+        } else {
+            let horizon_rounds = rate.saturating_mul(POOL_DRAIN_HORIZON_MS).max(1);
+            usize::try_from(queue.backlog_rounds().div_ceil(horizon_rounds))
+                .unwrap_or(usize::MAX)
+                .clamp(min_workers, max_workers)
+        };
+        peak_workers = peak_workers.max(*target);
+        while busy.len() < *target {
             let Some(job) = queue.pop() else { break };
             let c = job.payload.class_idx;
             let demand = &demands[c][job.payload.variant];
@@ -844,7 +890,6 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
                 c,
                 job.payload.arrived,
             )));
-            *idle -= 1;
         }
     };
 
@@ -858,10 +903,9 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
         };
         if completion_first {
             let Reverse((now, _index, c, arrived)) = busy.pop().expect("peeked");
-            idle += 1;
             acc[c].completed += 1;
             acc[c].e2e_ns.push(now - arrived);
-            dispatch_ready(now, &mut queue, &mut busy, &mut idle, &mut acc);
+            dispatch_ready(now, &mut queue, &mut busy, &mut pool_target, &mut acc);
         } else {
             let (now, c, seq) = arrivals[ai];
             ai += 1;
@@ -881,7 +925,7 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
                 let cost = demands[c][variant].rounds;
                 let deadline = scenario.classes[c].deadline_ms.map(|d| d * NS_PER_MS);
                 let infeasible = deadline.is_some_and(|d| {
-                    let wait_rounds = queue.expected_wait_rounds(priority, workers);
+                    let wait_rounds = queue.expected_wait_rounds(priority, pool_target);
                     wait_rounds > 0 && service_ns(wait_rounds) > d
                 });
                 if infeasible {
@@ -900,7 +944,7 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
                     );
                 }
             }
-            dispatch_ready(now, &mut queue, &mut busy, &mut idle, &mut acc);
+            dispatch_ready(now, &mut queue, &mut busy, &mut pool_target, &mut acc);
         }
     }
     // Every admitted deadline job either dispatched or was swept at some
@@ -936,6 +980,7 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
         cache_hits,
         cache_misses,
         total_rounds,
+        peak_workers: peak_workers as u64,
         classes,
         ramp: None,
     }
@@ -1084,7 +1129,7 @@ pub fn load_bench(dir: &Path, profile_workers: usize) -> io::Result<LoadBench> {
 pub fn summarize(t: &LoadTrajectory) -> String {
     let mut out = format!(
         "scenario {}: offered {} completed {} rejected {} expired {} infeasible {} \
-         (cache {}h/{}m, {} rounds)\n",
+         (cache {}h/{}m, {} rounds, peak workers {})\n",
         t.scenario,
         t.offered,
         t.completed,
@@ -1093,7 +1138,8 @@ pub fn summarize(t: &LoadTrajectory) -> String {
         t.infeasible,
         t.cache_hits,
         t.cache_misses,
-        t.total_rounds
+        t.total_rounds,
+        t.peak_workers
     );
     for c in &t.classes {
         let ms = |ns: u64| ns as f64 / NS_PER_MS as f64;
@@ -1147,6 +1193,7 @@ mod tests {
             duration_ms: 50,
             service_rounds_per_ms: 2_000,
             workers: 2,
+            max_workers: 0,
             queue_capacity: 16,
             cache_capacity: 2,
             classes: vec![
@@ -1246,6 +1293,9 @@ mod tests {
         bad.workers = 0;
         assert!(bad.validate().is_err());
         let mut bad = good.clone();
+        bad.max_workers = 1;
+        assert!(bad.validate().unwrap_err().contains("max_workers"));
+        let mut bad = good.clone();
         bad.ramp = Some(RampSpec {
             min_rps: 10.0,
             max_rps: 5.0,
@@ -1277,6 +1327,37 @@ mod tests {
             assert_eq!(class.end_to_end.samples, class.completed);
             assert!(class.end_to_end.p50_ns >= class.queue_wait.p50_ns);
         }
+    }
+
+    #[test]
+    fn an_elastic_pool_absorbs_backlog_a_fixed_floor_cannot() {
+        // Under-provision the floor so a backlog forms, then let the pool
+        // stretch: the resize rule must actually grow (peak above the
+        // floor) and the extra workers can only help the deadline class.
+        let mut fixed = tiny_scenario();
+        fixed.workers = 1;
+        fixed.service_rounds_per_ms = 40;
+        let mut elastic = fixed.clone();
+        elastic.max_workers = 4;
+
+        let f = run_scenario(&fixed, 1).unwrap();
+        let e = run_scenario(&elastic, 1).unwrap();
+        assert_eq!(f.peak_workers, 1, "a fixed pool never grows");
+        assert!(
+            e.peak_workers > 1 && e.peak_workers <= 4,
+            "the elastic pool grew within bounds: {e:?}"
+        );
+        assert!(e.completed >= f.completed);
+        assert!(e.expired + e.infeasible <= f.expired + f.infeasible);
+
+        // A ceiling equal to the floor is exactly the fixed pool.
+        let mut pinned = fixed.clone();
+        pinned.max_workers = pinned.workers;
+        let p = run_scenario(&pinned, 1).unwrap();
+        assert_eq!(p, f);
+
+        // And the elastic run is itself deterministic.
+        assert_eq!(run_scenario(&elastic, 4).unwrap(), e);
     }
 
     #[test]

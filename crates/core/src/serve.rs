@@ -115,10 +115,13 @@ impl Request {
     }
 
     /// What a [`CostModel`] prices this request as: the execution cost kind
-    /// plus the instance dimensions the prediction is derived from. For
-    /// Laplacian requests this is the *solve*; a possible preprocessing
-    /// (re)build is priced separately under
-    /// [`CostKind::LaplacianPreprocess`].
+    /// plus the instance dimensions the prediction is derived from. The
+    /// model turns the dimensions into a nonlinear basis (`m·log n`-shaped
+    /// for graph kinds, solve-dominated for LP/MCMF) and scales it by the
+    /// calibrated rate of the request's `(kind, size-bucket)` cell — see
+    /// the [`crate::cost`] module docs. For Laplacian requests this is the
+    /// *solve*; a possible preprocessing (re)build is priced separately
+    /// under [`CostKind::LaplacianPreprocess`].
     pub fn cost_profile(&self) -> (CostKind, CostDims) {
         match self {
             Request::Sparsify { graph, .. } => (CostKind::Sparsify, CostDims::of_graph(graph)),

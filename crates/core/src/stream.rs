@@ -74,6 +74,26 @@
 //! work. Expired requests touch neither a worker session nor the Laplacian
 //! cache and are metered with an empty [`RoundReport`].
 //!
+//! # The elastic worker pool
+//!
+//! The pool that serves the queue can be **elastic**
+//! ([`StreamEngineBuilder::elastic_workers`]): the engine spawns
+//! `max` worker threads but only a *target* number of them dispatch at any
+//! moment; the rest park on the queue's condvar. The target is resized
+//! between the configured bounds from the queue's **backlog cost ÷
+//! calibrated service rate**: when the estimated wall-clock drain time of
+//! the queued rounds exceeds the drain horizon, workers unpark *before*
+//! queued deadlines become infeasible; when the queue empties, the target
+//! falls back to `min` and idle workers park again. While the service rate
+//! is uncalibrated the pool falls back to one worker per queued job
+//! (clamped to the bounds) — growth must not wait on a model that has
+//! never observed a completion. [`StreamEngineBuilder::workers`] pins
+//! `min = max` (a fixed pool, the previous behaviour and the default).
+//! Pool resizing is timing-dependent, so its counters surface in
+//! [`StreamOutput::pool`] — never in the deterministic [`StreamReport`] —
+//! and bit-identity of results holds across any bounds and resize timing,
+//! because per-submission seeds depend only on submission indices.
+//!
 //! # Determinism contract
 //!
 //! Exactly as in [`crate::batch`]: scheduling never leaks into results. A
@@ -154,7 +174,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -166,7 +186,7 @@ use serde::{Deserialize, Serialize};
 use crate::batch::{PreprocessingCost, RequestCost};
 use crate::cache::{CacheStats, EvictionPolicy};
 use crate::clock::{Clock, SystemClock};
-use crate::cost::{CostDims, CostKind, CostModel};
+use crate::cost::{CalibrationCell, CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::latency::{ClassLatency, LatencyPercentiles, LatencyReport};
 use crate::report::RoundReport;
@@ -284,6 +304,13 @@ pub struct StreamReport {
     pub preprocessing: Vec<PreprocessingCost>,
     /// Per-submission costs, in submission order.
     pub per_request: Vec<RequestCost>,
+    /// The cost model's calibration state over this scope's workload — one
+    /// entry per observed `(kind, size-bucket)` cell, in stable order.
+    /// Snapshotted from the same deterministic submission-order replay that
+    /// fills [`ClassStats::predicted_rounds`], so it is a pure function of
+    /// the admitted workload (the live model's cell sums may differ only in
+    /// which scope's completions they span, never in their totals).
+    pub calibration: Vec<CalibrationCell>,
 }
 
 /// Everything one [`StreamEngine::serve`] scope returns.
@@ -304,6 +331,27 @@ pub struct StreamOutput<T> {
     /// under a [`crate::clock::VirtualClock`] they are a pure function of
     /// how the test drove the clock.
     pub latency: LatencyReport,
+    /// Worker-pool sizing counters of this scope. Resize decisions race
+    /// completions, so these are timing-dependent — which is why they live
+    /// here and not in the deterministic [`StreamReport`].
+    pub pool: PoolStats,
+}
+
+/// Elastic worker-pool counters of one serve scope (see the [module
+/// docs](self) on the pool). With a fixed pool (`min == max`, the default)
+/// every field is trivial: the target never moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// The configured lower worker bound.
+    pub min_workers: usize,
+    /// The configured upper worker bound (threads actually spawned).
+    pub max_workers: usize,
+    /// Times the target grew (workers unparked to absorb backlog).
+    pub grows: u64,
+    /// Times the target shrank (workers parked as the queue drained).
+    pub shrinks: u64,
+    /// The largest target reached during the scope.
+    pub peak_workers: usize,
 }
 
 /// Builder of a [`StreamEngine`].
@@ -313,6 +361,8 @@ pub struct StreamEngineBuilder {
     seed: u64,
     epsilon: f64,
     workers: Option<usize>,
+    /// Upper bound of an elastic pool; `None` pins the pool at `workers`.
+    max_workers: Option<usize>,
     shards: usize,
     queue_capacity: usize,
     backpressure: BackpressurePolicy,
@@ -334,6 +384,7 @@ impl Default for StreamEngineBuilder {
             seed: 2022,
             epsilon: 1e-6,
             workers: None,
+            max_workers: None,
             shards: 16,
             queue_capacity: 64,
             backpressure: BackpressurePolicy::Block,
@@ -366,11 +417,28 @@ impl StreamEngineBuilder {
         self
     }
 
-    /// Sets the worker-thread count (default: the machine's available
-    /// parallelism, capped at 8). A count of 1 serves submissions strictly
-    /// one at a time — useful to observe the determinism contract directly.
+    /// Sets a **fixed** worker-thread count (default: the machine's
+    /// available parallelism, capped at 8). A count of 1 serves submissions
+    /// strictly one at a time — useful to observe the determinism contract
+    /// directly. Clears any [`StreamEngineBuilder::elastic_workers`]
+    /// bounds.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self.max_workers = None;
+        self
+    }
+
+    /// Makes the worker pool **elastic** between `min` and `max` threads
+    /// (both floored at 1; `max` floored at `min`). The engine spawns `max`
+    /// threads but parks all beyond the current *target*, which is resized
+    /// from the queued backlog cost ÷ the cost model's calibrated service
+    /// rate — see the [module docs](self). Results stay bit-identical to
+    /// any fixed pool; only latency (and the timing-dependent
+    /// [`StreamOutput::pool`] counters) can differ.
+    pub fn elastic_workers(mut self, min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        self.workers = Some(min);
+        self.max_workers = Some(max.max(min));
         self
     }
 
@@ -484,11 +552,12 @@ impl StreamEngineBuilder {
 
     /// Finishes the builder.
     pub fn build(mut self) -> StreamEngine {
-        let workers = self.workers.unwrap_or_else(|| {
+        let min_workers = self.workers.unwrap_or_else(|| {
             thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(4)
         });
+        let max_workers = self.max_workers.unwrap_or(min_workers).max(min_workers);
         // Normalize: both built-in classes always exist, order is the
         // deterministic class order of the scheduler stats.
         self.class_entry(Priority::Interactive);
@@ -506,7 +575,8 @@ impl StreamEngineBuilder {
                 self.cost_model
                     .unwrap_or_else(|| Arc::new(CostModel::new())),
             ),
-            workers,
+            min_workers,
+            max_workers,
             queue_capacity: self.queue_capacity,
             backpressure: self.backpressure,
             cost_aware_tags: self.cost_aware_tags,
@@ -526,7 +596,9 @@ impl StreamEngineBuilder {
 #[derive(Debug)]
 pub struct StreamEngine {
     core: EngineCore,
-    workers: usize,
+    /// Elastic pool bounds; a fixed pool has `min_workers == max_workers`.
+    min_workers: usize,
+    max_workers: usize,
     queue_capacity: usize,
     backpressure: BackpressurePolicy,
     /// Whether WFQ tags charge estimated cost (true) or one unit (false).
@@ -559,9 +631,17 @@ impl StreamEngine {
         self.core.seed
     }
 
-    /// The worker-thread count.
+    /// The worker-thread count: the number of threads a serve scope spawns.
+    /// For an elastic pool this is the upper bound — threads beyond the
+    /// current target park instead of dispatching.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.max_workers
+    }
+
+    /// The elastic pool's `(min, max)` worker bounds. Equal for a fixed
+    /// pool (the default).
+    pub fn worker_bounds(&self) -> (usize, usize) {
+        (self.min_workers, self.max_workers)
     }
 
     /// The admission-queue capacity.
@@ -662,7 +742,7 @@ impl StreamEngine {
             queue_capacity: self.queue_capacity,
             policy: self.backpressure,
             cost_aware_tags: self.cost_aware_tags,
-            workers: self.workers,
+            pool: PoolState::new(self.min_workers, self.max_workers),
             clock: self.clock.as_ref(),
             queue: Mutex::new(StreamQueue::new(&self.classes)),
             not_empty: Condvar::new(),
@@ -674,10 +754,15 @@ impl StreamEngine {
             prep: Mutex::new(HashMap::new()),
         };
         let value = thread::scope(|scope| {
-            for _ in 0..self.workers {
-                scope.spawn(|| worker_loop(&shared));
+            // Spawn the pool's upper bound of threads; the ones beyond the
+            // current target park in `worker_loop` until a resize (or the
+            // drain) wakes them — parking is how the pool "shrinks" without
+            // the lifetime gymnastics of spawning into a borrowed scope.
+            let shared = &shared;
+            for id in 0..self.max_workers {
+                scope.spawn(move || worker_loop(shared, id));
             }
-            let client = StreamClient { shared: &shared };
+            let client = StreamClient { shared };
             let value = panic::catch_unwind(AssertUnwindSafe(|| f(&client)));
             // Close the queue: workers drain what was admitted, then exit;
             // the scope joins them before we aggregate.
@@ -697,6 +782,7 @@ impl StreamEngine {
             uncollected,
             report,
             latency,
+            pool: shared.pool.stats(),
         }
     }
 
@@ -783,6 +869,10 @@ impl StreamEngine {
                 class.actual_rounds = *actual;
             }
         }
+        // The replayed replica's final cells are the scope's calibration
+        // state as a pure function of the admitted workload — the per-bucket
+        // coefficients the report (and the CI estimation summary) exposes.
+        let calibration = replay.calibration_cells();
 
         let mut interactive = 0u64;
         let mut bulk = 0u64;
@@ -843,6 +933,7 @@ impl StreamEngine {
             total: accounting.total,
             preprocessing: accounting.preprocessing,
             per_request: accounting.per_request,
+            calibration,
         };
         (uncollected, report, latency)
     }
@@ -928,6 +1019,93 @@ struct DoneState {
     poisoned: bool,
 }
 
+/// The live sizing state of one serve scope's elastic worker pool. Every
+/// spawned worker has an id in `0..max`; the ones with `id >= target` park
+/// on the queue condvar instead of dispatching. All counters are
+/// monotone/atomic — resizes race completions by design, which is why none
+/// of this reaches the deterministic [`StreamReport`].
+struct PoolState {
+    min: usize,
+    max: usize,
+    /// Number of workers currently allowed to dispatch.
+    target: AtomicUsize,
+    grows: AtomicU64,
+    shrinks: AtomicU64,
+    peak: AtomicUsize,
+}
+
+impl PoolState {
+    fn new(min: usize, max: usize) -> Self {
+        PoolState {
+            min,
+            max,
+            target: AtomicUsize::new(min),
+            grows: AtomicU64::new(0),
+            shrinks: AtomicU64::new(0),
+            peak: AtomicUsize::new(min),
+        }
+    }
+
+    fn target(&self) -> usize {
+        self.target.load(Ordering::Relaxed)
+    }
+
+    /// Moves the target to `desired` (clamped to the bounds), counting the
+    /// transition. Returns `true` when the pool grew — the caller must then
+    /// wake parked workers.
+    fn resize_to(&self, desired: usize) -> bool {
+        let clamped = desired.clamp(self.min, self.max);
+        let previous = self.target.swap(clamped, Ordering::Relaxed);
+        if clamped > previous {
+            self.grows.fetch_add(1, Ordering::Relaxed);
+            self.peak.fetch_max(clamped, Ordering::Relaxed);
+            true
+        } else {
+            if clamped < previous {
+                self.shrinks.fetch_add(1, Ordering::Relaxed);
+            }
+            false
+        }
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            min_workers: self.min,
+            max_workers: self.max,
+            grows: self.grows.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
+            peak_workers: self.peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How long the elastic pool is willing to let the queued backlog take to
+/// drain at the calibrated service rate before unparking more workers. One
+/// scheduling-horizon's worth of work per worker keeps deadlines in the
+/// tens-of-milliseconds range feasible without thrashing the pool on every
+/// small burst.
+const POOL_DRAIN_HORIZON: Duration = Duration::from_millis(10);
+
+/// The worker count the backlog currently calls for: enough workers to
+/// drain the queued rounds within [`POOL_DRAIN_HORIZON`] at the calibrated
+/// service rate — computed *from the estimates*, which is the whole point
+/// of calibrating them. While the service rate is uncalibrated (no
+/// completion yet) the estimate-free fallback is one worker per queued job,
+/// so a cold engine still fans out. The caller clamps to the pool bounds.
+fn desired_workers(shared: &Shared<'_>, queue: &StreamQueue) -> usize {
+    let queued = queue.q.queued();
+    if queued == 0 {
+        return shared.pool.min;
+    }
+    match shared.core.cost.expected_duration(queue.q.backlog_rounds()) {
+        Some(drain) => {
+            let horizon = POOL_DRAIN_HORIZON.as_nanos().max(1);
+            usize::try_from(drain.as_nanos().div_ceil(horizon)).unwrap_or(usize::MAX)
+        }
+        None => queued,
+    }
+}
+
 /// State shared between the serve scope's client and workers.
 struct Shared<'e> {
     core: &'e EngineCore,
@@ -937,8 +1115,9 @@ struct Shared<'e> {
     policy: BackpressurePolicy,
     /// Whether WFQ tags charge estimated cost or one unit.
     cost_aware_tags: bool,
-    /// Worker count, for expected-wait estimates at admission.
-    workers: usize,
+    /// The elastic pool's live sizing state; its current target is also the
+    /// worker count expected-wait estimates at admission divide by.
+    pool: PoolState,
     /// The engine's time source (see [`crate::clock`]).
     clock: &'e dyn Clock,
     queue: Mutex<StreamQueue>,
@@ -962,11 +1141,27 @@ enum Work {
     Done,
 }
 
-fn worker_loop(shared: &Shared<'_>) {
+fn worker_loop(shared: &Shared<'_>, id: usize) {
     loop {
         let work = {
             let mut queue = shared.queue.lock().expect("stream queue");
             loop {
+                // Re-evaluate the pool target against the live backlog:
+                // this is the shrink path (the queue drained under us) and
+                // a second chance for growth missed between admissions.
+                // Once the scope is draining the target is moot — every
+                // thread helps finish the admitted work.
+                if !queue.closed {
+                    if shared.pool.resize_to(desired_workers(shared, &queue)) {
+                        shared.not_empty.notify_all();
+                    }
+                    if id >= shared.pool.target() {
+                        // Parked: over the target, so this thread must not
+                        // dispatch. A grow resize or the drain wakes it.
+                        queue = shared.not_empty.wait(queue).expect("stream queue");
+                        continue;
+                    }
+                }
                 // Sweep deadline expirations before every scheduling
                 // decision: a job still queued past its deadline is failed
                 // here, never dispatched.
@@ -1234,17 +1429,27 @@ impl StreamClient<'_> {
             }
         }
         // Deadline-aware admission: refuse work whose deadline the queued
-        // backlog already makes infeasible. Only possible once the service
-        // rate is calibrated — a fresh engine admits everything.
+        // backlog already makes infeasible. Two calibration gates keep the
+        // check honest: the service rate must have been observed (a fresh
+        // engine admits everything), and the submission's own
+        // `(kind, size-bucket)` cell must be calibrated — a cold bucket is
+        // priced off a prior that can be wrong by orders of magnitude in
+        // either direction, and a guess must never reject. The expected
+        // wait divides by the pool's *current* target, so the verdict is
+        // contemporaneous with the capacity that will serve the backlog.
         if let Some(deadline) = deadline {
-            let wait_rounds = queue.q.expected_wait_rounds(priority, self.shared.workers);
-            if let Some(expected_wait) = self.shared.core.cost.expected_duration(wait_rounds) {
-                if expected_wait > deadline {
-                    queue.q.reject_infeasible(priority);
-                    return Err(Error::DeadlineInfeasible {
-                        deadline,
-                        expected_wait,
-                    });
+            if self.shared.core.cost.is_calibrated(cost_kind, dims) {
+                let wait_rounds = queue
+                    .q
+                    .expected_wait_rounds(priority, self.shared.pool.target());
+                if let Some(expected_wait) = self.shared.core.cost.expected_duration(wait_rounds) {
+                    if expected_wait > deadline {
+                        queue.q.reject_infeasible(priority);
+                        return Err(Error::DeadlineInfeasible {
+                            deadline,
+                            expected_wait,
+                        });
+                    }
                 }
             }
         }
@@ -1258,6 +1463,12 @@ impl StreamClient<'_> {
             deadline_at,
             cost,
         );
+        // Grow the pool before the new job's wait begins, not after a
+        // worker notices the backlog: admission is where queued deadlines
+        // start ticking. (`not_empty` is notified below either way.)
+        self.shared
+            .pool
+            .resize_to(desired_workers(self.shared, &queue));
         // Record the admission while still holding the queue lock, so the
         // meta log is in submission order by construction.
         self.shared

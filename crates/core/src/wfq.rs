@@ -186,16 +186,34 @@ pub struct ClassStats {
 }
 
 impl ClassStats {
-    /// The class's relative estimation error:
-    /// `|predicted − actual| / actual`, or `None` when the class charged no
-    /// rounds (nothing to compare against).
+    /// The class's symmetric ratio estimation error:
+    /// `max(predicted, actual) / min(predicted, actual) − 1`
+    /// ([`symmetric_ratio_error`]). A 2x miss reads 1.0 whichever side is
+    /// short — unlike the earlier `|p − a| / a`, which saturated at 1.0 for
+    /// any under-prediction and let a 10,000x miss pass a 2.0 bound
+    /// forever. `None` only when both sides are zero (nothing happened),
+    /// infinite when exactly one side is zero.
     pub fn estimation_error(&self) -> Option<f64> {
-        if self.actual_rounds == 0 {
-            return None;
-        }
-        let diff = self.predicted_rounds.abs_diff(self.actual_rounds);
-        Some(diff as f64 / self.actual_rounds as f64)
+        symmetric_ratio_error(self.predicted_rounds, self.actual_rounds)
     }
+}
+
+/// The symmetric ratio error between a predicted and an actual quantity:
+/// `max / min − 1`, so over- and under-prediction of the same magnitude
+/// score the same and nothing saturates. `None` when both sides are zero
+/// (no evidence either way), [`f64::INFINITY`] when exactly one is — a
+/// model that predicted rounds for work that charged none (or none for
+/// work that charged some) is wrong by any bound.
+pub fn symmetric_ratio_error(predicted: u64, actual: u64) -> Option<f64> {
+    let hi = predicted.max(actual);
+    let lo = predicted.min(actual);
+    if hi == 0 {
+        return None;
+    }
+    if lo == 0 {
+        return Some(f64::INFINITY);
+    }
+    Some(hi as f64 / lo as f64 - 1.0)
 }
 
 /// Scheduler-level accounting: the discipline plus one [`ClassStats`] per
@@ -367,6 +385,14 @@ impl<T> WfqQueue<T> {
     /// expired).
     pub fn queued(&self) -> usize {
         self.queued
+    }
+
+    /// Total estimated cost (rounds) of every queued job across all classes
+    /// — the backlog the elastic worker pool sizes itself against, saturated
+    /// to `u64`.
+    pub fn backlog_rounds(&self) -> u64 {
+        let total: u128 = self.classes.iter().map(|c| c.queued_cost).sum();
+        u64::try_from(total).unwrap_or(u64::MAX)
     }
 
     /// The submission index the next admitted job will receive — i.e. how

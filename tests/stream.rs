@@ -1018,14 +1018,42 @@ fn an_idle_engine_never_rejects_a_deadline_as_infeasible() {
     assert!(output.value.is_ok());
     assert_eq!(output.report.infeasible, 0);
     assert_eq!(output.report.expired, 0);
+
+    // Cold-bucket case: the engine is busy and its service rate is
+    // calibrated, but the probe's own `(kind, size-bucket)` cell has never
+    // been observed — its round estimate is a guess, so admission must stay
+    // permissive no matter how tight the deadline. It is admitted and then
+    // expires (or completes), never DeadlineInfeasible.
+    let output = engine.serve(|client| {
+        let backlog: Vec<Ticket> = (0..4)
+            .map(|_| {
+                client
+                    .submit(Request::laplacian(grid.clone(), b.clone()), Priority::Bulk)
+                    .unwrap()
+            })
+            .collect();
+        let cold = client
+            .submit_with_deadline(
+                Request::sparsify(generators::complete(10), 0.5),
+                Priority::Bulk,
+                std::time::Duration::ZERO,
+            )
+            .expect("an uncalibrated bucket is never rejected as infeasible");
+        let verdict = client.wait(cold);
+        for t in backlog {
+            client.wait(t).unwrap();
+        }
+        verdict
+    });
+    assert_eq!(output.report.infeasible, 0);
+    match output.value {
+        Ok(_) | Err(Error::DeadlineExceeded { .. }) => {}
+        Err(other) => panic!("expected success or expiry, got {other}"),
+    }
 }
 
 #[test]
 fn an_infeasible_deadline_is_rejected_at_admission_with_a_typed_error() {
-    let grid = generators::grid(4, 4);
-    let mut b = vec![0.0; grid.n()];
-    b[0] = 1.0;
-    b[15] = -1.0;
     let mut engine = StreamEngine::builder().seed(MASTER_SEED).workers(1).build();
 
     // Scope 1 calibrates the service rate (sparsify rounds and duration).
@@ -1055,8 +1083,10 @@ fn an_infeasible_deadline_is_rejected_at_admission_with_a_typed_error() {
                 Priority::Interactive,
             )
             .unwrap();
+        // The probe shares the sparsify `(kind, bucket)` cell scope 1
+        // warmed — a cold bucket would be admitted unconditionally.
         let verdict = client.submit_with_deadline(
-            Request::laplacian(grid.clone(), b.clone()),
+            Request::sparsify(generators::complete(14), 0.5),
             Priority::Interactive,
             std::time::Duration::ZERO,
         );
@@ -1241,8 +1271,10 @@ mod cost_model_properties {
             selectors in (0u64..5, 0u64..5, 0u64..5, 0u64..5, 0u64..5),
             workers in 1usize..5,
             cost_aware in 0u64..2,
+            pool_min in 1usize..4,
+            pool_span in 0usize..4,
         ) {
-            let model = CostModel::new()
+            let make_model = || CostModel::new()
                 .with_prior(CostKind::Sparsify, prior(selectors.0))
                 .with_prior(CostKind::LaplacianSolve, prior(selectors.1))
                 .with_prior(CostKind::LaplacianPreprocess, prior(selectors.2))
@@ -1251,25 +1283,28 @@ mod cost_model_properties {
             let workload = small_workload();
             let requests: Vec<Request> = workload.iter().map(|(r, _)| r.clone()).collect();
             let reference = sequential_reference(&requests);
+            let serve_all = |engine: &mut StreamEngine| {
+                engine.serve(|client| {
+                    let tickets: Vec<Ticket> = workload
+                        .iter()
+                        .map(|(r, p)| client.submit(r.clone(), *p).unwrap())
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| client.wait(t))
+                        .collect::<Vec<_>>()
+                })
+            };
 
             let mut engine = StreamEngine::builder()
                 .seed(MASTER_SEED)
                 .workers(workers)
                 .cost_aware_tags(cost_aware == 1)
-                .cost_model(model)
+                .cost_model(make_model())
                 .build();
             // Every wait() returning is the starvation-freedom claim: no
             // tag assignment may leave a submission undispatched forever.
-            let output = engine.serve(|client| {
-                let tickets: Vec<Ticket> = workload
-                    .iter()
-                    .map(|(r, p)| client.submit(r.clone(), *p).unwrap())
-                    .collect();
-                tickets
-                    .into_iter()
-                    .map(|t| client.wait(t))
-                    .collect::<Vec<_>>()
-            });
+            let output = serve_all(&mut engine);
             assert_results_match(&output.value, &reference);
             prop_assert_eq!(output.report.requests, workload.len() as u64);
             prop_assert_eq!(output.report.failures, 0);
@@ -1281,6 +1316,27 @@ mod cost_model_properties {
                 .map(|c| c.dispatched)
                 .sum();
             prop_assert_eq!(dispatched, workload.len() as u64);
+
+            // The elastic pool — whatever its bounds, and however the
+            // adversarial priors skew the backlog-cost resize decisions —
+            // changes only *when* workers run, never what they compute: the
+            // full report (results, counters, calibration cells and all)
+            // is bit-identical to the fixed-pool engine's.
+            let mut elastic = StreamEngine::builder()
+                .seed(MASTER_SEED)
+                .elastic_workers(pool_min, pool_min + pool_span)
+                .cost_aware_tags(cost_aware == 1)
+                .cost_model(make_model())
+                .build();
+            prop_assert_eq!(elastic.worker_bounds(), (pool_min, pool_min + pool_span));
+            let elastic_output = serve_all(&mut elastic);
+            assert_results_match(&elastic_output.value, &reference);
+            prop_assert_eq!(&elastic_output.report, &output.report);
+            let pool = elastic_output.pool;
+            prop_assert_eq!(pool.min_workers, pool_min);
+            prop_assert_eq!(pool.max_workers, pool_min + pool_span);
+            prop_assert!(pool.peak_workers >= pool.min_workers);
+            prop_assert!(pool.peak_workers <= pool.max_workers);
         }
     }
 }
@@ -1403,6 +1459,13 @@ fn golden_report() -> StreamReport {
                 },
             },
         ],
+        calibration: vec![bcc_core::cost::CalibrationCell {
+            kind: "laplacian solve".to_string(),
+            bucket: 3,
+            observations: 1,
+            basis_units: 12,
+            actual_rounds: 3,
+        }],
     }
 }
 
@@ -1490,6 +1553,10 @@ fn a_real_stream_report_exposes_the_documented_field_names() {
         "\"ok\"",
         "\"error\"",
         "\"cached\"",
+        "\"calibration\"",
+        "\"bucket\"",
+        "\"observations\"",
+        "\"basis_units\"",
     ] {
         assert!(json.contains(field), "missing field {field} in {json}");
     }
