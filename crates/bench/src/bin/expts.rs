@@ -7,21 +7,28 @@
 //!   `cargo run -p bench --release --bin expts -- --full-json`
 //!   `cargo run -p bench --release --bin expts -- --check-trend` (CI)
 //!   `cargo run -p bench --release --bin expts -- --load scenarios/smoke.json`
+//!   `cargo run -p bench --release --bin expts -- --metrics`
 //!
 //! The `--*-json` modes write `BENCH_pipelines.json`, `BENCH_batch.json`,
-//! `BENCH_stream.json` and `BENCH_load.json` to the repository root (schema
-//! documented in `bench::trajectory` and `bench::load`) and print the
-//! written paths.
+//! `BENCH_stream.json`, `BENCH_load.json` and `BENCH_load_metrics.json` to
+//! the repository root (schema documented in `bench::trajectory` and
+//! `bench::load`) and print the written paths.
 //!
 //! `--load <scenario.json>` runs one declarative load scenario through the
 //! deterministic virtual-clock harness (`bench::load`) and prints its
 //! per-class latency percentiles (the standalone `load` binary runs whole
-//! scenario sets and can emit JSON).
+//! scenario sets and can emit JSON, Chrome traces and metrics snapshots).
+//!
+//! `--metrics` runs the committed smoke scenario and prints its
+//! `bcc-metrics/v1` snapshot as JSON — a quick way to eyeball the
+//! telemetry export without writing any files.
 //!
 //! `--check-trend` regenerates the quick trajectories in memory, compares
 //! them against the committed `BENCH_*.json` files without touching them,
-//! and exits non-zero on schema drift, disappeared trajectory points or a
-//! >2x regression in a tracked counter.
+//! and exits non-zero on schema drift, disappeared trajectory points, a
+//! more-than-2x regression in a tracked counter, a stale committed metrics
+//! artifact, or a lifecycle trace that fails to reconcile with the
+//! scheduler's dispatch counters (the telemetry sanity gate).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +44,20 @@ fn main() {
         let trajectory = bench::load::run_scenario(&scenario, workers)
             .unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", scenario.name));
         print!("{}", bench::load::summarize(&trajectory));
+        return;
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        let path = bench::trajectory::repo_root()
+            .join("scenarios")
+            .join("smoke.json");
+        let scenario = bench::load::read_scenario(&path)
+            .unwrap_or_else(|e| panic!("reading scenario failed: {e}"));
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let trajectory = bench::load::run_scenario(&scenario, workers)
+            .unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", scenario.name));
+        let snapshot = bench::load::metrics_snapshot(&trajectory);
+        let json = serde_json::to_string_pretty(&snapshot).expect("MetricsSnapshot serializes");
+        println!("{json}");
         return;
     }
     if args.iter().any(|a| a == "--check-trend") {

@@ -8,6 +8,12 @@
 //!   named scenario files only.
 //!   `... -- --json <path>` — additionally write the results as a
 //!   `BENCH_load.json`-shaped [`bench::load::LoadBench`] document.
+//!   `... -- --trace <path>` — record every request's lifecycle during the
+//!   simulation and write a Chrome trace-event timeline (one process per
+//!   scenario; load it in `chrome://tracing` or Perfetto). Tracing never
+//!   changes the results — the trajectories stay byte-identical.
+//!   `... -- --metrics <path>` — write one `bcc-metrics/v1` snapshot per
+//!   scenario as a [`bench::load::LoadMetricsBench`] document.
 //!   `... -- --profile-workers <n>` — threads for demand profiling (purely
 //!   a wall-clock knob; results are identical for every value).
 //!
@@ -28,6 +34,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut json_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut profile_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -37,6 +45,18 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| fail("--json needs a path".to_string()));
                 json_out = Some(PathBuf::from(path));
+            }
+            "--trace" => {
+                let path = it
+                    .next()
+                    .unwrap_or_else(|| fail("--trace needs a path".to_string()));
+                trace_out = Some(PathBuf::from(path));
+            }
+            "--metrics" => {
+                let path = it
+                    .next()
+                    .unwrap_or_else(|| fail("--metrics needs a path".to_string()));
+                metrics_out = Some(PathBuf::from(path));
             }
             "--profile-workers" => {
                 let n = it
@@ -66,18 +86,44 @@ fn main() {
     };
 
     let mut results = Vec::with_capacity(scenarios.len());
+    let mut traces: Vec<(String, Vec<bcc_core::TraceRecord>)> = Vec::new();
     for scenario in &scenarios {
-        let trajectory = bench::load::run_scenario(scenario, profile_workers)
-            .unwrap_or_else(|e| fail(format!("scenario {:?} failed: {e}", scenario.name)));
+        let trajectory = if trace_out.is_some() {
+            let (trajectory, records, _) =
+                bench::load::run_scenario_traced(scenario, profile_workers)
+                    .unwrap_or_else(|e| fail(format!("scenario {:?} failed: {e}", scenario.name)));
+            traces.push((scenario.name.clone(), records));
+            trajectory
+        } else {
+            bench::load::run_scenario(scenario, profile_workers)
+                .unwrap_or_else(|e| fail(format!("scenario {:?} failed: {e}", scenario.name)))
+        };
         print!("{}", bench::load::summarize(&trajectory));
         results.push(trajectory);
     }
 
+    if let Some(path) = trace_out {
+        let json = bcc_core::telemetry::chrome_trace_json(&traces);
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| fail(format!("writing {} failed: {e}", path.display())));
+        let events: usize = traces.iter().map(|(_, r)| r.len()).sum();
+        println!("wrote {} ({events} trace events)", path.display());
+    }
+
+    let payload = bench::load::LoadBench {
+        schema: bench::trajectory::BENCH_SCHEMA.to_string(),
+        scenarios: results,
+    };
+
+    if let Some(path) = metrics_out {
+        let metrics = bench::load::load_metrics_bench(&payload);
+        let json = serde_json::to_string_pretty(&metrics).expect("LoadMetricsBench serializes");
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| fail(format!("writing {} failed: {e}", path.display())));
+        println!("wrote {}", path.display());
+    }
+
     if let Some(path) = json_out {
-        let payload = bench::load::LoadBench {
-            schema: bench::trajectory::BENCH_SCHEMA.to_string(),
-            scenarios: results,
-        };
         let json = serde_json::to_string_pretty(&payload).expect("LoadBench serializes");
         std::fs::write(&path, format!("{json}\n"))
             .unwrap_or_else(|e| fail(format!("writing {} failed: {e}", path.display())));

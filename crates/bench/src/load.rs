@@ -83,7 +83,8 @@ use std::time::Duration;
 
 use bcc_core::graph::generators;
 use bcc_core::prelude::*;
-use bcc_core::wfq::{ClassConfig, WfqQueue};
+use bcc_core::telemetry::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceRecord};
+use bcc_core::wfq::{ClassConfig, SchedulerStats, WfqQueue};
 use bcc_core::{LatencyPercentiles, RateLimit};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -736,6 +737,40 @@ struct SimPayload {
     class_idx: usize,
     variant: usize,
     arrived: u64,
+    /// The job's arrival ordinal in the merged (time, class, seq) order —
+    /// the request id its trace events carry.
+    req: u64,
+}
+
+/// Trace lanes of the simulated timeline: admission-side events
+/// (submitted/queued/rejected/infeasible/expired).
+const SIM_LANE_ADMIT: u32 = 0;
+/// Dispatch-side events (dispatched, cache probe, solve-begin).
+const SIM_LANE_DISPATCH: u32 = 1;
+/// Completion events (solve-end).
+const SIM_LANE_COMPLETE: u32 = 2;
+
+/// Appends one trace record when tracing is on — the simulation's analogue
+/// of the engine's [`bcc_core::TelemetrySink`], collecting into a plain
+/// `Vec` because the single-threaded simulator needs neither lanes nor
+/// bounded buffers.
+fn push_trace(
+    trace: &mut Option<&mut Vec<TraceRecord>>,
+    at_ns: u64,
+    lane: u32,
+    event: TraceEvent,
+    request: u64,
+    detail: u64,
+) {
+    if let Some(records) = trace.as_deref_mut() {
+        records.push(TraceRecord {
+            at_ns,
+            lane,
+            request,
+            event,
+            detail,
+        });
+    }
 }
 
 /// A bounded LRU set of preprocessing fingerprints (capacity `0` =
@@ -783,6 +818,21 @@ struct ClassAccum {
 /// Simulates one scenario against a profiled demand table, producing its
 /// [`LoadTrajectory`] (without a ramp — [`run_scenario`] adds that).
 fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajectory {
+    simulate_core(scenario, demands, None).0
+}
+
+/// The simulation proper: one scenario against a profiled demand table,
+/// optionally recording every lifecycle event into `trace`, returning the
+/// trajectory plus the [`WfqQueue`]'s own scheduler counters (the
+/// reconciliation target of the telemetry sanity gate: the number of
+/// `dispatched` trace events must equal the scheduler's dispatched sum).
+/// Tracing is write-only — with `trace` on or off the trajectory is
+/// byte-identical.
+fn simulate_core(
+    scenario: &Scenario,
+    demands: &[Vec<DemandVariant>],
+    mut trace: Option<&mut Vec<TraceRecord>>,
+) -> (LoadTrajectory, SchedulerStats) {
     let priorities: Vec<Priority> = scenario
         .classes
         .iter()
@@ -835,9 +885,10 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
         .iter()
         .map(|_| ClassAccum::default())
         .collect();
-    // Busy workers as (finish time, submission index, class, admitted-at):
-    // the index keeps equal-time completions deterministic.
-    let mut busy: BinaryHeap<Reverse<(u64, u64, usize, u64)>> = BinaryHeap::new();
+    // Busy workers as (finish time, submission index, class, admitted-at,
+    // arrival ordinal): the index keeps equal-time completions
+    // deterministic.
+    let mut busy: BinaryHeap<Reverse<(u64, u64, usize, u64, u64)>> = BinaryHeap::new();
     let mut pool_target = min_workers;
     let mut peak_workers = min_workers;
     let mut cache_hits = 0u64;
@@ -847,51 +898,89 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
 
     // Sweeps expired jobs, resizes the pool, then feeds free workers — run
     // after every event.
-    let mut dispatch_ready = |now: u64,
-                              queue: &mut WfqQueue<SimPayload>,
-                              busy: &mut BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
-                              target: &mut usize,
-                              acc: &mut Vec<ClassAccum>| {
-        for (job, _late) in queue.take_expired(Duration::from_nanos(now)) {
-            acc[job.payload.class_idx].expired += 1;
-        }
-        // The engine's resize rule: an empty queue parks the pool back to
-        // its floor; otherwise grow enough to drain the backlog cost
-        // within the horizon, clamped to the configured bounds. A busy
-        // worker above a shrunken target simply finishes its job (no
-        // preemption), exactly like a parked engine worker.
-        *target = if queue.queued() == 0 {
-            min_workers
-        } else {
-            let horizon_rounds = rate.saturating_mul(POOL_DRAIN_HORIZON_MS).max(1);
-            usize::try_from(queue.backlog_rounds().div_ceil(horizon_rounds))
-                .unwrap_or(usize::MAX)
-                .clamp(min_workers, max_workers)
-        };
-        peak_workers = peak_workers.max(*target);
-        while busy.len() < *target {
-            let Some(job) = queue.pop() else { break };
-            let c = job.payload.class_idx;
-            let demand = &demands[c][job.payload.variant];
-            let mut rounds = demand.rounds;
-            if let Some(fp) = demand.fingerprint {
-                if cache.touch(fp) {
-                    cache_hits += 1;
-                } else {
-                    cache_misses += 1;
-                    rounds += demand.prep_rounds;
-                }
+    let mut dispatch_ready =
+        |now: u64,
+         queue: &mut WfqQueue<SimPayload>,
+         busy: &mut BinaryHeap<Reverse<(u64, u64, usize, u64, u64)>>,
+         target: &mut usize,
+         acc: &mut Vec<ClassAccum>,
+         trace: &mut Option<&mut Vec<TraceRecord>>| {
+            for (job, late) in queue.take_expired(Duration::from_nanos(now)) {
+                acc[job.payload.class_idx].expired += 1;
+                push_trace(
+                    trace,
+                    now,
+                    SIM_LANE_ADMIT,
+                    TraceEvent::Expired,
+                    job.payload.req,
+                    u64::try_from(late.as_nanos()).unwrap_or(u64::MAX),
+                );
             }
-            total_rounds += rounds;
-            acc[c].wait_ns.push(now - job.payload.arrived);
-            busy.push(Reverse((
-                now.saturating_add(service_ns(rounds)),
-                job.index,
-                c,
-                job.payload.arrived,
-            )));
-        }
-    };
+            // The engine's resize rule: an empty queue parks the pool back to
+            // its floor; otherwise grow enough to drain the backlog cost
+            // within the horizon, clamped to the configured bounds. A busy
+            // worker above a shrunken target simply finishes its job (no
+            // preemption), exactly like a parked engine worker.
+            *target = if queue.queued() == 0 {
+                min_workers
+            } else {
+                let horizon_rounds = rate.saturating_mul(POOL_DRAIN_HORIZON_MS).max(1);
+                usize::try_from(queue.backlog_rounds().div_ceil(horizon_rounds))
+                    .unwrap_or(usize::MAX)
+                    .clamp(min_workers, max_workers)
+            };
+            peak_workers = peak_workers.max(*target);
+            while busy.len() < *target {
+                let Some(job) = queue.pop() else { break };
+                let c = job.payload.class_idx;
+                let req = job.payload.req;
+                let wait = now - job.payload.arrived;
+                push_trace(
+                    trace,
+                    now,
+                    SIM_LANE_DISPATCH,
+                    TraceEvent::Dispatched,
+                    req,
+                    wait,
+                );
+                let demand = &demands[c][job.payload.variant];
+                let mut rounds = demand.rounds;
+                if let Some(fp) = demand.fingerprint {
+                    if cache.touch(fp) {
+                        cache_hits += 1;
+                        push_trace(trace, now, SIM_LANE_DISPATCH, TraceEvent::CacheHit, req, 0);
+                    } else {
+                        cache_misses += 1;
+                        rounds += demand.prep_rounds;
+                        push_trace(
+                            trace,
+                            now,
+                            SIM_LANE_DISPATCH,
+                            TraceEvent::CacheMiss,
+                            req,
+                            demand.prep_rounds,
+                        );
+                    }
+                }
+                total_rounds += rounds;
+                acc[c].wait_ns.push(wait);
+                push_trace(
+                    trace,
+                    now,
+                    SIM_LANE_DISPATCH,
+                    TraceEvent::SolveBegin,
+                    req,
+                    rounds,
+                );
+                busy.push(Reverse((
+                    now.saturating_add(service_ns(rounds)),
+                    job.index,
+                    c,
+                    job.payload.arrived,
+                    req,
+                )));
+            }
+        };
 
     while ai < arrivals.len() || !busy.is_empty() {
         let next_completion = busy.peek().map(|Reverse((t, ..))| *t);
@@ -902,23 +991,56 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
             (None, _) => false,
         };
         if completion_first {
-            let Reverse((now, _index, c, arrived)) = busy.pop().expect("peeked");
+            let Reverse((now, _index, c, arrived, req)) = busy.pop().expect("peeked");
             acc[c].completed += 1;
             acc[c].e2e_ns.push(now - arrived);
-            dispatch_ready(now, &mut queue, &mut busy, &mut pool_target, &mut acc);
+            push_trace(
+                &mut trace,
+                now,
+                SIM_LANE_COMPLETE,
+                TraceEvent::SolveEnd,
+                req,
+                now - arrived,
+            );
+            dispatch_ready(
+                now,
+                &mut queue,
+                &mut busy,
+                &mut pool_target,
+                &mut acc,
+                &mut trace,
+            );
         } else {
             let (now, c, seq) = arrivals[ai];
+            // The arrival's ordinal in the merged order is its request id.
+            let req = ai as u64;
             ai += 1;
             acc[c].offered += 1;
             // Sweep before the capacity check so expired jobs free their
             // slots first, exactly like the engine's pre-dispatch sweep.
-            for (job, _late) in queue.take_expired(Duration::from_nanos(now)) {
+            for (job, late) in queue.take_expired(Duration::from_nanos(now)) {
                 acc[job.payload.class_idx].expired += 1;
+                push_trace(
+                    &mut trace,
+                    now,
+                    SIM_LANE_ADMIT,
+                    TraceEvent::Expired,
+                    job.payload.req,
+                    u64::try_from(late.as_nanos()).unwrap_or(u64::MAX),
+                );
             }
             let full =
                 scenario.queue_capacity > 0 && queue.queued() as u64 >= scenario.queue_capacity;
             if full {
                 acc[c].rejected += 1;
+                push_trace(
+                    &mut trace,
+                    now,
+                    SIM_LANE_ADMIT,
+                    TraceEvent::Rejected,
+                    req,
+                    scenario.queue_capacity,
+                );
             } else {
                 let priority = priorities[c];
                 let variant = (seq as usize) % demands[c].len();
@@ -931,20 +1053,52 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
                 if infeasible {
                     acc[c].infeasible += 1;
                     queue.reject_infeasible(priority);
+                    push_trace(
+                        &mut trace,
+                        now,
+                        SIM_LANE_ADMIT,
+                        TraceEvent::Infeasible,
+                        req,
+                        0,
+                    );
                 } else {
+                    push_trace(
+                        &mut trace,
+                        now,
+                        SIM_LANE_ADMIT,
+                        TraceEvent::Submitted,
+                        req,
+                        cost,
+                    );
                     queue.push(
                         priority,
                         SimPayload {
                             class_idx: c,
                             variant,
                             arrived: now,
+                            req,
                         },
                         deadline.map(|d| Duration::from_nanos(now.saturating_add(d))),
                         cost,
                     );
+                    push_trace(
+                        &mut trace,
+                        now,
+                        SIM_LANE_ADMIT,
+                        TraceEvent::Queued,
+                        req,
+                        queue.queued() as u64,
+                    );
                 }
             }
-            dispatch_ready(now, &mut queue, &mut busy, &mut pool_target, &mut acc);
+            dispatch_ready(
+                now,
+                &mut queue,
+                &mut busy,
+                &mut pool_target,
+                &mut acc,
+                &mut trace,
+            );
         }
     }
     // Every admitted deadline job either dispatched or was swept at some
@@ -967,7 +1121,7 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
             end_to_end: LatencyPercentiles::from_ns_samples(a.e2e_ns),
         })
         .collect();
-    LoadTrajectory {
+    let trajectory = LoadTrajectory {
         schema: BENCH_SCHEMA.to_string(),
         scenario: scenario.name.clone(),
         seed: scenario.seed,
@@ -983,7 +1137,8 @@ fn simulate(scenario: &Scenario, demands: &[Vec<DemandVariant>]) -> LoadTrajecto
         peak_workers: peak_workers as u64,
         classes,
         ramp: None,
-    }
+    };
+    (trajectory, queue.stats())
 }
 
 // ---------------------------------------------------------------------------
@@ -1057,6 +1212,102 @@ pub fn run_scenario(scenario: &Scenario, profile_workers: usize) -> Result<LoadT
         trajectory.ramp = Some(ramp_search(scenario, spec, &demands));
     }
     Ok(trajectory)
+}
+
+/// [`run_scenario`] with lifecycle tracing: additionally returns every
+/// [`TraceRecord`] of the scenario's nominal run (ramp probes are simulated
+/// untraced — the trace covers the committed trajectory, not the bisection)
+/// and the [`WfqQueue`]'s own scheduler counters, the reconciliation target
+/// of the telemetry sanity gate. The trajectory is byte-identical to
+/// [`run_scenario`]'s, and — like everything in this harness — the trace is
+/// a pure function of the scenario document: identical for every
+/// `profile_workers` count and across repeated runs.
+///
+/// # Errors
+///
+/// Returns the [`Scenario::validate`] message of an invalid document.
+#[allow(clippy::type_complexity)]
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    profile_workers: usize,
+) -> Result<(LoadTrajectory, Vec<TraceRecord>, SchedulerStats), String> {
+    scenario.validate()?;
+    let demands = profile_demands(scenario, profile_workers);
+    let mut records = Vec::new();
+    let (mut trajectory, stats) = simulate_core(scenario, &demands, Some(&mut records));
+    if let Some(spec) = &scenario.ramp {
+        trajectory.ramp = Some(ramp_search(scenario, spec, &demands));
+    }
+    Ok((trajectory, records, stats))
+}
+
+/// The `BENCH_load_metrics.json` payload: one metrics snapshot per
+/// committed scenario, in library order — the harness's counters
+/// republished through the engine's `bcc-metrics/v1` schema so dashboards
+/// read one format for engine and harness telemetry alike.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadMetricsBench {
+    /// Schema tag (`"bcc-bench/v1"`).
+    pub schema: String,
+    /// One entry per scenario.
+    pub scenarios: Vec<ScenarioMetrics>,
+}
+
+/// The metrics snapshot of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMetrics {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The snapshot (schema `bcc-metrics/v1`).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Renders one trajectory as a [`MetricsSnapshot`]: scenario-level counters
+/// under `load.*` (cache counters under the engine's `cache.*` names, the
+/// pool peak under `pool.peak`), per-class counters and p99 gauges under
+/// `load.<class>.*`. A pure function of the trajectory, so the export is as
+/// deterministic as the simulation itself.
+pub fn metrics_snapshot(t: &LoadTrajectory) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    registry.counter("load.offered").add(t.offered);
+    registry.counter("load.completed").add(t.completed);
+    registry.counter("load.rejected").add(t.rejected);
+    registry.counter("load.expired").add(t.expired);
+    registry.counter("load.infeasible").add(t.infeasible);
+    registry.counter("load.total_rounds").add(t.total_rounds);
+    registry.counter("cache.hits").add(t.cache_hits);
+    registry.counter("cache.misses").add(t.cache_misses);
+    registry.gauge("pool.peak").set(t.peak_workers);
+    for class in &t.classes {
+        let name = |metric: &str| format!("load.{}.{metric}", class.class);
+        registry.counter(&name("offered")).add(class.offered);
+        registry.counter(&name("completed")).add(class.completed);
+        registry.counter(&name("rejected")).add(class.rejected);
+        registry.counter(&name("expired")).add(class.expired);
+        registry.counter(&name("infeasible")).add(class.infeasible);
+        registry
+            .gauge(&name("wait_p99_ns"))
+            .set(class.queue_wait.p99_ns);
+        registry
+            .gauge(&name("e2e_p99_ns"))
+            .set(class.end_to_end.p99_ns);
+    }
+    registry.snapshot()
+}
+
+/// Builds the [`LoadMetricsBench`] artifact from a finished [`LoadBench`].
+pub fn load_metrics_bench(bench: &LoadBench) -> LoadMetricsBench {
+    LoadMetricsBench {
+        schema: BENCH_SCHEMA.to_string(),
+        scenarios: bench
+            .scenarios
+            .iter()
+            .map(|t| ScenarioMetrics {
+                scenario: t.scenario.clone(),
+                metrics: metrics_snapshot(t),
+            })
+            .collect(),
+    }
 }
 
 /// Parses and validates one scenario file.

@@ -1,7 +1,7 @@
 //! Machine-readable `BENCH_*.json` cost trajectories and the CI trend check.
 //!
 //! The experiment tables in [`crate`] are human-readable; serving systems and
-//! CI want the same round/bit accounting as JSON. This module emits four
+//! CI want the same round/bit accounting as JSON. This module emits five
 //! files into the repository root (see `write_bench_json`):
 //!
 //! * **`BENCH_pipelines.json`** — `Vec<PipelinePoint>`: one point per
@@ -22,6 +22,11 @@
 //!   virtual-clock load harness, one [`crate::load::LoadTrajectory`] per
 //!   scenario with per-class latency percentiles and ramp-search results
 //!   (schema documented in [`crate::load`]).
+//! * **`BENCH_load_metrics.json`** — a [`crate::load::LoadMetricsBench`]:
+//!   one `bcc-metrics/v1` [`bcc_core::MetricsSnapshot`] per scenario
+//!   ([`crate::load::metrics_snapshot`]), so dashboards consume the same
+//!   metrics schema for the engine's live telemetry and the harness's
+//!   simulated runs.
 //!
 //! # Schema (`bcc-bench/v1`)
 //!
@@ -86,6 +91,15 @@
 //! bound; under the honest metric a miss that size scores ≈9999 and turns
 //! the job red (see [`estimation_summary`], which also prints the
 //! per-bucket calibration coefficients).
+//!
+//! A third guard, [`telemetry_issues`], is the telemetry sanity gate: it
+//! re-runs the committed smoke scenario with lifecycle tracing
+//! ([`crate::load::run_scenario_traced`]) and reconciles the trace against
+//! the scheduler's own counters — the number of `dispatched` trace events
+//! must equal the WFQ scheduler's dispatched sum exactly, and the solve-end
+//! events must match the trajectory's completed count. A mismatch means an
+//! instrumentation point was dropped or double-fired, which is precisely
+//! the class of bug observability code breeds.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -98,7 +112,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::load::LoadBench;
+use bcc_core::telemetry::TraceEvent;
+
+use crate::load::{LoadBench, LoadMetricsBench};
 
 /// Schema tag of every `BENCH_*.json` artifact this module writes.
 pub const BENCH_SCHEMA: &str = "bcc-bench/v1";
@@ -364,9 +380,9 @@ pub fn stream_trajectory(seed: u64, quick: bool) -> StreamTrajectory {
     }
 }
 
-/// Writes `BENCH_pipelines.json`, `BENCH_batch.json`, `BENCH_stream.json`
-/// and `BENCH_load.json` into `dir`, returning the written paths. Each file
-/// is verified to parse back before returning.
+/// Writes `BENCH_pipelines.json`, `BENCH_batch.json`, `BENCH_stream.json`,
+/// `BENCH_load.json` and `BENCH_load_metrics.json` into `dir`, returning the
+/// written paths. Each file is verified to parse back before returning.
 ///
 /// The load artifact always runs the *committed* scenario library
 /// (`scenarios/` at the repository root) — the scenario documents, not
@@ -436,6 +452,21 @@ pub fn write_bench_json(dir: &Path, seed: u64, quick: bool) -> io::Result<Vec<Pa
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "BENCH_load.json did not round-trip",
+        ));
+    }
+    written.push(path);
+
+    let metrics = crate::load::load_metrics_bench(&load);
+    let path = dir.join("BENCH_load_metrics.json");
+    let json = serde_json::to_string_pretty(&metrics)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, format!("{json}\n"))?;
+    let back: LoadMetricsBench = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if back != metrics {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "BENCH_load_metrics.json did not round-trip",
         ));
     }
     written.push(path);
@@ -847,6 +878,59 @@ pub fn estimation_summary(stream: &StreamTrajectory) -> String {
     format!("stream estimation error: {}", parts.join("; "))
 }
 
+/// The telemetry sanity gate of `--check-trend`: runs the committed smoke
+/// scenario with lifecycle tracing and reconciles the exported trace against
+/// the scheduler's own accounting. Two identities must hold exactly:
+///
+/// * one `dispatched` trace event per WFQ dispatch — the trace's
+///   [`TraceEvent::Dispatched`] count equals the sum of the scheduler
+///   classes' `dispatched` counters;
+/// * one `solve-end` trace event per completed request — the
+///   [`TraceEvent::SolveEnd`] count equals the trajectory's `completed`
+///   total.
+///
+/// Both runs are deterministic under the virtual clock, so any slack would
+/// only hide dropped or double-fired instrumentation points.
+///
+/// # Errors
+///
+/// Propagates filesystem/parse errors for a missing or malformed
+/// `scenarios/smoke.json`.
+pub fn telemetry_issues(root: &Path) -> io::Result<Vec<String>> {
+    let path = root.join("scenarios").join("smoke.json");
+    let scenario = crate::load::read_scenario(&path)?;
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (trajectory, records, stats) =
+        crate::load::run_scenario_traced(&scenario, workers).map_err(|e| parse_error(&path, e))?;
+
+    let mut issues = Vec::new();
+    let dispatched_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::Dispatched))
+        .count() as u64;
+    let dispatched_scheduler: u64 = stats.classes.iter().map(|c| c.dispatched).sum();
+    if dispatched_events != dispatched_scheduler {
+        issues.push(format!(
+            "telemetry: smoke scenario trace has {dispatched_events} dispatched events but the \
+             scheduler dispatched {dispatched_scheduler} requests — an instrumentation point was \
+             dropped or double-fired"
+        ));
+    }
+    let solve_end_events = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::SolveEnd))
+        .count() as u64;
+    if solve_end_events != trajectory.completed {
+        issues.push(format!(
+            "telemetry: smoke scenario trace has {solve_end_events} solve-end events but the \
+             trajectory completed {} requests — an instrumentation point was dropped or \
+             double-fired",
+            trajectory.completed
+        ));
+    }
+    Ok(issues)
+}
+
 // Reading + parsing stay separate (instead of one generic helper bounded on
 // `serde::Deserialize`) so this code compiles unchanged against both the
 // offline serde shim and the real crate, whose owned-deserialization bound is
@@ -907,6 +991,19 @@ pub fn check_trend(root: &Path, seed: u64, quick: bool) -> io::Result<Vec<String
     );
     issues.extend(load_trend_issues(&committed_load, &fresh_load));
     issues.extend(estimation_issues(&fresh_stream));
+
+    let path = root.join("BENCH_load_metrics.json");
+    let committed_metrics: LoadMetricsBench =
+        serde_json::from_str(&read_committed(&path)?).map_err(|e| parse_error(&path, e))?;
+    let fresh_metrics = crate::load::load_metrics_bench(&fresh_load);
+    if committed_metrics != fresh_metrics {
+        issues.push(
+            "BENCH_load_metrics.json: committed metrics snapshots differ from the fresh run — \
+             regenerate the committed artifacts"
+                .to_string(),
+        );
+    }
+    issues.extend(telemetry_issues(root)?);
     Ok(issues)
 }
 
@@ -953,7 +1050,7 @@ mod tests {
         let dir = std::env::temp_dir().join("bcc-bench-json-test");
         std::fs::create_dir_all(&dir).unwrap();
         let written = write_bench_json(&dir, 7, true).unwrap();
-        assert_eq!(written.len(), 4);
+        assert_eq!(written.len(), 5);
         for path in written {
             let text = std::fs::read_to_string(&path).unwrap();
             assert!(text.contains("bcc-bench/v1"), "{path:?} missing schema tag");

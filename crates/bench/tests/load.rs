@@ -1,10 +1,15 @@
 //! Integration tests of the declarative load harness: committed scenarios
-//! replay bit-identically regardless of profiling parallelism, the committed
-//! `BENCH_load.json` golden stays fresh, Poisson arrival streams converge to
-//! their nominal rate, and the smoke scenario's ramp search brackets a
-//! sustainable rate inside its configured window.
+//! replay bit-identically regardless of profiling parallelism, lifecycle
+//! traces export byte-identical timelines and reconcile exactly with the
+//! scheduler's counters, the committed `BENCH_load.json` golden stays fresh,
+//! Poisson arrival streams converge to their nominal rate, and the smoke
+//! scenario's ramp search brackets a sustainable rate inside its configured
+//! window.
 
-use bench::load::{class_arrivals, read_scenario, run_scenario, Arrival, LoadBench};
+use bcc_core::telemetry::{chrome_trace_json, TraceEvent};
+use bench::load::{
+    class_arrivals, read_scenario, run_scenario, run_scenario_traced, Arrival, LoadBench,
+};
 use bench::trajectory::repo_root;
 use proptest::prelude::*;
 
@@ -26,6 +31,46 @@ fn scenario_replays_identically_across_profile_worker_counts() {
         serde_json::to_string(&serial).unwrap(),
         serde_json::to_string(&parallel).unwrap()
     );
+}
+
+#[test]
+fn traced_runs_export_byte_identical_timelines() {
+    // Satellite of the telemetry layer: the lifecycle trace is timestamped
+    // against the harness's virtual clock, so two runs of the same scenario
+    // — at any profiling worker count — must export byte-identical Chrome
+    // timelines, and tracing must never perturb the trajectory itself.
+    let scenario = read_scenario(&smoke_path()).unwrap();
+    let (t1, r1, _) = run_scenario_traced(&scenario, 1).unwrap();
+    let (t4, r4, _) = run_scenario_traced(&scenario, 4).unwrap();
+    let (t4b, r4b, _) = run_scenario_traced(&scenario, 4).unwrap();
+    assert_eq!(t1, t4);
+    assert_eq!(t4, t4b);
+    assert_eq!(t1, run_scenario(&scenario, 2).unwrap());
+    let export = |records: Vec<bcc_core::TraceRecord>| {
+        chrome_trace_json(&[(scenario.name.clone(), records)])
+    };
+    let (j1, j4, j4b) = (export(r1), export(r4), export(r4b));
+    assert_eq!(j1, j4);
+    assert_eq!(j4, j4b);
+    assert!(!j1.is_empty());
+}
+
+#[test]
+fn traced_dispatches_reconcile_with_scheduler_counters() {
+    // The trace must agree exactly with the scheduler's own accounting: one
+    // `dispatched` event per WFQ dispatch, one `solve-end` per completion.
+    let scenario = read_scenario(&smoke_path()).unwrap();
+    let (trajectory, records, stats) = run_scenario_traced(&scenario, 2).unwrap();
+    let count = |event: TraceEvent| records.iter().filter(|r| r.event == event).count() as u64;
+    let dispatched: u64 = stats.classes.iter().map(|c| c.dispatched).sum();
+    assert_eq!(count(TraceEvent::Dispatched), dispatched);
+    assert_eq!(count(TraceEvent::SolveEnd), trajectory.completed);
+    assert_eq!(count(TraceEvent::Submitted), count(TraceEvent::Queued));
+    assert_eq!(count(TraceEvent::SolveBegin), dispatched);
+    // Cache probes only happen for fingerprinted (preprocessed) requests,
+    // and the trace must agree with the trajectory's cache counters.
+    assert_eq!(count(TraceEvent::CacheHit), trajectory.cache_hits);
+    assert_eq!(count(TraceEvent::CacheMiss), trajectory.cache_misses);
 }
 
 #[test]

@@ -82,6 +82,7 @@ use crate::error::Error;
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
 use crate::session::{Outcome, Session};
+use crate::telemetry::TelemetrySink;
 
 pub use crate::serve::{Request, Response};
 
@@ -182,6 +183,8 @@ pub struct BatchEngineBuilder {
     eviction_policy: EvictionPolicy,
     /// The cost model the engine starts from; `None` builds a default one.
     cost_model: Option<Arc<CostModel>>,
+    /// The engine's telemetry sink; disabled by default.
+    telemetry: TelemetrySink,
 }
 
 impl Default for BatchEngineBuilder {
@@ -195,6 +198,7 @@ impl Default for BatchEngineBuilder {
             cache_capacity: None,
             eviction_policy: EvictionPolicy::Lru,
             cost_model: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -262,6 +266,18 @@ impl BatchEngineBuilder {
         self
     }
 
+    /// Attaches a live [`TelemetrySink`] (default: disabled, which costs a
+    /// single `Option` check per instrumentation point). The batch engine
+    /// records the live cache counters (`cache.hits` / `cache.misses` /
+    /// `cache.evictions`) into the sink's registry; it has no injectable
+    /// clock, so — unlike [`crate::stream::StreamEngineBuilder::telemetry`]
+    /// — it emits no lifecycle trace events. Telemetry is write-only and
+    /// never changes scheduling or results.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
     /// Copies model, seed and epsilon from an existing [`Session`], so the
     /// engine serves exactly what that session would serve.
     pub fn from_session(self, session: &Session) -> Self {
@@ -287,6 +303,7 @@ impl BatchEngineBuilder {
                 self.eviction_policy,
                 self.cost_model
                     .unwrap_or_else(|| Arc::new(CostModel::new())),
+                self.telemetry,
             ),
             workers,
             ledger: RoundLedger::new(),

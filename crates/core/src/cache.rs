@@ -54,6 +54,7 @@ use crate::cost::{CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::session::PreparedLaplacian;
+use crate::telemetry::{Counter, MetricsRegistry, TelemetrySink};
 
 /// A cache entry: the prepared handle (or the typed preprocessing error,
 /// which is served to every request on that graph) plus its preprocessing
@@ -166,6 +167,15 @@ impl Slot {
     }
 }
 
+/// Live telemetry counters mirroring the cache's own atomics into the
+/// engine's metrics registry (`cache.*` names); absent when telemetry is
+/// disabled, so the hot path pays one `Option` check.
+struct CacheCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
 /// The sharded, bounded, fingerprint-keyed cache both engines share.
 pub(crate) struct LaplacianCache {
     shards: Vec<Mutex<HashMap<u128, Slot>>>,
@@ -190,6 +200,8 @@ pub(crate) struct LaplacianCache {
     /// same graph collapse into one build.
     building: Mutex<HashSet<u128>>,
     built: Condvar,
+    /// Live telemetry mirrors of the hit/miss/eviction counters.
+    live: Option<CacheCounters>,
 }
 
 impl std::fmt::Debug for LaplacianCache {
@@ -224,12 +236,15 @@ impl Drop for BuildClaim<'_> {
 impl LaplacianCache {
     /// An empty cache with `shards` shards, an optional capacity bound
     /// (total entries across all shards; `None` = unbounded), an eviction
-    /// policy and the engine's shared cost model.
+    /// policy, the engine's shared cost model and the engine's telemetry
+    /// sink (hit/miss/eviction counters mirror into `cache.*` metrics when
+    /// the sink is enabled).
     pub(crate) fn new(
         shards: usize,
         capacity: Option<usize>,
         policy: EvictionPolicy,
         cost: Arc<CostModel>,
+        telemetry: &TelemetrySink,
     ) -> Self {
         LaplacianCache {
             shards: (0..shards.max(1))
@@ -248,6 +263,20 @@ impl LaplacianCache {
             rebuild_actual: AtomicU64::new(0),
             building: Mutex::new(HashSet::new()),
             built: Condvar::new(),
+            live: telemetry.registry().map(|registry| CacheCounters {
+                hits: registry.counter("cache.hits"),
+                misses: registry.counter("cache.misses"),
+                evictions: registry.counter("cache.evictions"),
+            }),
+        }
+    }
+
+    /// Publishes the point-in-time gauges (entry count, capacity) into a
+    /// metrics registry; the event counters stream in live instead.
+    pub(crate) fn publish_metrics(&self, registry: &MetricsRegistry) {
+        registry.gauge("cache.entries").set(self.len() as u64);
+        if let Some(capacity) = self.capacity {
+            registry.gauge("cache.capacity").set(capacity as u64);
         }
     }
 
@@ -319,6 +348,9 @@ impl LaplacianCache {
         let entry = slot.entry.clone();
         drop(shard);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(live) = &self.live {
+            live.hits.incr();
+        }
         Some(entry)
     }
 
@@ -370,6 +402,9 @@ impl LaplacianCache {
             // *completed* build, so an aborted build never skews the
             // hit/miss ratio or the model.
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(live) = &self.live {
+                live.misses.incr();
+            }
             self.rebuild_predicted.fetch_add(
                 self.cost
                     .prior_estimate(CostKind::LaplacianPreprocess, dims),
@@ -462,6 +497,9 @@ impl LaplacianCache {
             };
             if self.shards[i].lock().expect("shard").remove(&key).is_some() {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(live) = &self.live {
+                    live.evictions.incr();
+                }
                 match self.policy {
                     EvictionPolicy::Lru => self.lru_evictions.fetch_add(1, Ordering::Relaxed),
                     EvictionPolicy::CostAware => {
@@ -485,7 +523,13 @@ mod tests {
         capacity: Option<usize>,
         policy: EvictionPolicy,
     ) -> LaplacianCache {
-        LaplacianCache::new(shards, capacity, policy, Arc::new(CostModel::new()))
+        LaplacianCache::new(
+            shards,
+            capacity,
+            policy,
+            Arc::new(CostModel::new()),
+            &TelemetrySink::disabled(),
+        )
     }
 
     /// `get_or_build` with the dims derived from the graph, as the engines

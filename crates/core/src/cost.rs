@@ -482,6 +482,36 @@ impl CostModel {
             .fetch_add(rounds.max(1), Ordering::Relaxed);
     }
 
+    /// Publishes the model's calibration state into a telemetry registry as
+    /// gauges: per-kind observation counts (`cost.observations.<kind>`), the
+    /// number of calibrated `(kind, bucket)` cells (`cost.calibrated_cells`)
+    /// and the service-rate sums (`cost.service_rounds` /
+    /// `cost.service_nanos`). Read-only — publishing never perturbs the
+    /// calibration loop, so the deterministic replay at report aggregation
+    /// is unaffected.
+    pub fn publish_metrics(&self, registry: &crate::telemetry::MetricsRegistry) {
+        let mut calibrated_cells = 0u64;
+        for kind in CostKind::ALL {
+            registry
+                .gauge(&format!("cost.observations.{}", kind.label()))
+                .set(self.observations(kind));
+            calibrated_cells += self.kinds[kind.index()]
+                .cells
+                .iter()
+                .filter(|cell| cell.observations.load(Ordering::Relaxed) > 0)
+                .count() as u64;
+        }
+        registry
+            .gauge("cost.calibrated_cells")
+            .set(calibrated_cells);
+        registry
+            .gauge("cost.service_rounds")
+            .set(self.service_rounds.load(Ordering::Relaxed));
+        registry
+            .gauge("cost.service_nanos")
+            .set(self.service_nanos.load(Ordering::Relaxed));
+    }
+
     /// Converts a round estimate into expected wall-clock time through the
     /// calibrated service rate. `None` until the first
     /// [`CostModel::observe_service`] — an uncalibrated model refuses to

@@ -144,6 +144,18 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_samples_collapse_every_percentile() {
+        // Nearest-rank on a constant distribution must pick the constant at
+        // every percentile — no interpolation artifacts.
+        let p = LatencyPercentiles::from_ns_samples(vec![42; 1000]);
+        assert_eq!(p.samples, 1000);
+        assert_eq!(p.p50_ns, 42);
+        assert_eq!(p.p95_ns, 42);
+        assert_eq!(p.p99_ns, 42);
+        assert_eq!(p.max_ns, 42);
+    }
+
+    #[test]
     fn report_lookup_by_label() {
         let report = LatencyReport {
             classes: vec![ClassLatency {

@@ -49,6 +49,47 @@
 //! [`solve_laplacian_bcc`], [`min_cost_max_flow_bcc`]) remain as thin
 //! panicking wrappers over `Session` for backwards compatibility; prefer the
 //! session API in new code.
+//!
+//! ## Live telemetry and tracing
+//!
+//! The serving engines accept a [`telemetry::TelemetrySink`]: a cheap,
+//! cloneable handle that is a no-op by default and, when enabled, records
+//! lock-free metrics plus a per-request lifecycle timeline timestamped
+//! through the engine's injectable [`Clock`] — under a [`VirtualClock`]
+//! the exported trace is byte-for-byte deterministic, and telemetry never
+//! feeds back into scheduling, so reports stay bit-identical with tracing
+//! on or off.
+//!
+//! ```
+//! use bcc_core::batch::Request;
+//! use bcc_core::stream::{Priority, StreamEngine};
+//! use bcc_core::telemetry::{TelemetrySink, TraceEvent};
+//!
+//! let sink = TelemetrySink::enabled();
+//! let mut engine = StreamEngine::builder()
+//!     .seed(2022)
+//!     .telemetry(sink.clone())
+//!     .build();
+//! engine.serve(|client| {
+//!     let g = bcc_core::graph::generators::grid(3, 3);
+//!     let t = client
+//!         .submit(Request::sparsify(g, 0.5), Priority::Interactive)
+//!         .unwrap();
+//!     client.wait(t).unwrap();
+//! });
+//! // Metrics snapshot (JSON-serializable) and a Chrome trace-event
+//! // timeline (load it into chrome://tracing or ui.perfetto.dev).
+//! let metrics = sink.metrics_snapshot().unwrap();
+//! assert_eq!(metrics.counter("stream.dispatched"), 1);
+//! let dispatched = sink
+//!     .trace_records()
+//!     .iter()
+//!     .filter(|r| r.event == TraceEvent::Dispatched)
+//!     .count();
+//! assert_eq!(dispatched as u64, metrics.counter("stream.dispatched"));
+//! let timeline: String = sink.chrome_trace().unwrap();
+//! assert!(timeline.contains("\"traceEvents\""));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +114,7 @@ pub mod report;
 mod serve;
 pub mod session;
 pub mod stream;
+pub mod telemetry;
 pub mod wfq;
 
 pub use algorithm::{
@@ -93,6 +135,7 @@ pub use stream::{
     BackpressurePolicy, ClassStats, Priority, RateLimit, SchedulerStats, StreamClient,
     StreamEngine, StreamEngineBuilder, StreamOutput, StreamReport, Ticket,
 };
+pub use telemetry::{MetricsSnapshot, TelemetrySink, TraceEvent, TraceRecord};
 
 /// Commonly used types, re-exported for `use bcc_core::prelude::*`.
 pub mod prelude {
@@ -105,6 +148,7 @@ pub mod prelude {
     pub use crate::report::RoundReport;
     pub use crate::session::{LpRequest, Outcome, PreparedLaplacian, Session};
     pub use crate::stream::{BackpressurePolicy, Priority, RateLimit, StreamEngine};
+    pub use crate::telemetry::{MetricsSnapshot, TelemetrySink, TraceEvent};
     pub use bcc_flow::{min_cost_max_flow_bcc, ssp_min_cost_max_flow, McmfOptions};
     pub use bcc_graph::{DiGraph, FlowInstance, Graph};
     pub use bcc_laplacian::LaplacianSolver;

@@ -25,6 +25,7 @@ use crate::cost::{CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
 use crate::session::{LpRequest, Outcome, Session};
+use crate::telemetry::{MetricsRegistry, TelemetrySink};
 
 /// One pipeline request submitted to a serving engine.
 // Requests are queue items, not hot-loop values: the size skew between an
@@ -216,6 +217,10 @@ pub(crate) struct EngineCore {
     /// builds), consulted by the scheduler, deadline admission and
     /// cost-aware eviction.
     pub(crate) cost: Arc<CostModel>,
+    /// The engine's telemetry sink: disabled by default, in which case
+    /// every emission site is a single `Option` check. Telemetry is
+    /// write-only — nothing on the result or accounting path reads it.
+    pub(crate) telemetry: TelemetrySink,
 }
 
 impl EngineCore {
@@ -227,14 +232,30 @@ impl EngineCore {
         cache_capacity: Option<usize>,
         eviction_policy: EvictionPolicy,
         cost: Arc<CostModel>,
+        telemetry: TelemetrySink,
     ) -> Self {
         EngineCore {
             model,
             seed,
             epsilon,
-            cache: LaplacianCache::new(shards, cache_capacity, eviction_policy, Arc::clone(&cost)),
+            cache: LaplacianCache::new(
+                shards,
+                cache_capacity,
+                eviction_policy,
+                Arc::clone(&cost),
+                &telemetry,
+            ),
             cost,
+            telemetry,
         }
+    }
+
+    /// Publishes the point-in-time gauges of the core's shared components
+    /// (cache occupancy, cost-model calibration) into `registry`; live event
+    /// counters stream in as they happen instead.
+    pub(crate) fn publish_metrics(&self, registry: &MetricsRegistry) {
+        self.cache.publish_metrics(registry);
+        self.cost.publish_metrics(registry);
     }
 
     /// See [`derive_request_seed`].

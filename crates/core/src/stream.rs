@@ -192,6 +192,7 @@ use crate::latency::{ClassLatency, LatencyPercentiles, LatencyReport};
 use crate::report::RoundReport;
 use crate::serve::{EngineCore, RequestRecord};
 use crate::session::{Outcome, Session};
+use crate::telemetry::{EngineCounters, MetricsSnapshot, TelemetrySink, TraceEvent, NO_REQUEST};
 use crate::wfq::{ClassConfig, WfqJob, WfqQueue};
 
 pub use crate::serve::{Request, Response};
@@ -375,6 +376,8 @@ pub struct StreamEngineBuilder {
     clock: Option<Arc<dyn Clock>>,
     /// Class overrides in configuration order; normalized in `build`.
     classes: Vec<(Priority, ClassConfig)>,
+    /// The engine's telemetry sink; disabled by default.
+    telemetry: TelemetrySink,
 }
 
 impl Default for StreamEngineBuilder {
@@ -394,6 +397,7 @@ impl Default for StreamEngineBuilder {
             cost_model: None,
             clock: None,
             classes: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -501,6 +505,23 @@ impl StreamEngineBuilder {
         self
     }
 
+    /// Attaches a live [`TelemetrySink`] (default: a disabled sink, which
+    /// reduces every instrumentation point to a single `Option` check).
+    /// An **enabled** sink records lock-free engine counters, gauges and
+    /// duration histograms into its [`crate::telemetry::MetricsRegistry`]
+    /// and per-request lifecycle [`TraceEvent`]s timestamped on the
+    /// engine's [`Clock`] — so traces taken under a
+    /// [`crate::clock::VirtualClock`] are deterministic. Snapshot live
+    /// metrics with [`StreamClient::telemetry_snapshot`] (or through a
+    /// retained clone of the sink, which shares the same registry and
+    /// tracer). Telemetry is strictly write-only: nothing it records feeds
+    /// back into scheduling or results, so the determinism contract is
+    /// unchanged with tracing on or off.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
     /// Injects the engine's time source (default: a fresh [`SystemClock`]).
     /// Every deadline anchor, expiry sweep, latency timestamp and
     /// service-rate observation reads this clock; injecting a
@@ -574,6 +595,7 @@ impl StreamEngineBuilder {
                 self.eviction_policy,
                 self.cost_model
                     .unwrap_or_else(|| Arc::new(CostModel::new())),
+                self.telemetry,
             ),
             min_workers,
             max_workers,
@@ -666,6 +688,14 @@ impl StreamEngine {
         &self.core.cost
     }
 
+    /// The engine's telemetry sink (disabled unless one was attached with
+    /// [`StreamEngineBuilder::telemetry`]). Clones share the same registry
+    /// and tracer, so a caller can export metrics and traces after (or
+    /// during) a serve scope from its own handle.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.core.telemetry
+    }
+
     /// The WFQ weight of a class (its default if never configured).
     pub fn class_weight(&self, class: Priority) -> u32 {
         self.classes
@@ -752,6 +782,7 @@ impl StreamEngine {
             meta: Mutex::new(Vec::new()),
             rejected: AtomicU64::new(0),
             prep: Mutex::new(HashMap::new()),
+            tcounters: self.core.telemetry.registry().map(EngineCounters::register),
         };
         let value = thread::scope(|scope| {
             // Spawn the pool's upper bound of threads; the ones beyond the
@@ -1128,6 +1159,48 @@ struct Shared<'e> {
     meta: Mutex<Vec<SubmitMeta>>,
     rejected: AtomicU64,
     prep: Mutex<HashMap<u128, RoundReport>>,
+    /// Pre-registered engine counter/gauge/histogram handles — `Some` iff
+    /// the engine's telemetry sink is enabled, so one `Option` check gates
+    /// every instrumentation point.
+    tcounters: Option<EngineCounters>,
+}
+
+impl Shared<'_> {
+    /// Emits one trace event on the engine's clock axis. Reads the clock
+    /// only when the sink is enabled, so a disabled sink costs exactly the
+    /// `is_enabled` check.
+    fn trace(&self, lane: usize, event: TraceEvent, request: u64, detail: u64) {
+        if self.core.telemetry.is_enabled() {
+            self.core
+                .telemetry
+                .trace(lane, self.clock.now(), event, request, detail);
+        }
+    }
+}
+
+/// Re-evaluates the pool target against the live backlog (see
+/// [`desired_workers`]), emitting pool telemetry on a transition. Returns
+/// `true` when the pool grew — the caller must then wake parked workers.
+/// The before/after reads race concurrent resizes, which is fine: the
+/// events are observability, the authoritative counters live in
+/// [`PoolState`].
+fn resize_pool(shared: &Shared<'_>, lane: usize, queue: &StreamQueue) -> bool {
+    let before = shared.pool.target();
+    let grew = shared.pool.resize_to(desired_workers(shared, queue));
+    if let Some(tc) = &shared.tcounters {
+        let after = shared.pool.target();
+        if after > before {
+            tc.pool_grows.incr();
+            tc.pool_target.set(after as u64);
+            tc.pool_peak.set_max(after as u64);
+            shared.trace(lane, TraceEvent::PoolGrow, NO_REQUEST, after as u64);
+        } else if after < before {
+            tc.pool_shrinks.incr();
+            tc.pool_target.set(after as u64);
+            shared.trace(lane, TraceEvent::PoolShrink, NO_REQUEST, after as u64);
+        }
+    }
+    grew
 }
 
 /// One scheduling decision: either a job to execute, a batch of jobs that
@@ -1142,6 +1215,9 @@ enum Work {
 }
 
 fn worker_loop(shared: &Shared<'_>, id: usize) {
+    // Trace lane convention: lane 0 is admission/collection (the client
+    // side), lane `1 + id` is this worker.
+    let lane = 1 + id;
     loop {
         let work = {
             let mut queue = shared.queue.lock().expect("stream queue");
@@ -1152,12 +1228,16 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
                 // Once the scope is draining the target is moot — every
                 // thread helps finish the admitted work.
                 if !queue.closed {
-                    if shared.pool.resize_to(desired_workers(shared, &queue)) {
+                    if resize_pool(shared, lane, &queue) {
                         shared.not_empty.notify_all();
                     }
                     if id >= shared.pool.target() {
                         // Parked: over the target, so this thread must not
                         // dispatch. A grow resize or the drain wakes it.
+                        if let Some(tc) = &shared.tcounters {
+                            tc.pool_parks.incr();
+                            shared.trace(lane, TraceEvent::WorkerPark, NO_REQUEST, id as u64);
+                        }
                         queue = shared.not_empty.wait(queue).expect("stream queue");
                         continue;
                     }
@@ -1185,6 +1265,15 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
             Work::Expired(expired) => {
                 let mut done = shared.done.lock().expect("completion table");
                 for (job, late_by) in expired {
+                    if let Some(tc) = &shared.tcounters {
+                        tc.expired.incr();
+                        shared.trace(
+                            lane,
+                            TraceEvent::Expired,
+                            job.index,
+                            u64::try_from(late_by.as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
                     let error = Error::DeadlineExceeded { late_by };
                     done.costs.insert(
                         job.index,
@@ -1211,8 +1300,19 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
         // blocked in `wait`/`submit` fails loudly instead of hanging, then
         // let `thread::scope` propagate the panic out of `serve`.
         let started = shared.clock.now();
+        if let Some(tc) = &shared.tcounters {
+            let wait = started.saturating_sub(job.payload.admitted_at);
+            tc.dispatched.incr();
+            tc.queue_wait.record(wait);
+            shared.trace(
+                lane,
+                TraceEvent::Dispatched,
+                job.index,
+                u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         let (result, built_rounds) =
-            match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job))) {
+            match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, lane, &job))) {
                 Ok(result) => result,
                 Err(payload) => {
                     shared.queue.lock().expect("stream queue").poisoned = true;
@@ -1223,6 +1323,10 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
                 }
             };
         let finished = shared.clock.now();
+        if let Some(tc) = &shared.tcounters {
+            tc.completed.incr();
+            tc.service.record(finished.saturating_sub(started));
+        }
         // Feed the calibration loop: a successful completion's actual
         // rounds calibrate its kind's rate, and its wall-clock time
         // calibrates the service rate deadline admission converts rounds
@@ -1276,20 +1380,35 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
 /// this call *built* (zero on cache hits and for non-Laplacian jobs) — a
 /// build shares the job's wall-clock, so the service-rate observation must
 /// count its rounds alongside the solve's.
-fn execute_job(shared: &Shared<'_>, job: &Job) -> (Result<Outcome<Response>, Error>, u64) {
+fn execute_job(
+    shared: &Shared<'_>,
+    lane: usize,
+    job: &Job,
+) -> (Result<Outcome<Response>, Error>, u64) {
     match job.payload.fp {
         Some(fp) => {
             let graph = match &job.payload.request {
                 Request::Laplacian { graph, .. } => graph,
                 _ => unreachable!("only laplacian jobs carry a fingerprint"),
             };
+            // The build closure runs exactly when this call is the one that
+            // builds — which is exactly a cache miss, so the miss and the
+            // build bracket are traced inside it. Waiting on (or finding)
+            // another worker's build is the hit path.
             let (entry, built) =
                 shared
                     .core
                     .cache
                     .get_or_build(fp, CostDims::of_graph(graph), || {
-                        shared.core.build_entry(graph)
+                        shared.trace(lane, TraceEvent::CacheMiss, job.index, 0);
+                        shared.trace(lane, TraceEvent::BuildBegin, job.index, 0);
+                        let entry = shared.core.build_entry(graph);
+                        shared.trace(lane, TraceEvent::BuildEnd, job.index, entry.1.total_rounds);
+                        entry
                     });
+            if !built {
+                shared.trace(lane, TraceEvent::CacheHit, job.index, 0);
+            }
             // Record the preprocessing cost once per distinct fingerprint —
             // a pure function of (master seed, graph), so whichever worker
             // records it first records the same value.
@@ -1300,19 +1419,30 @@ fn execute_job(shared: &Shared<'_>, job: &Job) -> (Result<Outcome<Response>, Err
                 .entry(fp.as_u128())
                 .or_insert_with(|| entry.1.clone());
             let built_rounds = if built { entry.1.total_rounds } else { 0 };
-            (
+            shared.trace(lane, TraceEvent::SolveBegin, job.index, 0);
+            let result =
                 shared
                     .core
-                    .execute(job.index as usize, &job.payload.request, Some(&entry)),
-                built_rounds,
-            )
+                    .execute(job.index as usize, &job.payload.request, Some(&entry));
+            let solved_rounds = result
+                .as_ref()
+                .map(|outcome| outcome.report.total_rounds)
+                .unwrap_or(0);
+            shared.trace(lane, TraceEvent::SolveEnd, job.index, solved_rounds);
+            (result, built_rounds)
         }
-        None => (
-            shared
+        None => {
+            shared.trace(lane, TraceEvent::SolveBegin, job.index, 0);
+            let result = shared
                 .core
-                .execute(job.index as usize, &job.payload.request, None),
-            0,
-        ),
+                .execute(job.index as usize, &job.payload.request, None);
+            let solved_rounds = result
+                .as_ref()
+                .map(|outcome| outcome.report.total_rounds)
+                .unwrap_or(0);
+            shared.trace(lane, TraceEvent::SolveEnd, job.index, solved_rounds);
+            (result, 0)
+        }
     }
 }
 
@@ -1419,6 +1549,15 @@ impl StreamClient<'_> {
             match self.shared.policy {
                 BackpressurePolicy::Reject => {
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tc) = &self.shared.tcounters {
+                        tc.rejected.incr();
+                        self.shared.trace(
+                            0,
+                            TraceEvent::Rejected,
+                            NO_REQUEST,
+                            self.shared.queue_capacity as u64,
+                        );
+                    }
                     return Err(Error::Overloaded {
                         capacity: self.shared.queue_capacity,
                     });
@@ -1445,6 +1584,15 @@ impl StreamClient<'_> {
                 if let Some(expected_wait) = self.shared.core.cost.expected_duration(wait_rounds) {
                     if expected_wait > deadline {
                         queue.q.reject_infeasible(priority);
+                        if let Some(tc) = &self.shared.tcounters {
+                            tc.infeasible.incr();
+                            self.shared.trace(
+                                0,
+                                TraceEvent::Infeasible,
+                                NO_REQUEST,
+                                u64::try_from(expected_wait.as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
                         return Err(Error::DeadlineInfeasible {
                             deadline,
                             expected_wait,
@@ -1463,12 +1611,18 @@ impl StreamClient<'_> {
             deadline_at,
             cost,
         );
+        if let Some(tc) = &self.shared.tcounters {
+            tc.submitted.incr();
+            tc.queued.incr();
+            tc.queue_depth.set(queue.q.queued() as u64);
+            self.shared.trace(0, TraceEvent::Submitted, index, cost);
+            self.shared
+                .trace(0, TraceEvent::Queued, index, queue.q.queued() as u64);
+        }
         // Grow the pool before the new job's wait begins, not after a
         // worker notices the backlog: admission is where queued deadlines
         // start ticking. (`not_empty` is notified below either way.)
-        self.shared
-            .pool
-            .resize_to(desired_workers(self.shared, &queue));
+        resize_pool(self.shared, 0, &queue);
         // Record the admission while still holding the queue lock, so the
         // meta log is in submission order by construction.
         self.shared
@@ -1517,6 +1671,7 @@ impl StreamClient<'_> {
         let result = done.results.remove(&ticket.index);
         if result.is_some() {
             done.collected.insert(ticket.index);
+            self.mark_collected(ticket.index);
         }
         result
     }
@@ -1535,6 +1690,7 @@ impl StreamClient<'_> {
         loop {
             if let Some(result) = done.results.remove(&ticket.index) {
                 done.collected.insert(ticket.index);
+                self.mark_collected(ticket.index);
                 return result;
             }
             assert!(
@@ -1580,6 +1736,7 @@ impl StreamClient<'_> {
         loop {
             if let Some(result) = done.results.remove(&ticket.index) {
                 done.collected.insert(ticket.index);
+                self.mark_collected(ticket.index);
                 return result;
             }
             assert!(
@@ -1601,6 +1758,42 @@ impl StreamClient<'_> {
                 .expect("completion table");
             done = guard;
         }
+    }
+
+    /// Emits the collection telemetry of one redeemed ticket.
+    fn mark_collected(&self, index: u64) {
+        if let Some(tc) = &self.shared.tcounters {
+            tc.collected.incr();
+            self.shared.trace(0, TraceEvent::Collected, index, 0);
+        }
+    }
+
+    /// Snapshots the engine's live telemetry metrics, or `None` when no
+    /// enabled [`TelemetrySink`] was attached
+    /// ([`StreamEngineBuilder::telemetry`]).
+    ///
+    /// The lock-free engine counters and histograms are always current; on
+    /// top of them this call *publishes* the point-in-time state of the
+    /// subsystems that are not instrumented live — the WFQ per-class
+    /// counters (`wfq.*`), the cache occupancy (`cache.entries` /
+    /// `cache.capacity`), the cost model's calibration coverage (`cost.*`)
+    /// and the pool's current target and peak (`pool.*` gauges) — then
+    /// snapshots the whole registry. Snapshotting never blocks workers
+    /// beyond the queue lock the publish step takes, and never perturbs
+    /// scheduling or results.
+    pub fn telemetry_snapshot(&self) -> Option<MetricsSnapshot> {
+        let registry = self.shared.core.telemetry.registry()?;
+        {
+            let queue = self.shared.queue.lock().expect("stream queue");
+            queue.q.publish_metrics(registry);
+        }
+        self.shared.core.publish_metrics(registry);
+        if let Some(tc) = &self.shared.tcounters {
+            let pool = self.shared.pool.stats();
+            tc.pool_target.set(self.shared.pool.target() as u64);
+            tc.pool_peak.set_max(pool.peak_workers as u64);
+        }
+        Some(registry.snapshot())
     }
 
     /// Number of submissions admitted so far in this scope.

@@ -591,6 +591,38 @@ impl<T> WfqQueue<T> {
             classes: self.classes.iter().map(|c| c.stats()).collect(),
         }
     }
+
+    /// Publishes the queue's state into a telemetry registry: global gauges
+    /// (`wfq.queued`, `wfq.backlog_rounds`) plus one gauge per class counter
+    /// (`wfq.<class>.submitted` / `.dispatched` / `.expired` / `.throttled`
+    /// / `.infeasible`). The queue itself is the source of truth, so these
+    /// are point-in-time gauges rather than live counters; read-only, never
+    /// consulted by scheduling.
+    pub fn publish_metrics(&self, registry: &crate::telemetry::MetricsRegistry) {
+        registry.gauge("wfq.queued").set(self.queued as u64);
+        registry
+            .gauge("wfq.backlog_rounds")
+            .set(self.backlog_rounds());
+        for class in &self.classes {
+            let stats = class.stats();
+            let label = &stats.class;
+            registry
+                .gauge(&format!("wfq.{label}.submitted"))
+                .set(stats.submitted);
+            registry
+                .gauge(&format!("wfq.{label}.dispatched"))
+                .set(stats.dispatched);
+            registry
+                .gauge(&format!("wfq.{label}.expired"))
+                .set(stats.expired);
+            registry
+                .gauge(&format!("wfq.{label}.throttled"))
+                .set(stats.throttled);
+            registry
+                .gauge(&format!("wfq.{label}.infeasible"))
+                .set(stats.infeasible);
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for WfqQueue<T> {

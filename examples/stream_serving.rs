@@ -195,6 +195,17 @@ fn main() {
         "stream total: {} rounds / {} bits (preprocessing charged once per topology)",
         report.total.total_rounds, report.total.total_bits
     );
+    // Worker-pool sizing counters: timing-dependent (resize decisions race
+    // completions), so they ride on the output instead of the deterministic
+    // report. A fixed pool shows 0 grows / 0 shrinks with peak == min.
+    println!(
+        "worker pool: {}..{} workers, {} grows / {} shrinks, peak {}",
+        output.pool.min_workers,
+        output.pool.max_workers,
+        output.pool.grows,
+        output.pool.shrinks,
+        output.pool.peak_workers,
+    );
 
     // A second scope on the same engine is served from the warm cache.
     let warm = engine.serve(|client| {

@@ -3,8 +3,10 @@
 #
 #   * tests/golden/*.json      — the report JSON schema snapshots
 #                                (golden-freshness guard in the `test` job)
-#   * BENCH_*.json             — the quick cost trajectories plus the
+#   * BENCH_*.json             — the quick cost trajectories, the
 #                                scenario-library load replay BENCH_load.json
+#                                and its per-scenario telemetry snapshots
+#                                BENCH_load_metrics.json
 #                                (`expts --check-trend` in the `bench` job)
 #
 # Run this after any intentional change to the report schemas, to a

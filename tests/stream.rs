@@ -833,6 +833,61 @@ fn a_frozen_virtual_clock_reports_all_zero_latency_samples() {
     assert_eq!(reports[0], reports[1]);
 }
 
+#[test]
+fn a_frozen_virtual_clock_traces_a_reconciled_lifecycle() {
+    let workload = mixed_workload();
+    for workers in [1, 3] {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let sink = TelemetrySink::enabled();
+        let mut engine = StreamEngine::builder()
+            .seed(MASTER_SEED)
+            .workers(workers)
+            .clock(clock)
+            .telemetry(sink.clone())
+            .build();
+        let output = engine.serve(|client| {
+            let tickets: Vec<Ticket> = workload
+                .iter()
+                .map(|(r, p)| client.submit(r.clone(), *p).unwrap())
+                .collect();
+            for t in tickets {
+                let _ = client.wait(t);
+            }
+        });
+        let records = sink.trace_records();
+        assert_eq!(sink.dropped_events(), 0);
+        // A frozen clock pins every event timestamp at zero whatever the
+        // worker interleaving — the trace's time axis is deterministic.
+        assert!(records.iter().all(|r| r.at_ns == 0));
+        let count = |event: TraceEvent| records.iter().filter(|r| r.event == event).count() as u64;
+        let dispatched: u64 = output
+            .report
+            .scheduler
+            .classes
+            .iter()
+            .map(|c| c.dispatched)
+            .sum();
+        // The lifecycle reconciles exactly with the engine's accounting:
+        // one event per state transition, none dropped or double-fired.
+        assert_eq!(count(TraceEvent::Submitted), output.report.requests);
+        assert_eq!(count(TraceEvent::Queued), output.report.requests);
+        assert_eq!(count(TraceEvent::Dispatched), dispatched);
+        assert_eq!(count(TraceEvent::SolveBegin), dispatched);
+        assert_eq!(count(TraceEvent::SolveEnd), dispatched);
+        assert_eq!(count(TraceEvent::Collected), output.report.requests);
+        assert_eq!(count(TraceEvent::Expired), output.report.expired);
+        // The exported timeline is well-formed and carries one instant
+        // event per record plus per-lane metadata.
+        let chrome = sink.chrome_trace().expect("enabled sink exports");
+        assert!(chrome.starts_with('{') && chrome.ends_with('}'));
+        assert_eq!(
+            chrome.matches("\"ph\":\"i\"").count(),
+            records.len(),
+            "one instant event per trace record"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The unified cost model: size-aware tags and deadline-aware admission steer
 // latency only; estimation error is reported deterministically.
@@ -1337,6 +1392,34 @@ mod cost_model_properties {
             prop_assert_eq!(pool.max_workers, pool_min + pool_span);
             prop_assert!(pool.peak_workers >= pool.min_workers);
             prop_assert!(pool.peak_workers <= pool.max_workers);
+
+            // Telemetry stays strictly off the deterministic-report path:
+            // a live sink (metrics registry + lifecycle tracing) must leave
+            // the report bit-identical to the untelemetered engine's, and
+            // the trace must reconcile exactly with the scheduler's own
+            // dispatch accounting.
+            let sink = TelemetrySink::with_capacity(8, 1024);
+            let mut traced = StreamEngine::builder()
+                .seed(MASTER_SEED)
+                .workers(workers)
+                .cost_aware_tags(cost_aware == 1)
+                .cost_model(make_model())
+                .telemetry(sink.clone())
+                .build();
+            let traced_output = serve_all(&mut traced);
+            assert_results_match(&traced_output.value, &reference);
+            prop_assert_eq!(&traced_output.report, &output.report);
+            let dispatched_events = sink
+                .trace_records()
+                .iter()
+                .filter(|r| r.event == TraceEvent::Dispatched)
+                .count() as u64;
+            prop_assert_eq!(dispatched_events, dispatched);
+            let snapshot = traced
+                .telemetry()
+                .metrics_snapshot()
+                .expect("enabled sink snapshots");
+            prop_assert_eq!(snapshot.counter("stream.dispatched"), dispatched);
         }
     }
 }
