@@ -1,0 +1,409 @@
+//! End-to-end tests of the `bcc-served` daemon over a real Unix socket:
+//! the determinism contract across the IPC boundary (wire report
+//! bit-identical to in-process), tenant enrollment and quota enforcement,
+//! protocol robustness against garbage input, and graceful drain.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bcc_client::wire::{read_frame, send_msg, write_frame, ClientMsg, ServerMsg, WIRE_SCHEMA};
+use bcc_client::{ServedClient, WireError, WireRequest};
+use bcc_core::config::Priority;
+use bcc_core::stream::{StreamEngineBuilder, StreamReport};
+use bcc_core::tenant::{TenantConfig, TenantDirectory};
+use bcc_core::Request;
+use bcc_graph::generators;
+use bcc_graph::{DiGraph, FlowInstance};
+
+/// A daemon child that is killed (best-effort) when the test ends, so a
+/// failing assertion does not leak a process.
+struct DaemonGuard {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl DaemonGuard {
+    /// Waits for the daemon to exit on its own (after a clean shutdown).
+    fn wait(mut self) {
+        let status = self.child.wait().expect("daemon waitable");
+        assert!(status.success(), "daemon exited with {status}");
+        // Disarm the Drop kill; wait() already reaped the child.
+        self.child = Command::new("true").spawn().expect("spawn true");
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcc-served-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn spawn_daemon(dir: &Path, extra: &[&str]) -> DaemonGuard {
+    let socket = dir.join("bcc.sock");
+    let _ = std::fs::remove_file(&socket);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bcc-served"));
+    cmd.arg("--socket").arg(&socket);
+    for arg in extra {
+        cmd.arg(arg);
+    }
+    cmd.stdout(Stdio::null()).stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn bcc-served");
+    DaemonGuard { child, socket }
+}
+
+/// Connects with retries while the daemon is still binding its socket.
+fn connect(guard: &DaemonGuard, tenant: &str) -> Result<ServedClient, WireError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match ServedClient::connect(&guard.socket, tenant) {
+            Err(WireError::Io { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => return other,
+        }
+    }
+}
+
+fn raw_connect(guard: &DaemonGuard) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match UnixStream::connect(&guard.socket) {
+            Ok(stream) => return stream,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("cannot connect to daemon: {e}"),
+        }
+    }
+}
+
+/// The mixed workload both sides of the bit-identity test submit: a
+/// sparsification, two Laplacian solves on the same topology (the second
+/// must hit the prepared-solver cache), and a small min-cost max-flow.
+fn workload() -> Vec<Request> {
+    let grid = generators::grid(3, 3);
+    let mut b = vec![0.0; 9];
+    b[0] = 1.0;
+    b[8] = -1.0;
+    let mut b2 = vec![0.0; 9];
+    b2[2] = 2.0;
+    b2[6] = -2.0;
+    let flow = FlowInstance::new(
+        DiGraph::from_arcs(4, [(0, 1, 2, 1), (0, 2, 1, 2), (1, 3, 2, 1), (2, 3, 2, 1)]),
+        0,
+        3,
+    );
+    vec![
+        Request::sparsify(generators::grid(3, 4), 0.9),
+        Request::laplacian(grid.clone(), b),
+        Request::laplacian(grid, b2),
+        Request::min_cost_max_flow(flow),
+    ]
+}
+
+fn in_process_report(config: bcc_core::EngineConfig, class: Priority) -> StreamReport {
+    let mut engine = StreamEngineBuilder::from_config(config)
+        .expect("handshake config is valid")
+        .build();
+    let output = engine.serve(|client| {
+        for request in workload() {
+            let ticket = client.submit(request, class).expect("admit");
+            client.wait(ticket).expect("complete");
+        }
+    });
+    output.report
+}
+
+#[test]
+fn wire_report_is_bit_identical_to_in_process() {
+    let dir = test_dir("identity");
+    let guard = spawn_daemon(&dir, &[]);
+    let mut client = connect(&guard, "acme").expect("handshake");
+    assert_eq!(client.class(), Priority::custom(0));
+
+    for request in workload() {
+        let wire = WireRequest::from_request(&request).expect("expressible in v1");
+        let ticket = client.submit(wire).expect("admit");
+        let outcome = client.wait(ticket).expect("complete");
+        assert!(outcome.report.total_rounds > 0);
+    }
+    let config = client.config().clone();
+    let class = client.class();
+    let report = client.shutdown().expect("drained report");
+    guard.wait();
+
+    assert_eq!(report.requests, 4);
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.cache_hits, 1, "second Laplacian reuses the solver");
+
+    // The same workload driven in-process with the handshake's config must
+    // produce the same report, bit for bit: determinism survives the IPC
+    // boundary.
+    let local = in_process_report(config, class);
+    assert_eq!(report, local);
+}
+
+#[test]
+fn telemetry_is_observable_over_the_wire() {
+    let dir = test_dir("telemetry");
+    let guard = spawn_daemon(&dir, &[]);
+    let mut client = connect(&guard, "observer").expect("handshake");
+
+    let request = WireRequest::from_request(&Request::sparsify(generators::grid(3, 3), 0.9))
+        .expect("expressible");
+    let ticket = client.submit(request).expect("admit");
+    client.wait(ticket).expect("complete");
+
+    let snapshot = client.telemetry_snapshot().expect("live snapshot");
+    assert_eq!(snapshot.schema, "bcc-metrics/v1");
+    assert!(snapshot.counter("stream.submitted") >= 1);
+    assert!(snapshot.counter("stream.completed") >= 1);
+
+    let trace = client.chrome_trace().expect("trace export");
+    assert!(
+        trace.contains("traceEvents"),
+        "Chrome trace-event envelope expected"
+    );
+
+    client.shutdown().expect("drained report");
+    guard.wait();
+}
+
+#[test]
+fn closed_enrollment_rejects_strangers_and_enforces_quotas() {
+    let dir = test_dir("tenants");
+    let mut directory = TenantDirectory::new();
+    directory
+        .register(TenantConfig {
+            name: "victim".to_string(),
+            weight: 4,
+            rate_limit: None,
+            cache_quota: Some(1),
+        })
+        .expect("register victim");
+    directory
+        .register(TenantConfig::new("flooder"))
+        .expect("register flooder");
+    let tenants_path = dir.join("tenants.json");
+    std::fs::write(
+        &tenants_path,
+        serde_json::to_string_pretty(&directory).expect("serialize directory"),
+    )
+    .expect("write tenants file");
+
+    let guard = spawn_daemon(&dir, &["--tenants", tenants_path.to_str().unwrap()]);
+
+    // Unknown tenants are refused at handshake.
+    let err = connect(&guard, "stranger").expect_err("closed enrollment");
+    match err {
+        WireError::Remote(fault) => assert_eq!(fault.code, "unknown-tenant"),
+        other => panic!("expected a remote fault, got {other:?}"),
+    }
+
+    // The victim's quota admits one distinct topology, then rejects.
+    let mut victim = connect(&guard, "victim").expect("enrolled tenant");
+    assert_eq!(victim.class(), Priority::custom(0));
+    let mut b = vec![0.0; 9];
+    b[0] = 1.0;
+    b[8] = -1.0;
+    let first = WireRequest::from_request(&Request::laplacian(generators::grid(3, 3), b.clone()))
+        .expect("expressible");
+    let ticket = victim.submit(first).expect("within quota");
+    victim.wait(ticket).expect("complete");
+
+    // Same topology again: already charged, still admitted.
+    let mut b2 = vec![0.0; 9];
+    b2[4] = 1.0;
+    b2[0] = -1.0;
+    let again = WireRequest::from_request(&Request::laplacian(generators::grid(3, 3), b2))
+        .expect("expressible");
+    let ticket = victim.submit(again).expect("charged topology is free");
+    victim.wait(ticket).expect("complete");
+
+    // A second distinct topology exceeds the quota of 1, typed.
+    let mut b3 = vec![0.0; 16];
+    b3[0] = 1.0;
+    b3[15] = -1.0;
+    let over = WireRequest::from_request(&Request::laplacian(generators::grid(4, 4), b3))
+        .expect("expressible");
+    match victim.submit(over) {
+        Err(WireError::Remote(fault)) => {
+            assert_eq!(fault.code, "quota-exceeded");
+            assert!(fault.message.contains("victim"));
+        }
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+
+    victim.shutdown().expect("drained report");
+    guard.wait();
+}
+
+#[test]
+fn garbage_input_yields_typed_faults_not_hangs() {
+    let dir = test_dir("garbage");
+    let guard = spawn_daemon(&dir, &[]);
+
+    // An oversized length prefix: the daemon must answer a typed fault (or
+    // close), never allocate or hang.
+    {
+        let mut stream = raw_connect(&guard);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        stream.flush().unwrap();
+        let reply = read_frame(&mut stream);
+        match reply {
+            Ok(Some(payload)) => {
+                let msg: ServerMsg = bcc_client::wire::decode_msg(&payload).unwrap();
+                match msg {
+                    ServerMsg::Fault { fault } => assert_eq!(fault.code, "framing"),
+                    other => panic!("expected framing fault, got {other:?}"),
+                }
+            }
+            Ok(None) => {} // connection dropped: acceptable
+            Err(e) => panic!("reader errored instead of fault/close: {e}"),
+        }
+        // And the connection is dropped afterwards.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
+    // A truncated frame: announce 100 bytes, send 3, hang up.
+    {
+        let mut stream = raw_connect(&guard);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(b"abc").unwrap();
+        stream.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut rest = Vec::new();
+        // The daemon reports a fault or just closes; it must not hang.
+        let _ = stream.read_to_end(&mut rest);
+    }
+
+    // Valid framing, invalid JSON.
+    {
+        let mut stream = raw_connect(&guard);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write_frame(&mut stream, b"this is not json").unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("fault reply");
+        let msg: ServerMsg = bcc_client::wire::decode_msg(&payload).unwrap();
+        match msg {
+            ServerMsg::Fault { fault } => assert_eq!(fault.code, "malformed"),
+            other => panic!("expected malformed fault, got {other:?}"),
+        }
+    }
+
+    // Valid JSON, unknown message tag.
+    {
+        let mut stream = raw_connect(&guard);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write_frame(&mut stream, br#"{"Bogus":{"x":1}}"#).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("fault reply");
+        let msg: ServerMsg = bcc_client::wire::decode_msg(&payload).unwrap();
+        match msg {
+            ServerMsg::Fault { fault } => assert_eq!(fault.code, "malformed"),
+            other => panic!("expected malformed fault, got {other:?}"),
+        }
+    }
+
+    // A protocol message out of order: Submit before Hello.
+    {
+        let mut stream = raw_connect(&guard);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        send_msg(&mut stream, &ClientMsg::Shutdown).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("fault reply");
+        let msg: ServerMsg = bcc_client::wire::decode_msg(&payload).unwrap();
+        match msg {
+            ServerMsg::Fault { fault } => assert_eq!(fault.code, "protocol"),
+            other => panic!("expected protocol fault, got {other:?}"),
+        }
+    }
+
+    // After all that abuse the daemon still serves real clients.
+    let mut client = connect(&guard, "survivor").expect("daemon still alive");
+    let request = WireRequest::from_request(&Request::sparsify(generators::grid(3, 3), 0.9))
+        .expect("expressible");
+    let ticket = client.submit(request).expect("admit");
+    client.wait(ticket).expect("complete");
+    client.shutdown().expect("drained report");
+    guard.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_submissions() {
+    let dir = test_dir("drain");
+    let guard = spawn_daemon(&dir, &[]);
+    let mut client = connect(&guard, "drainer").expect("handshake");
+
+    // Submit a burst and shut down without collecting anything: the drain
+    // must execute all of it, and the final report accounts for it.
+    let mut submitted = 0;
+    for _ in 0..6 {
+        let request = WireRequest::from_request(&Request::sparsify(generators::grid(3, 4), 0.9))
+            .expect("expressible");
+        client.submit(request).expect("admit");
+        submitted += 1;
+    }
+    let report = client.shutdown().expect("drained report");
+    guard.wait();
+
+    assert_eq!(report.requests, submitted);
+    assert_eq!(report.failures, 0, "drained work runs to completion");
+    assert_eq!(report.per_request.len() as u64, submitted);
+
+    // The handshake schema sanity: the report itself is versioned.
+    assert_eq!(report.schema, "bcc-stream-report/v1");
+    assert_eq!(WIRE_SCHEMA, "bcc-wire/v1");
+}
+
+#[test]
+fn wait_timeout_keeps_the_ticket_redeemable_over_the_wire() {
+    let dir = test_dir("waittimeout");
+    let guard = spawn_daemon(&dir, &[]);
+    let mut client = connect(&guard, "patient").expect("handshake");
+
+    let request = WireRequest::from_request(&Request::sparsify(generators::grid(4, 4), 0.9))
+        .expect("expressible");
+    let ticket = client.submit(request).expect("admit");
+    // A zero timeout may or may not beat the worker; both outcomes are
+    // legal, but a timeout must leave the ticket redeemable.
+    match client.wait_timeout(ticket, Duration::from_millis(0)) {
+        Ok(outcome) => assert!(outcome.report.total_rounds > 0),
+        Err(WireError::Remote(fault)) => {
+            assert_eq!(fault.code, "wait-timeout");
+            let outcome = client.wait(ticket).expect("still redeemable");
+            assert!(outcome.report.total_rounds > 0);
+        }
+        Err(other) => panic!("unexpected transport error: {other}"),
+    }
+
+    // A ticket that was never issued is a typed fault, not a crash.
+    match client.wait(999) {
+        Err(WireError::Remote(fault)) => assert_eq!(fault.code, "unknown-ticket"),
+        other => panic!("expected unknown-ticket, got {other:?}"),
+    }
+
+    client.shutdown().expect("drained report");
+    guard.wait();
+}

@@ -74,6 +74,46 @@ fn traced_dispatches_reconcile_with_scheduler_counters() {
 }
 
 #[test]
+fn tenant_flood_keeps_the_victim_inside_its_bounds() {
+    // The serving-layer isolation contract behind `bcc-served`: a
+    // rate-limited flooder tenant (custom-1) offering ~10x the victim's
+    // load must not push the deadline-carrying victim tenant (custom-0)
+    // past its latency bounds. The simulation is deterministic, so these
+    // bounds are exact gates, not flaky thresholds.
+    let path = repo_root().join("scenarios").join("tenant_flood.json");
+    let result = run_scenario(&read_scenario(&path).unwrap(), 2).unwrap();
+    let class = |name: &str| {
+        result
+            .classes
+            .iter()
+            .find(|c| c.class == name)
+            .expect("scenario class present")
+    };
+    let victim = class("custom-0");
+    let flooder = class("custom-1");
+
+    // It is a flood: the flooder offers an order of magnitude more work.
+    assert!(flooder.offered >= 10 * victim.offered);
+
+    // The victim's contract: everything completes, nothing expires, and
+    // end-to-end p99 stays well inside its 20 ms deadline.
+    assert_eq!(victim.completed, victim.offered);
+    assert_eq!(victim.expired, 0);
+    assert_eq!(victim.rejected + victim.infeasible, 0);
+    assert!(
+        victim.end_to_end.p99_ns <= 15_000_000,
+        "victim e2e p99 {} ns exceeds the 15 ms bound",
+        victim.end_to_end.p99_ns
+    );
+
+    // The flooder pays for the pressure it creates: its dispatch is
+    // throttled by the token bucket and its latency is an order of
+    // magnitude worse than the victim's.
+    assert!(flooder.queue_wait.p99_ns > 5 * victim.queue_wait.p99_ns);
+    assert!(flooder.end_to_end.p99_ns > 3 * victim.end_to_end.p99_ns);
+}
+
+#[test]
 fn committed_load_golden_matches_a_fresh_smoke_run() {
     let committed = std::fs::read_to_string(repo_root().join("BENCH_load.json")).unwrap();
     let committed: LoadBench = serde_json::from_str(&committed).unwrap();

@@ -77,6 +77,7 @@ use bcc_runtime::{ModelConfig, RoundLedger};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheEntry, CacheStats, EvictionPolicy};
+use crate::config::{ConfigError, EngineConfig};
 use crate::cost::{CostDims, CostModel};
 use crate::error::Error;
 use crate::report::RoundReport;
@@ -172,15 +173,19 @@ pub struct BatchOutput {
 }
 
 /// Builder of a [`BatchEngine`].
+///
+/// Shares the serde-roundtrippable [`EngineConfig`] schema with
+/// [`crate::stream::StreamEngineBuilder`]: the fluent setters are thin
+/// wrappers over one internally held config, and
+/// [`BatchEngineBuilder::from_config`] consumes a validated config
+/// directly. The stream-only knobs of the schema (queue capacity,
+/// backpressure, class weights and rate limits, elastic worker bounds,
+/// cost-aware tags) do not apply to a batch engine and are ignored here.
 #[derive(Debug, Clone)]
 pub struct BatchEngineBuilder {
-    model: ModelConfig,
-    seed: u64,
-    epsilon: f64,
-    workers: Option<usize>,
-    shards: usize,
-    cache_capacity: Option<usize>,
-    eviction_policy: EvictionPolicy,
+    /// The shared deterministic knobs; see the struct docs for which of
+    /// them a batch engine reads.
+    config: EngineConfig,
     /// The cost model the engine starts from; `None` builds a default one.
     cost_model: Option<Arc<CostModel>>,
     /// The engine's telemetry sink; disabled by default.
@@ -190,13 +195,7 @@ pub struct BatchEngineBuilder {
 impl Default for BatchEngineBuilder {
     fn default() -> Self {
         BatchEngineBuilder {
-            model: ModelConfig::bcc(),
-            seed: 2022,
-            epsilon: 1e-6,
-            workers: None,
-            shards: 16,
-            cache_capacity: None,
-            eviction_policy: EvictionPolicy::Lru,
+            config: EngineConfig::default(),
             cost_model: None,
             telemetry: TelemetrySink::disabled(),
         }
@@ -204,21 +203,42 @@ impl Default for BatchEngineBuilder {
 }
 
 impl BatchEngineBuilder {
+    /// Starts a builder from a validated [`EngineConfig`] — the same
+    /// schema [`crate::stream::StreamEngineBuilder::from_config`] and the
+    /// `bcc-served` daemon consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] of [`EngineConfig::validate`].
+    pub fn from_config(config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(BatchEngineBuilder {
+            config,
+            ..BatchEngineBuilder::default()
+        })
+    }
+
+    /// The builder's current [`EngineConfig`] — round-trips through
+    /// [`BatchEngineBuilder::from_config`] unchanged.
+    pub fn to_config(&self) -> EngineConfig {
+        self.config.clone()
+    }
+
     /// Sets the clique model configuration of the worker sessions.
     pub fn model(mut self, model: ModelConfig) -> Self {
-        self.model = model;
+        self.config.model = model;
         self
     }
 
     /// Sets the master seed per-request seeds are derived from.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.config.seed = seed;
         self
     }
 
     /// Sets the default solve accuracy of the worker sessions.
     pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
+        self.config.epsilon = epsilon;
         self
     }
 
@@ -226,13 +246,13 @@ impl BatchEngineBuilder {
     /// parallelism, capped at 8). A count of 1 degenerates to a sequential
     /// loop — useful to observe the determinism contract directly.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = Some(workers.max(1));
+        self.config.workers = Some(workers.max(1));
         self
     }
 
     /// Sets the number of cache shards (default 16).
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        self.config.shards = shards.max(1);
         self
     }
 
@@ -243,7 +263,7 @@ impl BatchEngineBuilder {
     /// a pure function of `(master seed, graph)`, eviction re-pays rounds
     /// but never changes a result.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = Some(capacity);
+        self.config.cache_capacity = Some(capacity);
         self
     }
 
@@ -252,7 +272,7 @@ impl BatchEngineBuilder {
     /// the policy decides *which* preprocessing is re-paid after eviction,
     /// never any result.
     pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
-        self.eviction_policy = policy;
+        self.config.eviction_policy = policy;
         self
     }
 
@@ -288,19 +308,19 @@ impl BatchEngineBuilder {
 
     /// Finishes the builder.
     pub fn build(self) -> BatchEngine {
-        let workers = self.workers.unwrap_or_else(|| {
+        let workers = self.config.workers.unwrap_or_else(|| {
             thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(4)
         });
         BatchEngine {
             core: EngineCore::new(
-                self.model,
-                self.seed,
-                self.epsilon,
-                self.shards,
-                self.cache_capacity,
-                self.eviction_policy,
+                self.config.model,
+                self.config.seed,
+                self.config.epsilon,
+                self.config.shards,
+                self.config.cache_capacity,
+                self.config.eviction_policy,
                 self.cost_model
                     .unwrap_or_else(|| Arc::new(CostModel::new())),
                 self.telemetry,

@@ -96,6 +96,29 @@ impl std::fmt::Display for EvictionPolicy {
     }
 }
 
+/// Serializes as the policy name string ([`EvictionPolicy::as_str`]).
+impl Serialize for EvictionPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+/// Deserializes from the policy name: `"lru"` or `"cost-aware"`.
+impl Deserialize for EvictionPolicy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::String(name) => match name.as_str() {
+                "lru" => Ok(EvictionPolicy::Lru),
+                "cost-aware" => Ok(EvictionPolicy::CostAware),
+                other => Err(serde::Error::custom(format!(
+                    "unknown eviction policy `{other}` (expected `lru` or `cost-aware`)"
+                ))),
+            },
+            _ => Err(serde::Error::custom("expected an eviction-policy string")),
+        }
+    }
+}
+
 /// Serializable counters of a Laplacian cache, surfaced in
 /// [`crate::batch::BatchReport`] and [`crate::stream::StreamReport`].
 ///

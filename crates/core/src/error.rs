@@ -69,6 +69,17 @@ pub enum Error {
         /// The timeout that elapsed.
         waited: std::time::Duration,
     },
+    /// A tenant's request would push it past its cache quota — the bound on
+    /// distinct prepared topologies one tenant may keep warm in the shared
+    /// [`crate::cache`] (see [`crate::tenant::TenantAccounts`]). The request
+    /// was never admitted; the tenant can retry on an already-charged
+    /// topology or wait for its quota to be released.
+    QuotaExceeded {
+        /// The tenant whose quota the request would exceed.
+        tenant: String,
+        /// The tenant's configured quota (distinct prepared topologies).
+        quota: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -110,6 +121,13 @@ impl std::fmt::Display for Error {
                     "wait timed out after {waited:?}: the submission has not completed yet"
                 )
             }
+            Error::QuotaExceeded { tenant, quota } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` exceeded its cache quota of {quota} distinct prepared \
+                     topologies; the request was not admitted"
+                )
+            }
         }
     }
 }
@@ -126,7 +144,8 @@ impl std::error::Error for Error {
             | Error::Overloaded { .. }
             | Error::DeadlineExceeded { .. }
             | Error::DeadlineInfeasible { .. }
-            | Error::WaitTimeout { .. } => None,
+            | Error::WaitTimeout { .. }
+            | Error::QuotaExceeded { .. } => None,
         }
     }
 }
@@ -207,6 +226,14 @@ mod tests {
             waited: std::time::Duration::from_millis(7),
         };
         assert!(err.to_string().contains("timed out"));
+        assert!(err.source().is_none());
+
+        let err = Error::QuotaExceeded {
+            tenant: "acme".to_string(),
+            quota: 4,
+        };
+        assert!(err.to_string().contains("acme"));
+        assert!(err.to_string().contains("cache quota of 4"));
         assert!(err.source().is_none());
     }
 }

@@ -45,10 +45,13 @@
 //! assert!(session.laplacian(&disconnected).preprocess().is_err());
 //! ```
 //!
-//! The pre-`Session` free functions ([`spectral_sparsify`],
-//! [`solve_laplacian_bcc`], [`min_cost_max_flow_bcc`]) remain as thin
-//! panicking wrappers over `Session` for backwards compatibility; prefer the
-//! session API in new code.
+//! The pre-`Session` free functions (`spectral_sparsify`,
+//! `solve_laplacian_bcc`, `min_cost_max_flow_bcc`) remain as thin panicking
+//! wrappers over `Session` for backwards compatibility, but are
+//! **deprecated**: they panic on malformed input where [`Session`] returns a
+//! typed [`Error`]. Configure engines through [`config::EngineConfig`] — the
+//! one serde-roundtrippable schema both engine builders and the `bcc-served`
+//! daemon consume.
 //!
 //! ## Live telemetry and tracing
 //!
@@ -107,6 +110,7 @@ pub mod algorithm;
 pub mod batch;
 pub mod cache;
 pub mod clock;
+pub mod config;
 pub mod cost;
 pub mod error;
 pub mod latency;
@@ -115,6 +119,7 @@ mod serve;
 pub mod session;
 pub mod stream;
 pub mod telemetry;
+pub mod tenant;
 pub mod wfq;
 
 pub use algorithm::{
@@ -124,6 +129,7 @@ pub use algorithm::{
 pub use batch::{BatchEngine, BatchEngineBuilder, BatchOutput, BatchReport, Request, Response};
 pub use cache::{CacheStats, EvictionPolicy};
 pub use clock::{Clock, SystemClock, VirtualClock};
+pub use config::{ClassEntry, ConfigError, EngineConfig, ENGINE_CONFIG_SCHEMA};
 pub use cost::{CostDims, CostKind, CostModel};
 pub use error::Error;
 pub use latency::{ClassLatency, LatencyPercentiles, LatencyReport};
@@ -136,12 +142,14 @@ pub use stream::{
     StreamEngine, StreamEngineBuilder, StreamOutput, StreamReport, Ticket,
 };
 pub use telemetry::{MetricsSnapshot, TelemetrySink, TraceEvent, TraceRecord};
+pub use tenant::{TenantAccounts, TenantConfig, TenantDirectory};
 
 /// Commonly used types, re-exported for `use bcc_core::prelude::*`.
 pub mod prelude {
     pub use crate::algorithm::BccAlgorithm;
     pub use crate::cache::EvictionPolicy;
     pub use crate::clock::{Clock, SystemClock, VirtualClock};
+    pub use crate::config::EngineConfig;
     pub use crate::cost::{CostDims, CostKind, CostModel};
     pub use crate::error::Error;
     pub use crate::latency::{LatencyPercentiles, LatencyReport};
@@ -174,6 +182,10 @@ pub mod prelude {
 ///
 /// Panics when the session API would return an error (invalid topology,
 /// empty graph, non-positive `epsilon`).
+#[deprecated(
+    since = "0.9.0",
+    note = "use `Session::sparsify`, which returns a typed `Error` instead of panicking"
+)]
 pub fn spectral_sparsify(
     graph: &bcc_graph::Graph,
     epsilon: f64,
@@ -199,6 +211,11 @@ pub fn spectral_sparsify(
 ///
 /// Panics when the session API would return an error (disconnected graph,
 /// wrong right-hand-side length, non-positive `epsilon`).
+#[deprecated(
+    since = "0.9.0",
+    note = "use `Session::laplacian` + `PreparedLaplacian::solve`, which return a typed `Error` \
+            instead of panicking and charge preprocessing once across many right-hand sides"
+)]
 pub fn solve_laplacian_bcc(
     graph: &bcc_graph::Graph,
     b: &[f64],
@@ -229,6 +246,10 @@ pub fn solve_laplacian_bcc(
 ///
 /// Panics when the session API would return an error (empty instance,
 /// rejected LP encoding).
+#[deprecated(
+    since = "0.9.0",
+    note = "use `Session::min_cost_max_flow`, which returns a typed `Error` instead of panicking"
+)]
 pub fn min_cost_max_flow_bcc(
     instance: &bcc_graph::FlowInstance,
     seed: u64,
@@ -245,6 +266,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn sparsify_pipeline_produces_a_connected_sparsifier() {
         let g = bcc_graph::generators::complete(18);
         let (h, report) = spectral_sparsify(&g, 0.5, 3);
@@ -256,6 +278,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn laplacian_pipeline_solves_a_grid_system() {
         let g = bcc_graph::generators::grid(4, 4);
         let mut b = vec![0.0; g.n()];
@@ -268,6 +291,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn flow_pipeline_matches_the_baseline() {
         let g = bcc_graph::DiGraph::from_arcs(
             4,

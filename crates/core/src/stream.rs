@@ -186,6 +186,7 @@ use serde::{Deserialize, Serialize};
 use crate::batch::{PreprocessingCost, RequestCost};
 use crate::cache::{CacheStats, EvictionPolicy};
 use crate::clock::{Clock, SystemClock};
+use crate::config::{ConfigError, EngineConfig};
 use crate::cost::{CalibrationCell, CostDims, CostKind, CostModel};
 use crate::error::Error;
 use crate::latency::{ClassLatency, LatencyPercentiles, LatencyReport};
@@ -208,6 +209,47 @@ pub enum BackpressurePolicy {
     /// Fail fast with [`Error::Overloaded`], leaving the caller to retry or
     /// shed load.
     Reject,
+}
+
+impl BackpressurePolicy {
+    /// The policy name used in serialized configs: `"block"` or `"reject"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::Reject => "reject",
+        }
+    }
+}
+
+impl std::fmt::Display for BackpressurePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Serializes as the policy name string ([`BackpressurePolicy::as_str`]).
+impl Serialize for BackpressurePolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+/// Deserializes from the policy name: `"block"` or `"reject"`.
+impl Deserialize for BackpressurePolicy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::String(name) => match name.as_str() {
+                "block" => Ok(BackpressurePolicy::Block),
+                "reject" => Ok(BackpressurePolicy::Reject),
+                other => Err(serde::Error::custom(format!(
+                    "unknown backpressure policy `{other}` (expected `block` or `reject`)"
+                ))),
+            },
+            _ => Err(serde::Error::custom(
+                "expected a backpressure-policy string",
+            )),
+        }
+    }
 }
 
 /// Completion handle of one admitted submission, returned by
@@ -356,26 +398,23 @@ pub struct PoolStats {
 }
 
 /// Builder of a [`StreamEngine`].
+///
+/// Every deterministic knob lives in one serde-roundtrippable
+/// [`EngineConfig`] the builder holds internally — the fluent setters are
+/// thin wrappers over its fields, [`StreamEngineBuilder::from_config`]
+/// starts from a validated config, and [`StreamEngineBuilder::to_config`]
+/// extracts the current one (to persist, or to hand to the `bcc-served`
+/// daemon). Only the three run-time handles — [`CostModel`],
+/// [`Clock`], [`TelemetrySink`] — stay outside the config.
 #[derive(Debug, Clone)]
 pub struct StreamEngineBuilder {
-    model: ModelConfig,
-    seed: u64,
-    epsilon: f64,
-    workers: Option<usize>,
-    /// Upper bound of an elastic pool; `None` pins the pool at `workers`.
-    max_workers: Option<usize>,
-    shards: usize,
-    queue_capacity: usize,
-    backpressure: BackpressurePolicy,
-    cache_capacity: Option<usize>,
-    eviction_policy: EvictionPolicy,
-    cost_aware_tags: bool,
+    /// All deterministic knobs, shared schema-for-schema with
+    /// [`crate::batch::BatchEngineBuilder`] and the serving daemon.
+    config: EngineConfig,
     /// The cost model the engine starts from; `None` builds a default one.
     cost_model: Option<Arc<CostModel>>,
     /// The time source of the engine; `None` builds a [`SystemClock`].
     clock: Option<Arc<dyn Clock>>,
-    /// Class overrides in configuration order; normalized in `build`.
-    classes: Vec<(Priority, ClassConfig)>,
     /// The engine's telemetry sink; disabled by default.
     telemetry: TelemetrySink,
 }
@@ -383,41 +422,53 @@ pub struct StreamEngineBuilder {
 impl Default for StreamEngineBuilder {
     fn default() -> Self {
         StreamEngineBuilder {
-            model: ModelConfig::bcc(),
-            seed: 2022,
-            epsilon: 1e-6,
-            workers: None,
-            max_workers: None,
-            shards: 16,
-            queue_capacity: 64,
-            backpressure: BackpressurePolicy::Block,
-            cache_capacity: None,
-            eviction_policy: EvictionPolicy::Lru,
-            cost_aware_tags: true,
+            config: EngineConfig::default(),
             cost_model: None,
             clock: None,
-            classes: Vec::new(),
             telemetry: TelemetrySink::disabled(),
         }
     }
 }
 
 impl StreamEngineBuilder {
+    /// Starts a builder from a validated [`EngineConfig`] — the exact
+    /// schema `bcc-served --config` reads from disk and both engine
+    /// builders consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] of [`EngineConfig::validate`];
+    /// unlike the fluent setters (which clamp), a config read from a file
+    /// fails loudly instead of being silently repaired.
+    pub fn from_config(config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(StreamEngineBuilder {
+            config,
+            ..StreamEngineBuilder::default()
+        })
+    }
+
+    /// The builder's current [`EngineConfig`] — round-trips through
+    /// [`StreamEngineBuilder::from_config`] unchanged.
+    pub fn to_config(&self) -> EngineConfig {
+        self.config.clone()
+    }
+
     /// Sets the clique model configuration of the worker sessions.
     pub fn model(mut self, model: ModelConfig) -> Self {
-        self.model = model;
+        self.config.model = model;
         self
     }
 
     /// Sets the master seed per-submission seeds are derived from.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.config.seed = seed;
         self
     }
 
     /// Sets the default solve accuracy of the worker sessions.
     pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
+        self.config.epsilon = epsilon;
         self
     }
 
@@ -427,8 +478,8 @@ impl StreamEngineBuilder {
     /// directly. Clears any [`StreamEngineBuilder::elastic_workers`]
     /// bounds.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = Some(workers.max(1));
-        self.max_workers = None;
+        self.config.workers = Some(workers.max(1));
+        self.config.max_workers = None;
         self
     }
 
@@ -441,14 +492,14 @@ impl StreamEngineBuilder {
     /// [`StreamOutput::pool`] counters) can differ.
     pub fn elastic_workers(mut self, min: usize, max: usize) -> Self {
         let min = min.max(1);
-        self.workers = Some(min);
-        self.max_workers = Some(max.max(min));
+        self.config.workers = Some(min);
+        self.config.max_workers = Some(max.max(min));
         self
     }
 
     /// Sets the number of cache shards (default 16).
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        self.config.shards = shards.max(1);
         self
     }
 
@@ -456,14 +507,14 @@ impl StreamEngineBuilder {
     /// (default 64, minimum 1). What happens beyond the bound is decided by
     /// [`StreamEngineBuilder::backpressure`].
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
-        self.queue_capacity = capacity.max(1);
+        self.config.queue_capacity = capacity.max(1);
         self
     }
 
     /// Sets the overflow behaviour of the bounded admission queue (default
     /// [`BackpressurePolicy::Block`]).
     pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
-        self.backpressure = policy;
+        self.config.backpressure = policy;
         self
     }
 
@@ -473,7 +524,7 @@ impl StreamEngineBuilder {
     /// preprocessing on the next request for the evicted topology but never
     /// changes results.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = Some(capacity);
+        self.config.cache_capacity = Some(capacity);
         self
     }
 
@@ -481,7 +532,7 @@ impl StreamEngineBuilder {
     /// [`EvictionPolicy::Lru`]). Only relevant under a
     /// [`StreamEngineBuilder::cache_capacity`] bound.
     pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
-        self.eviction_policy = policy;
+        self.config.eviction_policy = policy;
         self
     }
 
@@ -492,7 +543,7 @@ impl StreamEngineBuilder {
     /// bit-identical to the sequential [`Session`] loop — the tags decide
     /// dispatch order only.
     pub fn cost_aware_tags(mut self, enabled: bool) -> Self {
-        self.cost_aware_tags = enabled;
+        self.config.cost_aware_tags = enabled;
         self
     }
 
@@ -537,7 +588,7 @@ impl StreamEngineBuilder {
     /// classes 1. A class with weight `w` receives a `w`-proportional share
     /// of dispatches under contention.
     pub fn class_weight(mut self, class: Priority, weight: u32) -> Self {
-        self.class_entry(class).weight = weight.max(1);
+        self.config.class_entry(class).weight = weight.max(1);
         self
     }
 
@@ -545,22 +596,8 @@ impl StreamEngineBuilder {
     /// (default: none). The limiter shapes dispatch order among competing
     /// classes and is work-conserving.
     pub fn class_rate_limit(mut self, class: Priority, limit: RateLimit) -> Self {
-        self.class_entry(class).rate = Some(limit.clamped());
+        self.config.class_entry(class).rate_limit = Some(limit.clamped());
         self
-    }
-
-    fn class_entry(&mut self, class: Priority) -> &mut ClassConfig {
-        if let Some(i) = self.classes.iter().position(|(p, _)| *p == class) {
-            return &mut self.classes[i].1;
-        }
-        self.classes.push((
-            class,
-            ClassConfig {
-                weight: class.default_weight(),
-                rate: None,
-            },
-        ));
-        &mut self.classes.last_mut().expect("just pushed").1
     }
 
     /// Copies model, seed and epsilon from an existing [`Session`], so the
@@ -573,35 +610,52 @@ impl StreamEngineBuilder {
 
     /// Finishes the builder.
     pub fn build(mut self) -> StreamEngine {
-        let min_workers = self.workers.unwrap_or_else(|| {
+        let min_workers = self.config.workers.unwrap_or_else(|| {
             thread::available_parallelism()
                 .map(|p| p.get().min(8))
                 .unwrap_or(4)
         });
-        let max_workers = self.max_workers.unwrap_or(min_workers).max(min_workers);
+        let max_workers = self
+            .config
+            .max_workers
+            .unwrap_or(min_workers)
+            .max(min_workers);
         // Normalize: both built-in classes always exist, order is the
         // deterministic class order of the scheduler stats.
-        self.class_entry(Priority::Interactive);
-        self.class_entry(Priority::Bulk);
-        let mut classes = self.classes;
+        self.config.class_entry(Priority::Interactive);
+        self.config.class_entry(Priority::Bulk);
+        let mut classes: Vec<(Priority, ClassConfig)> = self
+            .config
+            .classes
+            .iter()
+            .map(|entry| {
+                (
+                    entry.class,
+                    ClassConfig {
+                        weight: entry.weight.max(1),
+                        rate: entry.rate_limit.map(RateLimit::clamped),
+                    },
+                )
+            })
+            .collect();
         classes.sort_by_key(|(p, _)| p.key());
         StreamEngine {
             core: EngineCore::new(
-                self.model,
-                self.seed,
-                self.epsilon,
-                self.shards,
-                self.cache_capacity,
-                self.eviction_policy,
+                self.config.model,
+                self.config.seed,
+                self.config.epsilon,
+                self.config.shards,
+                self.config.cache_capacity,
+                self.config.eviction_policy,
                 self.cost_model
                     .unwrap_or_else(|| Arc::new(CostModel::new())),
                 self.telemetry,
             ),
             min_workers,
             max_workers,
-            queue_capacity: self.queue_capacity,
-            backpressure: self.backpressure,
-            cost_aware_tags: self.cost_aware_tags,
+            queue_capacity: self.config.queue_capacity,
+            backpressure: self.config.backpressure,
+            cost_aware_tags: self.config.cost_aware_tags,
             clock: self.clock.unwrap_or_else(|| Arc::new(SystemClock::new())),
             classes,
             ledger: RoundLedger::new(),

@@ -91,6 +91,33 @@ impl Priority {
     }
 }
 
+/// Serializes as the class label string ([`Priority::label`]), so configs
+/// and scenario files spell classes the same way: `"interactive"`,
+/// `"bulk"`, `"custom-7"`.
+impl Serialize for Priority {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.label())
+    }
+}
+
+/// Deserializes from a class label string — the inverse of
+/// [`Priority::label`], via [`Priority::parse_label`].
+impl Deserialize for Priority {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::String(label) => Priority::parse_label(label).ok_or_else(|| {
+                serde::Error::custom(format!(
+                    "unknown scheduling-class label `{label}` \
+                     (expected `interactive`, `bulk` or `custom-<id>`)"
+                ))
+            }),
+            _ => Err(serde::Error::custom(
+                "expected a scheduling-class label string",
+            )),
+        }
+    }
+}
+
 /// A token-bucket rate limit on one scheduling class: at most `tokens`
 /// dispatches of the class per scheduling window of `window` consecutive
 /// dispatches (across all classes). The limiter is work-conserving — it

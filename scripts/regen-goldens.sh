@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== regenerating tests/golden/*.json =="
-UPDATE_GOLDEN=1 cargo test -q --test batch --test stream golden
+UPDATE_GOLDEN=1 cargo test -q --test batch --test stream --test config golden
 
 echo "== regenerating BENCH_*.json (quick trajectories + load scenarios) =="
 cargo run -p bench --release --bin expts -- --quick-json
