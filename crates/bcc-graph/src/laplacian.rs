@@ -15,14 +15,26 @@ use crate::graph::Graph;
 ///
 /// Panics if `x.len() != g.n()`.
 pub fn laplacian_apply(g: &Graph, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), g.n(), "dimension mismatch");
     let mut y = vec![0.0; g.n()];
+    laplacian_apply_into(g, x, &mut y);
+    y
+}
+
+/// Allocation-free variant of [`laplacian_apply`]: writes `L x` into `out`.
+/// Bit-identical to the allocating form (same edge-accumulation order).
+///
+/// # Panics
+///
+/// Panics if `x.len() != g.n()` or `out.len() != g.n()`.
+pub fn laplacian_apply_into(g: &Graph, x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), g.n(), "dimension mismatch");
+    assert_eq!(out.len(), g.n(), "dimension mismatch");
+    out.fill(0.0);
     for e in g.edges() {
         let d = x[e.u] - x[e.v];
-        y[e.u] += e.weight * d;
-        y[e.v] -= e.weight * d;
+        out[e.u] += e.weight * d;
+        out[e.v] -= e.weight * d;
     }
-    y
 }
 
 /// The Laplacian quadratic form `xᵀ L x = Σ_{(u,v)∈E} w(u,v)(x_u − x_v)²`.

@@ -36,4 +36,6 @@ pub mod solver;
 
 pub use error::LaplacianError;
 pub use sdd::{exact_sdd_solve, solve_sdd, NotSddError, SddMatrix, SddSolveMode};
-pub use solver::{cg_baseline, exact_solve, LaplacianSolve, LaplacianSolver};
+pub use solver::{
+    cg_baseline, exact_solve, LaplacianSolve, LaplacianSolveStats, LaplacianSolver, ScratchArena,
+};

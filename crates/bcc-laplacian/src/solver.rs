@@ -15,7 +15,7 @@
 //!    solves one system in `L_H` internally.
 
 use bcc_graph::{laplacian, Graph};
-use bcc_linalg::{chebyshev, vector, DenseMatrix};
+use bcc_linalg::{chebyshev, vector, DenseMatrix, FactoredPsd, SolveScratch};
 use bcc_runtime::{payload, Network};
 use bcc_sparsifier::{quality, sparsify_ad_hoc, SparsifierConfig, SparsifierOutput};
 
@@ -32,6 +32,54 @@ pub struct LaplacianSolve {
     pub rounds: u64,
 }
 
+/// Statistics of an in-place solve ([`LaplacianSolver::try_solve_into`]);
+/// the solution itself is written into the caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplacianSolveStats {
+    /// Chebyshev iterations performed.
+    pub iterations: usize,
+    /// Rounds charged for this instance (excluding preprocessing).
+    pub rounds: u64,
+}
+
+/// Per-worker reusable solve state: the [`SolveScratch`] work vectors of the
+/// Chebyshev iteration plus a right-hand-side staging buffer. A worker that
+/// keeps one arena across requests performs zero heap allocations per warm
+/// solve (buffers grow to the largest `n` seen and stay there until
+/// [`ScratchArena::release`]).
+#[derive(Debug, Clone, Default)]
+pub struct ScratchArena {
+    scratch: SolveScratch,
+    rhs: Vec<f64>,
+}
+
+impl ScratchArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// An arena pre-sized for dimension `n`, so the first solve at that size
+    /// already allocates nothing.
+    pub fn with_dimension(n: usize) -> Self {
+        ScratchArena {
+            scratch: SolveScratch::with_dimension(n),
+            rhs: Vec::with_capacity(n),
+        }
+    }
+
+    /// The largest dimension the arena can serve without allocating.
+    pub fn dimension_capacity(&self) -> usize {
+        self.scratch.dimension_capacity().min(self.rhs.capacity())
+    }
+
+    /// Releases all buffer memory (shrink-on-idle for long-lived workers).
+    pub fn release(&mut self) {
+        self.scratch.release();
+        self.rhs = Vec::new();
+    }
+}
+
 /// The preprocessed solver state (Theorem 1.3).
 #[derive(Debug, Clone)]
 pub struct LaplacianSolver {
@@ -39,8 +87,28 @@ pub struct LaplacianSolver {
     sparsifier: Graph,
     /// Dense copy of `(1 + 1/2)·L_H`, factor-solved internally by every vertex.
     preconditioner: DenseMatrix,
+    /// The preconditioner factored once at preprocessing time; `None` when
+    /// the regularized matrix is numerically singular, in which case each
+    /// solve falls back to eliminating per iteration (and panics exactly
+    /// where the unfactored path always did).
+    factored: Option<FactoredPsd>,
+    /// The condition number of the Chebyshev iteration, computed once at
+    /// preprocessing time (the certificate behind it is an `O(n³)`
+    /// eigensolve — far too expensive to repeat per request).
+    kappa: f64,
     preprocessing_rounds: u64,
     max_weight: f64,
+}
+
+/// The relative condition number the Chebyshev iteration uses for the pair
+/// `(graph, sparsifier)`; see [`LaplacianSolver::kappa`].
+fn kappa_of(graph: &Graph, sparsifier: &Graph) -> f64 {
+    let eps = quality::achieved_epsilon(graph, sparsifier);
+    if !eps.is_finite() || eps >= 1.0 {
+        // Degenerate sparsifier; fall back to a large but finite κ.
+        return 100.0;
+    }
+    ((1.0 + eps) / (1.0 - eps)).max(3.0)
 }
 
 impl LaplacianSolver {
@@ -75,6 +143,8 @@ impl LaplacianSolver {
         let preconditioner = DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled));
         Ok(LaplacianSolver {
             max_weight: graph.max_weight().max(1.0),
+            kappa: kappa_of(graph, &sparsifier),
+            factored: preconditioner.factor_psd(),
             graph: graph.clone(),
             sparsifier,
             preconditioner,
@@ -104,11 +174,14 @@ impl LaplacianSolver {
             return Err(LaplacianError::Disconnected);
         }
         let scaled = graph.map_weights(|e| 1.5 * e.weight);
+        let preconditioner = DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled));
         Ok(LaplacianSolver {
             max_weight: graph.max_weight().max(1.0),
+            kappa: kappa_of(graph, graph),
+            factored: preconditioner.factor_psd(),
             graph: graph.clone(),
             sparsifier: graph.clone(),
-            preconditioner: DenseMatrix::from_rows(&laplacian::laplacian_dense(&scaled)),
+            preconditioner,
             preprocessing_rounds: 0,
         })
     }
@@ -142,14 +215,9 @@ impl LaplacianSolver {
     /// With a `(1 ± ε_H)` sparsifier this is `(1 + ε_H)/(1 − ε_H)`, the value
     /// Corollary 2.4 instantiates with `ε_H = 1/2` as `κ = 3`; if the measured
     /// sparsifier quality is worse, the larger measured value is used so the
-    /// iteration stays sound.
+    /// iteration stays sound. Computed once at preprocessing time.
     pub fn kappa(&self) -> f64 {
-        let eps = self.sparsifier_epsilon();
-        if !eps.is_finite() || eps >= 1.0 {
-            // Degenerate sparsifier; fall back to a large but finite κ.
-            return 100.0;
-        }
-        ((1.0 + eps) / (1.0 - eps)).max(3.0)
+        self.kappa
     }
 
     /// Solves `L_G x = b` up to `‖x − y‖_{L_G} ≤ ε‖x‖_{L_G}` (Theorem 1.3).
@@ -168,6 +236,49 @@ impl LaplacianSolver {
         b: &[f64],
         epsilon: f64,
     ) -> Result<LaplacianSolve, LaplacianError> {
+        let mut arena = ScratchArena::new();
+        self.try_solve_with(net, b, epsilon, &mut arena)
+    }
+
+    /// [`LaplacianSolver::try_solve`] over a caller-provided [`ScratchArena`]
+    /// so the Chebyshev work vectors are reused across solves. Bit-identical
+    /// to `try_solve`; only the solution vector itself is allocated.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LaplacianSolver::try_solve`].
+    pub fn try_solve_with(
+        &self,
+        net: &mut Network,
+        b: &[f64],
+        epsilon: f64,
+        arena: &mut ScratchArena,
+    ) -> Result<LaplacianSolve, LaplacianError> {
+        let mut solution = Vec::new();
+        let stats = self.try_solve_into(net, b, epsilon, arena, &mut solution)?;
+        Ok(LaplacianSolve {
+            solution,
+            iterations: stats.iterations,
+            rounds: stats.rounds,
+        })
+    }
+
+    /// The fully in-place solve: writes the solution into `out` (reusing its
+    /// capacity) and returns only the statistics. With a warm arena and a
+    /// warm `out` buffer a solve performs **zero heap allocations**.
+    /// Bit-identical to [`LaplacianSolver::try_solve`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`LaplacianSolver::try_solve`].
+    pub fn try_solve_into(
+        &self,
+        net: &mut Network,
+        b: &[f64],
+        epsilon: f64,
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) -> Result<LaplacianSolveStats, LaplacianError> {
         if !(epsilon > 0.0 && epsilon <= 0.5) {
             return Err(LaplacianError::InvalidEpsilon { epsilon });
         }
@@ -177,7 +288,7 @@ impl LaplacianSolver {
                 actual: b.len(),
             });
         }
-        Ok(self.solve_unchecked(net, b, epsilon))
+        Ok(self.solve_unchecked_into(net, b, epsilon, arena, out))
     }
 
     /// Panicking variant of [`LaplacianSolver::try_solve`], kept for the
@@ -191,15 +302,25 @@ impl LaplacianSolver {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn solve_unchecked(&self, net: &mut Network, b: &[f64], epsilon: f64) -> LaplacianSolve {
+    fn solve_unchecked_into(
+        &self,
+        net: &mut Network,
+        b: &[f64],
+        epsilon: f64,
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) -> LaplacianSolveStats {
         let rounds_before = net.ledger().total_rounds();
         net.begin_phase("laplacian solve");
 
-        let b = vector::remove_mean(b);
+        let ScratchArena { scratch, rhs } = arena;
+        rhs.clear();
+        rhs.extend_from_slice(b);
+        vector::remove_mean_in_place(rhs);
         let n = self.graph.n();
         // Bits per broadcast coordinate: O(log(n·U/ε)).
         let resolution = (epsilon / (n.max(2) as f64)).min(0.5);
-        let magnitude = (vector::norm_inf(&b) + 1.0) * (n as f64) * self.max_weight;
+        let magnitude = (vector::norm_inf(rhs) + 1.0) * (n as f64) * self.max_weight;
         let bits = u64::from(payload::bits_for_real(magnitude, resolution));
 
         let kappa = self.kappa();
@@ -211,21 +332,35 @@ impl LaplacianSolver {
         }
 
         let graph = &self.graph;
-        let preconditioner = &self.preconditioner;
-        let result = chebyshev::preconditioned_chebyshev_fixed(
-            |x| laplacian::laplacian_apply(graph, x),
-            |r| {
-                preconditioner
-                    .solve_psd(r, true)
-                    .expect("the scaled sparsifier Laplacian is solvable on mean-zero vectors")
-            },
-            kappa,
-            &b,
-            iterations,
-        );
-        let solution = vector::remove_mean(&result.solution);
-        LaplacianSolve {
-            solution,
+        match &self.factored {
+            Some(factored) => chebyshev::preconditioned_chebyshev_fixed_with(
+                |x, product| laplacian::laplacian_apply_into(graph, x, product),
+                |r, z| factored.solve_into(r, z, true),
+                kappa,
+                rhs,
+                iterations,
+                scratch,
+            ),
+            None => {
+                let preconditioner = &self.preconditioner;
+                chebyshev::preconditioned_chebyshev_fixed_with(
+                    |x, product| laplacian::laplacian_apply_into(graph, x, product),
+                    |r, z| {
+                        z.copy_from_slice(&preconditioner.solve_psd(r, true).expect(
+                            "the scaled sparsifier Laplacian is solvable on mean-zero vectors",
+                        ));
+                    },
+                    kappa,
+                    rhs,
+                    iterations,
+                    scratch,
+                )
+            }
+        };
+        out.clear();
+        out.extend_from_slice(&scratch.x);
+        vector::remove_mean_in_place(out);
+        LaplacianSolveStats {
             iterations,
             rounds: net.ledger().total_rounds() - rounds_before,
         }

@@ -5,6 +5,7 @@
 //! in the experiments. Operators are passed as closures so graph Laplacians
 //! can stay matrix-free.
 
+use crate::scratch::SolveScratch;
 use crate::vector;
 
 /// Outcome of an iterative solve.
@@ -12,6 +13,18 @@ use crate::vector;
 pub struct IterativeSolve {
     /// The computed solution.
     pub solution: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖₂`.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// The statistics of a scratch-based solve ([`conjugate_gradient_with`]);
+/// the solution itself stays in [`SolveScratch::x`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeStats {
     /// Number of iterations performed.
     pub iterations: usize,
     /// Final residual norm `‖b − A x‖₂`.
@@ -37,43 +50,81 @@ pub fn conjugate_gradient(
     tolerance: f64,
     max_iterations: usize,
 ) -> IterativeSolve {
+    let mut scratch = SolveScratch::new();
+    let mut precond_into = precond.map(|m| {
+        move |r: &[f64], z: &mut [f64]| {
+            z.copy_from_slice(&m(r));
+        }
+    });
+    let stats = conjugate_gradient_with(
+        |x, out: &mut [f64]| out.copy_from_slice(&apply_a(x)),
+        b,
+        precond_into
+            .as_mut()
+            .map(|m| m as &mut dyn FnMut(&[f64], &mut [f64])),
+        tolerance,
+        max_iterations,
+        &mut scratch,
+    );
+    IterativeSolve {
+        solution: std::mem::take(&mut scratch.x),
+        iterations: stats.iterations,
+        residual_norm: stats.residual_norm,
+        converged: stats.converged,
+    }
+}
+
+/// The same iteration over caller-provided [`SolveScratch`] buffers and
+/// writer-style operators: `apply_a(x, out)` stores `A x` in `out`,
+/// `precond` (when given) stores `M⁻¹ r`. The solution is left in
+/// [`SolveScratch::x`]; a warm scratch (already grown to dimension
+/// `b.len()`) makes the whole solve allocation-free. Bit-identical to
+/// [`conjugate_gradient`] — same operation order, same arithmetic.
+pub fn conjugate_gradient_with(
+    mut apply_a: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    mut precond: Option<&mut dyn FnMut(&[f64], &mut [f64])>,
+    tolerance: f64,
+    max_iterations: usize,
+    scratch: &mut SolveScratch,
+) -> IterativeStats {
     let n = b.len();
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
+    scratch.reset(n);
+    let SolveScratch { x, r, z, p, ap } = scratch;
+    r.copy_from_slice(b);
     let b_norm = vector::norm2(b).max(1e-300);
-    let mut z = match precond {
-        Some(m) => m(&r),
-        None => r.clone(),
-    };
-    let mut p = z.clone();
-    let mut rz = vector::dot(&r, &z);
+    match precond.as_deref_mut() {
+        Some(m) => m(r, z),
+        None => z.copy_from_slice(r),
+    }
+    p.copy_from_slice(z);
+    let mut rz = vector::dot(r, z);
     let mut iterations = 0;
-    let mut residual_norm = vector::norm2(&r);
+    let mut residual_norm = vector::norm2(r);
     while iterations < max_iterations && residual_norm > tolerance * b_norm {
-        let ap = apply_a(&p);
-        let pap = vector::dot(&p, &ap);
+        apply_a(p, ap);
+        let pap = vector::dot(p, ap);
         if pap.abs() < 1e-300 {
             break;
         }
         let alpha = rz / pap;
-        vector::axpy(&mut x, alpha, &p);
-        vector::axpy(&mut r, -alpha, &ap);
-        z = match precond {
-            Some(m) => m(&r),
-            None => r.clone(),
-        };
-        let rz_new = vector::dot(&r, &z);
+        vector::axpy(x, alpha, p);
+        vector::axpy(r, -alpha, ap);
+        match precond.as_deref_mut() {
+            Some(m) => m(r, z),
+            None => z.copy_from_slice(r),
+        }
+        let rz_new = vector::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
         }
-        residual_norm = vector::norm2(&r);
+        residual_norm = vector::norm2(r);
         iterations += 1;
     }
-    IterativeSolve {
+    IterativeStats {
         converged: residual_norm <= tolerance * b_norm,
-        solution: x,
         iterations,
         residual_norm,
     }

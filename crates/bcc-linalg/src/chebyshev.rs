@@ -7,6 +7,7 @@
 //! exactly the primitive mix the Broadcast Congested Clique Laplacian solver
 //! charges rounds for (Corollary 2.4 uses `B = (1 + 1/2)·L_H` and `κ = 3`).
 
+use crate::scratch::SolveScratch;
 use crate::vector;
 
 /// Result of a preconditioned Chebyshev solve.
@@ -19,6 +20,17 @@ pub struct ChebyshevSolve {
     pub iterations: usize,
     /// Final Euclidean residual norm `‖b − A y‖₂` (diagnostic only; the
     /// guarantee of Theorem 2.3 is stated in the `A`-norm).
+    pub residual_norm: f64,
+}
+
+/// The statistics of a scratch-based Chebyshev solve
+/// ([`preconditioned_chebyshev_fixed_with`]); the solution itself stays in
+/// [`SolveScratch::x`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChebyshevStats {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final Euclidean residual norm `‖b − A y‖₂`.
     pub residual_norm: f64,
 }
 
@@ -62,6 +74,37 @@ pub fn preconditioned_chebyshev_fixed(
     b: &[f64],
     iterations: usize,
 ) -> ChebyshevSolve {
+    let mut scratch = SolveScratch::new();
+    let stats = preconditioned_chebyshev_fixed_with(
+        |x, out: &mut [f64]| out.copy_from_slice(&apply_a(x)),
+        |r, out: &mut [f64]| out.copy_from_slice(&solve_b(r)),
+        kappa,
+        b,
+        iterations,
+        &mut scratch,
+    );
+    ChebyshevSolve {
+        solution: std::mem::take(&mut scratch.x),
+        iterations: stats.iterations,
+        residual_norm: stats.residual_norm,
+    }
+}
+
+/// The same iteration over caller-provided [`SolveScratch`] buffers and
+/// writer-style operators: `apply_a(x, out)` stores `A x` in `out`,
+/// `solve_b(r, out)` stores `B⁻¹ r`. The solution is left in
+/// [`SolveScratch::x`]; a warm scratch (already grown to dimension
+/// `b.len()`) plus allocation-free operators make the whole solve
+/// allocation-free. Bit-identical to [`preconditioned_chebyshev_fixed`] —
+/// same operation order, same arithmetic.
+pub fn preconditioned_chebyshev_fixed_with(
+    mut apply_a: impl FnMut(&[f64], &mut [f64]),
+    mut solve_b: impl FnMut(&[f64], &mut [f64]),
+    kappa: f64,
+    b: &[f64],
+    iterations: usize,
+    scratch: &mut SolveScratch,
+) -> ChebyshevStats {
     assert!(kappa >= 1.0, "kappa must be at least 1");
     let n = b.len();
     // Eigenvalue interval of B⁻¹A.
@@ -70,16 +113,16 @@ pub fn preconditioned_chebyshev_fixed(
     let theta = 0.5 * (lambda_max + lambda_min);
     let delta = 0.5 * (lambda_max - lambda_min);
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut p = vec![0.0; n];
+    scratch.reset(n);
+    let SolveScratch { x, r, z, p, ap } = scratch;
+    r.copy_from_slice(b);
     let mut alpha = 0.0;
 
     for k in 0..iterations {
-        let z = solve_b(&r);
+        solve_b(r, z);
         let beta;
         if k == 0 {
-            p = z;
+            p.copy_from_slice(z);
             alpha = 1.0 / theta;
         } else {
             beta = (0.5 * delta * alpha).powi(2);
@@ -88,14 +131,13 @@ pub fn preconditioned_chebyshev_fixed(
                 p[i] = z[i] + beta * p[i];
             }
         }
-        vector::axpy(&mut x, alpha, &p);
-        let ap = apply_a(&p);
-        vector::axpy(&mut r, -alpha, &ap);
+        vector::axpy(x, alpha, p);
+        apply_a(p, ap);
+        vector::axpy(r, -alpha, ap);
     }
-    ChebyshevSolve {
-        residual_norm: vector::norm2(&r),
+    ChebyshevStats {
+        residual_norm: vector::norm2(r),
         iterations,
-        solution: x,
     }
 }
 

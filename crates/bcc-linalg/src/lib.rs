@@ -38,11 +38,13 @@ pub mod cg;
 pub mod chebyshev;
 pub mod dense;
 pub mod jl;
+pub mod scratch;
 pub mod sparse;
 pub mod vector;
 
-pub use cg::{conjugate_gradient, IterativeSolve};
-pub use chebyshev::{preconditioned_chebyshev, ChebyshevSolve};
-pub use dense::{generalized_extreme_eigenvalues, DenseMatrix};
+pub use cg::{conjugate_gradient, IterativeSolve, IterativeStats};
+pub use chebyshev::{preconditioned_chebyshev, ChebyshevSolve, ChebyshevStats};
+pub use dense::{generalized_extreme_eigenvalues, DenseMatrix, FactoredPsd};
 pub use jl::{JlSketch, SketchKind};
+pub use scratch::SolveScratch;
 pub use sparse::CsrMatrix;

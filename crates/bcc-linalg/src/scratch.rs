@@ -1,0 +1,115 @@
+//! Reusable scratch buffers for the iterative solvers.
+//!
+//! The allocating entry points ([`crate::conjugate_gradient`],
+//! [`crate::preconditioned_chebyshev`]) build their work vectors per call.
+//! On the serving hot path that is pure overhead: every Chebyshev solve
+//! needs the same five `n`-vectors, and a worker solving thousands of
+//! right-hand sides on one topology can reuse them verbatim. A
+//! [`SolveScratch`] owns that bundle; the `_with` kernel variants
+//! ([`crate::cg::conjugate_gradient_with`],
+//! [`crate::chebyshev::preconditioned_chebyshev_fixed_with`]) borrow it and
+//! leave the solution in [`SolveScratch::x`], performing **zero heap
+//! allocations** once the buffers have grown to the instance size.
+
+/// The work-vector bundle of one iterative solve: solution `x`, residual
+/// `r`, preconditioned residual `z`, search direction `p` and the operator
+/// product `ap`. Reused across solves; buffers grow to the largest `n` seen
+/// and are never shrunk implicitly.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    /// The iterate / solution vector.
+    pub x: Vec<f64>,
+    /// The residual `b − A x`.
+    pub r: Vec<f64>,
+    /// The preconditioned residual `M⁻¹ r` (aliases `r` for plain CG).
+    pub z: Vec<f64>,
+    /// The search direction.
+    pub p: Vec<f64>,
+    /// The operator product `A p`.
+    pub ap: Vec<f64>,
+}
+
+/// Clears and re-lengthens a buffer to `n` zeros without reallocating when
+/// its capacity already suffices.
+fn reset_buffer(buffer: &mut Vec<f64>, n: usize) {
+    buffer.clear();
+    buffer.resize(n, 0.0);
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    /// A scratch with every buffer pre-sized for dimension `n`, so the first
+    /// solve at that size already allocates nothing.
+    pub fn with_dimension(n: usize) -> Self {
+        let mut scratch = SolveScratch::default();
+        scratch.reset(n);
+        scratch
+    }
+
+    /// Re-lengthens every buffer to `n` zeros. Allocation-free whenever `n`
+    /// does not exceed [`SolveScratch::dimension_capacity`].
+    pub fn reset(&mut self, n: usize) {
+        reset_buffer(&mut self.x, n);
+        reset_buffer(&mut self.r, n);
+        reset_buffer(&mut self.z, n);
+        reset_buffer(&mut self.p, n);
+        reset_buffer(&mut self.ap, n);
+    }
+
+    /// The largest dimension the scratch can serve without allocating (the
+    /// smallest buffer capacity).
+    pub fn dimension_capacity(&self) -> usize {
+        self.x
+            .capacity()
+            .min(self.r.capacity())
+            .min(self.z.capacity())
+            .min(self.p.capacity())
+            .min(self.ap.capacity())
+    }
+
+    /// Releases all buffer memory (shrink-on-idle for long-lived workers).
+    pub fn release(&mut self) {
+        self.x = Vec::new();
+        self.r = Vec::new();
+        self.z = Vec::new();
+        self.p = Vec::new();
+        self.ap = Vec::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_and_grows_to_dimension() {
+        let mut scratch = SolveScratch::new();
+        scratch.reset(4);
+        assert_eq!(scratch.x, vec![0.0; 4]);
+        assert_eq!(scratch.ap, vec![0.0; 4]);
+        scratch.x[2] = 7.0;
+        scratch.reset(4);
+        assert_eq!(scratch.x, vec![0.0; 4], "reset clears stale values");
+    }
+
+    #[test]
+    fn reset_within_capacity_keeps_buffers() {
+        let mut scratch = SolveScratch::with_dimension(16);
+        let capacity = scratch.dimension_capacity();
+        assert!(capacity >= 16);
+        scratch.reset(8);
+        assert_eq!(scratch.x.len(), 8);
+        assert!(scratch.dimension_capacity() >= capacity.min(16));
+    }
+
+    #[test]
+    fn release_drops_memory() {
+        let mut scratch = SolveScratch::with_dimension(32);
+        scratch.release();
+        assert_eq!(scratch.dimension_capacity(), 0);
+    }
+}

@@ -35,19 +35,37 @@ impl CsrMatrix {
     ///
     /// Panics if an index is out of range.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
-        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in triplets {
+        // Two-pass counting-sort build: count entries per row, prefix-sum
+        // into row offsets, then scatter every triplet into its row segment
+        // — O(nnz) with one flat staging array instead of a `Vec<Vec<_>>`.
+        let mut indptr = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
             assert!(r < rows && c < cols, "triplet index out of range");
-            per_row[r].push((c, v));
+            indptr[r + 1] += 1;
         }
-        let mut indptr = Vec::with_capacity(rows + 1);
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
-        indptr.push(0);
-        for row in &mut per_row {
-            row.sort_by_key(|&(c, _)| c);
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        // Stage `(column, arrival sequence, value)` per row. The sequence
+        // tag makes the per-row sort a total order, so an unstable sort
+        // reproduces the stable sort of the old builder exactly — duplicate
+        // columns keep their triplet order and thus sum in the same
+        // floating-point order.
+        let mut staged: Vec<(usize, usize, f64)> = vec![(0, 0, 0.0); triplets.len()];
+        let mut cursor = indptr.clone();
+        for (seq, &(r, c, v)) in triplets.iter().enumerate() {
+            staged[cursor[r]] = (c, seq, v);
+            cursor[r] += 1;
+        }
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut dedup_indptr = Vec::with_capacity(rows + 1);
+        dedup_indptr.push(0);
+        for r in 0..rows {
+            let row = &mut staged[indptr[r]..indptr[r + 1]];
+            row.sort_unstable_by_key(|&(c, seq, _)| (c, seq));
             let mut last_col = usize::MAX;
-            for &(c, v) in row.iter() {
+            for &(c, _, v) in row.iter() {
                 if c == last_col {
                     let n = values.len();
                     values[n - 1] += v;
@@ -57,12 +75,12 @@ impl CsrMatrix {
                     last_col = c;
                 }
             }
-            indptr.push(indices.len());
+            dedup_indptr.push(indices.len());
         }
         CsrMatrix {
             rows,
             cols,
-            indptr,
+            indptr: dedup_indptr,
             indices,
             values,
         }
@@ -101,16 +119,36 @@ impl CsrMatrix {
 
     /// Matrix–vector product `A x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `A x` written into a caller-provided buffer of
+    /// length [`CsrMatrix::rows`] — allocation-free, bit-identical to
+    /// [`CsrMatrix::matvec`].
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).map(|(c, v)| v * x[c]).sum())
-            .collect()
+        assert_eq!(out.len(), self.rows, "output dimension mismatch");
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.row(r).map(|(c, v)| v * x[c]).sum();
+        }
     }
 
     /// Transposed matrix–vector product `Aᵀ y`.
     pub fn matvec_transpose(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.rows, "dimension mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_transpose_into(y, &mut out);
+        out
+    }
+
+    /// Transposed matrix–vector product `Aᵀ y` written into a
+    /// caller-provided buffer of length [`CsrMatrix::cols`] —
+    /// allocation-free, bit-identical to [`CsrMatrix::matvec_transpose`].
+    pub fn matvec_transpose_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        assert_eq!(out.len(), self.cols, "output dimension mismatch");
+        out.fill(0.0);
         for r in 0..self.rows {
             let yr = y[r];
             if yr == 0.0 {
@@ -120,7 +158,6 @@ impl CsrMatrix {
                 out[c] += v * yr;
             }
         }
-        out
     }
 
     /// Returns a new matrix `D A` where `D = diag(d)` scales the rows.
@@ -239,5 +276,82 @@ mod tests {
     #[should_panic]
     fn out_of_range_triplets_rejected() {
         CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+
+    /// The old per-row `Vec<Vec<_>>` builder (stable sort + adjacent
+    /// duplicate summing), kept as the semantic reference for the
+    /// counting-sort build.
+    fn reference_from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> CsrMatrix {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet index out of range");
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|&(c, _)| c);
+            let mut last_col = usize::MAX;
+            for &(c, v) in row.iter() {
+                if c == last_col {
+                    let n = values.len();
+                    values[n - 1] += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last_col = c;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    #[test]
+    fn counting_sort_build_is_bit_identical_to_the_reference_builder() {
+        // Unsorted columns, interleaved rows, duplicate columns whose values
+        // do not sum associatively — `(0.1 + 0.2) + 0.3 != 0.1 + (0.2 +
+        // 0.3)` in f64 — so any change to the duplicate-summing order would
+        // show up as a bit difference.
+        let triplets = [
+            (1, 2, 0.1),
+            (0, 1, 1.0),
+            (1, 2, 0.2),
+            (0, 0, -2.5),
+            (1, 0, 4.0),
+            (1, 2, 0.3),
+            (0, 1, 0.25),
+            (2, 3, 1e-17),
+            (2, 3, 1.0),
+            (2, 3, -1.0),
+        ];
+        let fast = CsrMatrix::from_triplets(3, 4, &triplets);
+        let reference = reference_from_triplets(3, 4, &triplets);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let m = sample();
+        let x = vec![0.1, -0.7, 2.5];
+        let mut out = vec![f64::NAN; 2];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x));
+        let y = vec![1.5, -2.5];
+        let mut out_t = vec![f64::NAN; 3];
+        m.matvec_transpose_into(&y, &mut out_t);
+        assert_eq!(out_t, m.matvec_transpose(&y));
     }
 }

@@ -21,6 +21,13 @@ pub fn scale(x: &[f64], alpha: f64) -> Vec<f64> {
     x.iter().map(|a| alpha * a).collect()
 }
 
+/// In-place `x ← α·x`.
+pub fn scale_in_place(x: &mut [f64], alpha: f64) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
 /// In-place `y ← y + α·x`.
 pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     assert_eq!(x.len(), y.len(), "dimension mismatch");
@@ -140,6 +147,18 @@ pub fn remove_mean(x: &[f64]) -> Vec<f64> {
     x.iter().map(|v| v - mean).collect()
 }
 
+/// In-place variant of [`remove_mean`]: `x ← x − mean(x)·1`. Same arithmetic
+/// (one sum, one subtraction per coordinate), zero allocations.
+pub fn remove_mean_in_place(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
 /// Returns `true` if `‖x − y‖_∞ ≤ tol`.
 pub fn approx_eq(x: &[f64], y: &[f64], tol: f64) -> bool {
     x.len() == y.len() && x.iter().zip(y).all(|(a, b)| (a - b).abs() <= tol)
@@ -213,6 +232,20 @@ mod tests {
         let y = remove_mean(&x);
         assert!(y.iter().sum::<f64>().abs() < 1e-12);
         assert!(remove_mean(&[]).is_empty());
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let x = vec![0.1, -2.75, 33.0, 1e-9];
+        let mut scaled = x.clone();
+        scale_in_place(&mut scaled, -1.7);
+        assert_eq!(scaled, scale(&x, -1.7));
+        let mut centered = x.clone();
+        remove_mean_in_place(&mut centered);
+        assert_eq!(centered, remove_mean(&x));
+        let mut empty: Vec<f64> = Vec::new();
+        remove_mean_in_place(&mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Property tests of the allocation-free kernel contract: every `_into` /
+//! scratch-taking kernel must be **bit-identical** to its allocating wrapper
+//! on the same input. The serving engines rely on this — swapping the warm
+//! per-worker scratch path in for the allocating path must never change a
+//! single output bit, or the batch/stream/wire bit-identity suites (and the
+//! committed goldens) would drift with engine internals.
+
+use bcc_linalg::{cg, chebyshev, vector, CsrMatrix, DenseMatrix, SolveScratch};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random triplets on an `n × n` system, deliberately including duplicate
+/// coordinates (they exercise the summing path of the CSR builder).
+fn random_triplets(n: usize, entries: usize, seed: u64) -> Vec<(usize, usize, f64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..entries)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen::<f64>() * 2.0 - 1.0,
+            )
+        })
+        .collect()
+}
+
+/// A random SPD system: a symmetrized random sparse matrix made diagonally
+/// dominant, in both CSR and dense form, with a random right-hand side.
+fn spd_system(n: usize, seed: u64) -> (CsrMatrix, DenseMatrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut dense = DenseMatrix::zeros(n, n);
+    for _ in 0..(3 * n) {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        let w = rng.gen::<f64>() * 2.0 - 1.0;
+        dense.add_to(i, j, w);
+        dense.add_to(j, i, w);
+    }
+    // Diagonal dominance: row sums of absolute values plus one.
+    for i in 0..n {
+        let row_abs: f64 = (0..n).map(|j| dense.get(i, j).abs()).sum();
+        dense.add_to(i, i, row_abs + 1.0);
+    }
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            let v = dense.get(i, j);
+            if v != 0.0 {
+                triplets.push((i, j, v));
+            }
+        }
+    }
+    let csr = CsrMatrix::from_triplets(n, n, &triplets);
+    let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    (csr, dense, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matvec_into_is_bit_identical_to_matvec(
+        n in 2usize..24,
+        entries in 1usize..96,
+        seed in any::<u64>(),
+    ) {
+        let triplets = random_triplets(n, entries, seed);
+        let a = CsrMatrix::from_triplets(n, n, &triplets);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+
+        let allocated = a.matvec(&x);
+        // A dirty warm buffer: `_into` must fully overwrite it.
+        let mut reused = vec![f64::NAN; n];
+        a.matvec_into(&x, &mut reused);
+        prop_assert_eq!(&allocated, &reused);
+
+        let allocated_t = a.matvec_transpose(&x);
+        let mut reused_t = vec![f64::NAN; n];
+        a.matvec_transpose_into(&x, &mut reused_t);
+        prop_assert_eq!(&allocated_t, &reused_t);
+    }
+
+    #[test]
+    fn cg_scratch_path_is_bit_identical_to_the_allocating_wrapper(
+        n in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let (a, _, b) = spd_system(n, seed);
+        let allocated = cg::conjugate_gradient(|x| a.matvec(x), &b, None, 1e-10, 200);
+
+        let mut scratch = SolveScratch::new();
+        // Two runs over the same scratch: the warm second run must agree
+        // bit-for-bit with the cold first one and with the wrapper.
+        for _ in 0..2 {
+            let stats = cg::conjugate_gradient_with(
+                |x, out| a.matvec_into(x, out),
+                &b,
+                None,
+                1e-10,
+                200,
+                &mut scratch,
+            );
+            prop_assert_eq!(&allocated.solution, &scratch.x);
+            prop_assert_eq!(allocated.iterations, stats.iterations);
+            prop_assert_eq!(allocated.residual_norm.to_bits(), stats.residual_norm.to_bits());
+            prop_assert_eq!(allocated.converged, stats.converged);
+        }
+    }
+
+    #[test]
+    fn preconditioned_cg_scratch_path_is_bit_identical(
+        n in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let (a, dense, b) = spd_system(n, seed);
+        let diag: Vec<f64> = (0..n).map(|i| dense.get(i, i)).collect();
+        let precond = |r: &[f64]| -> Vec<f64> {
+            r.iter().zip(&diag).map(|(v, d)| v / d).collect()
+        };
+        let allocated =
+            cg::conjugate_gradient(|x| a.matvec(x), &b, Some(&precond), 1e-10, 200);
+
+        let mut scratch = SolveScratch::new();
+        let mut jacobi = |r: &[f64], z: &mut [f64]| {
+            for ((zi, ri), di) in z.iter_mut().zip(r).zip(&diag) {
+                *zi = ri / di;
+            }
+        };
+        let stats = cg::conjugate_gradient_with(
+            |x, out| a.matvec_into(x, out),
+            &b,
+            Some(&mut jacobi),
+            1e-10,
+            200,
+            &mut scratch,
+        );
+        prop_assert_eq!(&allocated.solution, &scratch.x);
+        prop_assert_eq!(allocated.iterations, stats.iterations);
+        prop_assert_eq!(allocated.residual_norm.to_bits(), stats.residual_norm.to_bits());
+    }
+
+    #[test]
+    fn chebyshev_scratch_path_is_bit_identical_to_the_allocating_wrapper(
+        n in 2usize..24,
+        iterations in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        // Diagonal test pair A = diag(d), B = κ·I with d in [1, κ].
+        let kappa = 8.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let diag: Vec<f64> = (0..n)
+            .map(|_| 1.0 + (kappa - 1.0) * rng.gen::<f64>())
+            .collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+
+        let allocated = chebyshev::preconditioned_chebyshev_fixed(
+            |x| x.iter().zip(&diag).map(|(v, d)| v * d).collect(),
+            |r| r.iter().map(|v| v / kappa).collect(),
+            kappa,
+            &b,
+            iterations,
+        );
+
+        let mut scratch = SolveScratch::new();
+        for _ in 0..2 {
+            let stats = chebyshev::preconditioned_chebyshev_fixed_with(
+                |x, out| {
+                    for ((o, v), d) in out.iter_mut().zip(x).zip(&diag) {
+                        *o = v * d;
+                    }
+                },
+                |r, out| {
+                    for (o, v) in out.iter_mut().zip(r) {
+                        *o = v / kappa;
+                    }
+                },
+                kappa,
+                &b,
+                iterations,
+                &mut scratch,
+            );
+            prop_assert_eq!(&allocated.solution, &scratch.x);
+            prop_assert_eq!(allocated.iterations, stats.iterations);
+            prop_assert_eq!(
+                allocated.residual_norm.to_bits(),
+                stats.residual_norm.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn factored_psd_solve_into_is_bit_identical_to_solve_psd(
+        n in 2usize..14,
+        rhs_count in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (_, dense, _) = spd_system(n, seed);
+        let factored = dense.factor_psd().expect("SPD systems factor");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFAC7);
+        let mut out = vec![f64::NAN; n];
+        for _ in 0..rhs_count {
+            let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+            for zero_mean in [false, true] {
+                let reference = dense
+                    .solve_psd(&b, zero_mean)
+                    .expect("SPD systems solve");
+                factored.solve_into(&b, &mut out, zero_mean);
+                prop_assert_eq!(&reference, &out);
+                let allocated = factored.solve(&b, zero_mean);
+                prop_assert_eq!(&reference, &allocated);
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_vector_kernels_are_bit_identical(
+        n in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect();
+        let alpha = rng.gen::<f64>() * 4.0 - 2.0;
+
+        let scaled = vector::scale(&x, alpha);
+        let mut in_place = x.clone();
+        vector::scale_in_place(&mut in_place, alpha);
+        prop_assert_eq!(&scaled, &in_place);
+
+        let centered = vector::remove_mean(&x);
+        let mut in_place = x.clone();
+        vector::remove_mean_in_place(&mut in_place);
+        prop_assert_eq!(&centered, &in_place);
+    }
+}

@@ -53,6 +53,9 @@ impl RoundLedger {
 
     /// Starts (or resumes) a named phase; subsequent charges accrue to it.
     pub fn begin_phase(&mut self, name: &str) {
+        if self.current.as_deref() == Some(name) {
+            return;
+        }
         if !self.phases.contains_key(name) {
             self.phases.insert(name.to_owned(), PhaseStats::default());
             self.order.push(name.to_owned());
@@ -66,16 +69,20 @@ impl RoundLedger {
     }
 
     /// Charges `rounds` rounds and `bits` broadcast bits to the current phase.
+    ///
+    /// Allocation-free on the hot path: the current phase entry already
+    /// exists after the first charge, so only the first charge to a brand-new
+    /// phase name pays for the `String` insert.
     pub fn charge(&mut self, rounds: u64, bits: u64) {
         self.total.rounds += rounds;
         self.total.bits += bits;
         self.total.operations += 1;
-        let name = self.current.clone().unwrap_or_else(|| "(default)".into());
-        if !self.phases.contains_key(&name) {
-            self.phases.insert(name.clone(), PhaseStats::default());
-            self.order.push(name.clone());
+        let name = self.current.as_deref().unwrap_or("(default)");
+        if !self.phases.contains_key(name) {
+            self.phases.insert(name.to_owned(), PhaseStats::default());
+            self.order.push(name.to_owned());
         }
-        let stats = self.phases.get_mut(&name).expect("phase just inserted");
+        let stats = self.phases.get_mut(name).expect("phase just inserted");
         stats.rounds += rounds;
         stats.bits += bits;
         stats.operations += 1;

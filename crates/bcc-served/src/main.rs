@@ -44,7 +44,7 @@ use bcc_client::wire::{
 };
 use bcc_core::config::{EngineConfig, Priority};
 use bcc_core::stream::{StreamClient, StreamEngineBuilder, Ticket};
-use bcc_core::telemetry::TelemetrySink;
+use bcc_core::telemetry::{TelemetrySink, TenantCounters};
 use bcc_core::tenant::{TenantAccounts, TenantConfig, TenantDirectory};
 use bcc_core::Request;
 
@@ -345,6 +345,13 @@ fn handle_connection(stream: UnixStream, client: &StreamClient<'_>, daemon: &Dae
     let Some((tenant, class)) = handshake(&mut reader, &mut writer, daemon) else {
         return;
     };
+    // Per-tenant metric handles, resolved once per connection: the counters
+    // live in the engine's registry under `tenant.<name>.*`, so they ride
+    // along in every telemetry snapshot a client exports.
+    let counters = daemon
+        .sink
+        .registry()
+        .map(|registry| TenantCounters::register(registry, &tenant.name));
     // Wire tickets are submission indices; the opaque engine tickets live
     // here, so a bogus index from the wire is a typed fault, never a panic.
     let mut tickets: HashMap<u64, Ticket> = HashMap::new();
@@ -367,13 +374,14 @@ fn handle_connection(stream: UnixStream, client: &StreamClient<'_>, daemon: &Dae
                 daemon,
                 &tenant,
                 class,
+                counters.as_ref(),
                 &mut tickets,
                 request,
                 deadline_ms,
             ),
-            ClientMsg::Poll { ticket } => poll(client, &mut tickets, ticket),
+            ClientMsg::Poll { ticket } => poll(client, counters.as_ref(), &mut tickets, ticket),
             ClientMsg::Wait { ticket, timeout_ms } => {
-                wait(client, &mut tickets, ticket, timeout_ms)
+                wait(client, counters.as_ref(), &mut tickets, ticket, timeout_ms)
             }
             ClientMsg::TelemetrySnapshot => match client.telemetry_snapshot() {
                 Some(snapshot) => ServerMsg::Telemetry { snapshot },
@@ -405,11 +413,13 @@ fn fault_msg(code: &str, message: impl Into<String>) -> ServerMsg {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn submit(
     client: &StreamClient<'_>,
     daemon: &Daemon,
     tenant: &TenantConfig,
     class: Priority,
+    counters: Option<&TenantCounters>,
     tickets: &mut HashMap<u64, Ticket>,
     request: bcc_client::wire::WireRequest,
     deadline_ms: Option<u64>,
@@ -430,6 +440,9 @@ fn submit(
             .accounts
             .charge(tenant, bcc_graph::fingerprint(graph))
         {
+            if let Some(tc) = counters {
+                tc.quota_rejections.incr();
+            }
             return ServerMsg::Failed {
                 ticket: None,
                 fault: WireFault::from_engine_error(&e),
@@ -442,6 +455,9 @@ fn submit(
     };
     match admitted {
         Ok(ticket) => {
+            if let Some(tc) = counters {
+                tc.submitted.incr();
+            }
             let index = ticket.index();
             tickets.insert(index, ticket);
             ServerMsg::Submitted { ticket: index }
@@ -453,7 +469,12 @@ fn submit(
     }
 }
 
-fn poll(client: &StreamClient<'_>, tickets: &mut HashMap<u64, Ticket>, index: u64) -> ServerMsg {
+fn poll(
+    client: &StreamClient<'_>,
+    counters: Option<&TenantCounters>,
+    tickets: &mut HashMap<u64, Ticket>,
+    index: u64,
+) -> ServerMsg {
     let Some(&ticket) = tickets.get(&index) else {
         return unknown_ticket(index);
     };
@@ -461,6 +482,9 @@ fn poll(client: &StreamClient<'_>, tickets: &mut HashMap<u64, Ticket>, index: u6
         None => ServerMsg::Pending { ticket: index },
         Some(result) => {
             tickets.remove(&index);
+            if let Some(tc) = counters {
+                tc.completed.incr();
+            }
             completed(index, result)
         }
     }
@@ -468,6 +492,7 @@ fn poll(client: &StreamClient<'_>, tickets: &mut HashMap<u64, Ticket>, index: u6
 
 fn wait(
     client: &StreamClient<'_>,
+    counters: Option<&TenantCounters>,
     tickets: &mut HashMap<u64, Ticket>,
     index: u64,
     timeout_ms: Option<u64>,
@@ -487,6 +512,9 @@ fn wait(
         };
     }
     tickets.remove(&index);
+    if let Some(tc) = counters {
+        tc.completed.incr();
+    }
     completed(index, result)
 }
 

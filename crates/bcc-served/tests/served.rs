@@ -169,6 +169,10 @@ fn telemetry_is_observable_over_the_wire() {
     assert_eq!(snapshot.schema, "bcc-metrics/v1");
     assert!(snapshot.counter("stream.submitted") >= 1);
     assert!(snapshot.counter("stream.completed") >= 1);
+    // Per-tenant counters ride along under the tenant's name prefix.
+    assert_eq!(snapshot.counter("tenant.observer.submitted"), 1);
+    assert_eq!(snapshot.counter("tenant.observer.completed"), 1);
+    assert_eq!(snapshot.counter("tenant.observer.quota_rejections"), 0);
 
     let trace = client.chrome_trace().expect("trace export");
     assert!(
@@ -244,6 +248,13 @@ fn closed_enrollment_rejects_strangers_and_enforces_quotas() {
         }
         other => panic!("expected quota rejection, got {other:?}"),
     }
+
+    // The rejection is visible in the tenant's own metric prefix: two
+    // admitted submissions, one quota refusal.
+    let snapshot = victim.telemetry_snapshot().expect("live snapshot");
+    assert_eq!(snapshot.counter("tenant.victim.submitted"), 2);
+    assert_eq!(snapshot.counter("tenant.victim.completed"), 2);
+    assert_eq!(snapshot.counter("tenant.victim.quota_rejections"), 1);
 
     victim.shutdown().expect("drained report");
     guard.wait();

@@ -32,9 +32,14 @@
 //!
 //! `BENCH_pipelines.json` is a JSON array of objects with fields
 //! `{schema, pipeline, n, m, seed, total_rounds, total_bits,
-//! total_operations, report}`, where `report` is a serialized
+//! total_operations, wall_ns, report}`, where `report` is a serialized
 //! [`RoundReport`]: `{total_rounds, total_bits, total_operations,
-//! breakdown: [[phase, {rounds, bits, operations}], ...]}`.
+//! breakdown: [[phase, {rounds, bits, operations}], ...]}`. `wall_ns` is
+//! the median wall-clock time of the run over [`WALL_CLOCK_REPEATS`]
+//! repeats — an additive honesty field: the trend check validates its
+//! presence and shape (a positive number) but never its magnitude, because
+//! wall-clock time is machine-dependent where the round/bit counters are
+//! deterministic.
 //!
 //! `BENCH_batch.json` is an object `{schema, seed, workers, cold, warm}`
 //! where `cold` and `warm` are serialized [`BatchReport`]s
@@ -138,6 +143,11 @@ pub struct PipelinePoint {
     pub total_bits: u64,
     /// Total communication operations.
     pub total_operations: u64,
+    /// Median wall-clock nanoseconds of the run over
+    /// [`WALL_CLOCK_REPEATS`] repeats. Machine-dependent — the trend check
+    /// validates only that the field is present and positive, never its
+    /// magnitude.
+    pub wall_ns: u64,
     /// Full per-phase breakdown of the run.
     pub report: RoundReport,
 }
@@ -172,7 +182,39 @@ pub struct StreamTrajectory {
     pub report: StreamReport,
 }
 
-fn point(pipeline: &str, n: usize, m: usize, seed: u64, report: RoundReport) -> PipelinePoint {
+/// Number of repeats of each pipeline run whose median wall-clock time a
+/// [`PipelinePoint`] records. Every repeat is deterministic and produces the
+/// identical report, so the extra runs only buy timing stability.
+pub const WALL_CLOCK_REPEATS: usize = 3;
+
+/// Runs `run` [`WALL_CLOCK_REPEATS`] times, returning the (identical) result
+/// of the last repeat and the median wall-clock nanoseconds per repeat.
+fn median_wall_ns<T>(mut run: impl FnMut() -> T) -> (T, u64) {
+    let mut samples = [0u64; WALL_CLOCK_REPEATS];
+    let mut result = None;
+    for sample in samples.iter_mut() {
+        let start = std::time::Instant::now();
+        let value = run();
+        *sample = u64::try_from(start.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        result = Some(value);
+    }
+    samples.sort_unstable();
+    (
+        result.expect("WALL_CLOCK_REPEATS > 0"),
+        samples[WALL_CLOCK_REPEATS / 2],
+    )
+}
+
+fn point(
+    pipeline: &str,
+    n: usize,
+    m: usize,
+    seed: u64,
+    report: RoundReport,
+    wall_ns: u64,
+) -> PipelinePoint {
     PipelinePoint {
         schema: BENCH_SCHEMA.to_string(),
         pipeline: pipeline.to_string(),
@@ -182,6 +224,7 @@ fn point(pipeline: &str, n: usize, m: usize, seed: u64, report: RoundReport) -> 
         total_rounds: report.total_rounds,
         total_bits: report.total_bits,
         total_operations: report.total_operations,
+        wall_ns,
         report,
     }
 }
@@ -196,11 +239,20 @@ pub fn pipelines_trajectory(seed: u64, quick: bool) -> Vec<PipelinePoint> {
     let sparsify_sizes: &[usize] = if quick { &[12, 18] } else { &[12, 18, 26, 36] };
     for &n in sparsify_sizes {
         let g = generators::complete(n);
-        let mut session = Session::builder().seed(seed).build();
-        let outcome = session
-            .sparsify(&g, 0.5)
-            .expect("complete graph sparsifies");
-        points.push(point("sparsify", g.n(), g.m(), seed, outcome.report));
+        let (outcome, wall_ns) = median_wall_ns(|| {
+            let mut session = Session::builder().seed(seed).build();
+            session
+                .sparsify(&g, 0.5)
+                .expect("complete graph sparsifies")
+        });
+        points.push(point(
+            "sparsify",
+            g.n(),
+            g.m(),
+            seed,
+            outcome.report,
+            wall_ns,
+        ));
     }
 
     // Theorem 1.3 — preprocess + 3 solves on growing grids; the report is the
@@ -208,18 +260,21 @@ pub fn pipelines_trajectory(seed: u64, quick: bool) -> Vec<PipelinePoint> {
     let grid_sides: &[usize] = if quick { &[4, 5] } else { &[4, 5, 6, 8] };
     for &side in grid_sides {
         let g = generators::grid(side, side);
-        let session = Session::builder().seed(seed).build();
-        let mut prepared = session
-            .laplacian(&g)
-            .preprocess()
-            .expect("grids are connected");
-        for k in 1..=3 {
-            let mut b = vec![0.0; g.n()];
-            b[0] = 1.0;
-            b[g.n() - k] = -1.0;
-            prepared.solve(&b).expect("well-formed right-hand side");
-        }
-        points.push(point("laplacian", g.n(), g.m(), seed, prepared.report()));
+        let (report, wall_ns) = median_wall_ns(|| {
+            let session = Session::builder().seed(seed).build();
+            let mut prepared = session
+                .laplacian(&g)
+                .preprocess()
+                .expect("grids are connected");
+            for k in 1..=3 {
+                let mut b = vec![0.0; g.n()];
+                b[0] = 1.0;
+                b[g.n() - k] = -1.0;
+                prepared.solve(&b).expect("well-formed right-hand side");
+            }
+            prepared.report()
+        });
+        points.push(point("laplacian", g.n(), g.m(), seed, report, wall_ns));
     }
 
     // Theorem 1.4 — the simple box LP at growing variable counts via chained
@@ -239,25 +294,30 @@ pub fn pipelines_trajectory(seed: u64, quick: bool) -> Vec<PipelinePoint> {
             vec![0.5; vars],
             LpOptions::new(1e-3, lp.m(), seed).with_uniform_weights(),
         );
-        let mut session = Session::builder().seed(seed).build();
-        let outcome = session.lp(&lp, &request).expect("interior start");
-        points.push(point("lp", lp.n(), lp.m(), seed, outcome.report));
+        let (outcome, wall_ns) = median_wall_ns(|| {
+            let mut session = Session::builder().seed(seed).build();
+            session.lp(&lp, &request).expect("interior start")
+        });
+        points.push(point("lp", lp.n(), lp.m(), seed, outcome.report, wall_ns));
     }
 
     // Theorem 1.1 — min-cost max-flow on random instances.
     let flow_sizes: &[usize] = if quick { &[5] } else { &[5, 6, 8] };
     for &n in flow_sizes {
         let instance = generators::random_flow_instance(n, 0.3, 3, &mut rng);
-        let mut session = Session::builder().seed(seed).build();
-        let outcome = session
-            .min_cost_max_flow(&instance)
-            .expect("generated instances are non-empty");
+        let (outcome, wall_ns) = median_wall_ns(|| {
+            let mut session = Session::builder().seed(seed).build();
+            session
+                .min_cost_max_flow(&instance)
+                .expect("generated instances are non-empty")
+        });
         points.push(point(
             "mcmf",
             instance.graph.n(),
             instance.graph.m(),
             seed,
             outcome.report,
+            wall_ns,
         ));
     }
 
@@ -784,6 +844,26 @@ pub fn load_trend_issues(committed: &LoadBench, fresh: &LoadBench) -> Vec<String
     issues
 }
 
+/// The wall-clock shape guard of `--check-trend`: every pipeline point must
+/// carry a positive `wall_ns` (the regeneration pipeline always measures
+/// one). The *magnitude* is deliberately unchecked — wall-clock time is
+/// machine-dependent, so gating on it would make CI flaky; the field exists
+/// for humans and dashboards, and this guard only keeps it from silently
+/// disappearing or zeroing out.
+pub fn wall_clock_issues(what: &str, points: &[PipelinePoint]) -> Vec<String> {
+    points
+        .iter()
+        .filter(|p| p.wall_ns == 0)
+        .map(|p| {
+            format!(
+                "{what}: pipeline {} (n={}, m={}) has wall_ns = 0 — the wall-clock field must \
+                 be present and positive (regenerate the artifacts)",
+                p.pipeline, p.n, p.m
+            )
+        })
+        .collect()
+}
+
 /// The bound [`estimation_issues`] holds every scheduler class's symmetric
 /// cost-model estimation error to: predicted and actual rounds must agree
 /// within 1.5x in either direction.
@@ -991,6 +1071,14 @@ pub fn check_trend(root: &Path, seed: u64, quick: bool) -> io::Result<Vec<String
     );
     issues.extend(load_trend_issues(&committed_load, &fresh_load));
     issues.extend(estimation_issues(&fresh_stream));
+    issues.extend(wall_clock_issues(
+        "BENCH_pipelines.json (committed)",
+        &committed_pipelines,
+    ));
+    issues.extend(wall_clock_issues(
+        "BENCH_pipelines.json (fresh)",
+        &fresh_pipelines,
+    ));
 
     let path = root.join("BENCH_load_metrics.json");
     let committed_metrics: LoadMetricsBench =
@@ -1027,8 +1115,32 @@ mod tests {
                 assert_eq!(p.schema, BENCH_SCHEMA);
                 assert!(p.total_rounds > 0);
                 assert_eq!(p.total_rounds, p.report.total_rounds);
+                assert!(p.wall_ns > 0, "every point measures wall-clock time");
             }
         }
+    }
+
+    #[test]
+    fn wall_clock_guard_accepts_measured_points_and_flags_zeroes() {
+        let points = pipelines_trajectory(7, true);
+        assert!(wall_clock_issues("fresh", &points).is_empty());
+
+        let mut zeroed = points.clone();
+        zeroed[0].wall_ns = 0;
+        let issues = wall_clock_issues("committed", &zeroed);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0].contains("wall_ns"), "{issues:?}");
+
+        // The trend comparison itself never gates on the magnitude: a fresh
+        // run 100x slower (or faster) than the committed one passes.
+        let mut slower = points.clone();
+        for p in &mut slower {
+            p.wall_ns *= 100;
+        }
+        let batch = batch_trajectory(7, true);
+        let stream = stream_trajectory(7, true);
+        let issues = trend_issues(&points, &slower, &batch, &batch, &stream, &stream);
+        assert!(issues.is_empty(), "{issues:?}");
     }
 
     #[test]

@@ -73,6 +73,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 
 use bcc_graph::{fingerprint, GraphFingerprint};
+use bcc_laplacian::ScratchArena;
 use bcc_runtime::{ModelConfig, RoundLedger};
 use serde::{Deserialize, Serialize};
 
@@ -454,7 +455,7 @@ impl BatchEngine {
         // can evict between batches but never under a batch's feet.
         // Preprocessing is a pure function of (master seed, graph), so
         // scheduling cannot leak into the cached handles.
-        let pinned: Vec<CacheEntry> = self.parallel(&order, |_, fp| {
+        let pinned: Vec<Arc<CacheEntry>> = self.parallel(&order, |_, fp, _arena| {
             let graph = match &requests[first_graph[&fp.as_u128()]] {
                 Request::Laplacian { graph, .. } => graph,
                 _ => unreachable!("fingerprints index laplacian requests"),
@@ -467,14 +468,14 @@ impl BatchEngine {
                     });
             entry
         });
-        let pinned: HashMap<u128, CacheEntry> =
+        let pinned: HashMap<u128, Arc<CacheEntry>> =
             order.iter().map(|fp| fp.as_u128()).zip(pinned).collect();
 
         // Stage 2: execute all requests across the pool.
         let results: Vec<Result<Outcome<Response>, Error>> =
-            self.parallel(requests, |i, request| {
-                let entry = fps[i].map(|fp| &pinned[&fp.as_u128()]);
-                self.core.execute(i, request, entry)
+            self.parallel(requests, |i, request, arena| {
+                let entry = fps[i].map(|fp| &*pinned[&fp.as_u128()]);
+                self.core.execute(i, request, entry, arena)
             });
 
         // Aggregate through the shared accounting core — deterministic:
@@ -524,23 +525,38 @@ impl BatchEngine {
     }
 
     /// Runs `f` over `items` on the worker pool, collecting results in item
-    /// order. With one worker this is a plain sequential loop.
-    fn parallel<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    /// order. With one worker this is a plain sequential loop. Every worker
+    /// owns one [`ScratchArena`] for its whole run, so Laplacian solve
+    /// buffers are reused across the requests it serves (they never affect
+    /// results — only allocations).
+    fn parallel<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T, &mut ScratchArena) -> R + Sync,
+    ) -> Vec<R> {
         let workers = self.workers.min(items.len()).max(1);
         if workers == 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut arena = ScratchArena::new();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t, &mut arena))
+                .collect();
         }
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<R>>> = Mutex::new(items.iter().map(|_| None).collect());
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut arena = ScratchArena::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let result = f(i, &items[i], &mut arena);
+                        slots.lock().expect("result slots")[i] = Some(result);
                     }
-                    let result = f(i, &items[i]);
-                    slots.lock().expect("result slots")[i] = Some(result);
                 });
             }
         });

@@ -168,7 +168,7 @@ pub struct CacheStats {
 /// One cached slot: the entry plus the recency/usage bookkeeping the
 /// eviction policies rank by.
 struct Slot {
-    entry: CacheEntry,
+    entry: Arc<CacheEntry>,
     /// Graph dimensions of the cached topology — what the cost model prices
     /// a rebuild of this slot from.
     dims: CostDims,
@@ -363,12 +363,12 @@ impl LaplacianCache {
 
     /// Looks an entry up, bumping its recency, usage count and the hit
     /// counter on success.
-    fn lookup(&self, fp: GraphFingerprint) -> Option<CacheEntry> {
+    fn lookup(&self, fp: GraphFingerprint) -> Option<Arc<CacheEntry>> {
         let mut shard = self.shard(fp).lock().expect("shard");
         let slot = shard.get_mut(&fp.as_u128())?;
         slot.tick = self.tick();
         slot.uses += 1;
-        let entry = slot.entry.clone();
+        let entry = Arc::clone(&slot.entry);
         drop(shard);
         self.hits.fetch_add(1, Ordering::Relaxed);
         if let Some(live) = &self.live {
@@ -394,7 +394,7 @@ impl LaplacianCache {
         fp: GraphFingerprint,
         dims: CostDims,
         build: impl FnOnce() -> CacheEntry,
-    ) -> (CacheEntry, bool) {
+    ) -> (Arc<CacheEntry>, bool) {
         let key = fp.as_u128();
         loop {
             if let Some(entry) = self.lookup(fp) {
@@ -420,7 +420,7 @@ impl LaplacianCache {
             if let Some(entry) = self.lookup(fp) {
                 return (entry, false);
             }
-            let entry = build();
+            let entry = Arc::new(build());
             // Count the miss (and feed the calibration loop) only for a
             // *completed* build, so an aborted build never skews the
             // hit/miss ratio or the model.
@@ -437,7 +437,7 @@ impl LaplacianCache {
                 .fetch_add(entry.1.total_rounds, Ordering::Relaxed);
             self.cost
                 .observe(CostKind::LaplacianPreprocess, dims, entry.1.total_rounds);
-            self.insert(fp, dims, entry.clone());
+            self.insert(fp, dims, Arc::clone(&entry));
             drop(claim);
             return (entry, true);
         }
@@ -445,7 +445,7 @@ impl LaplacianCache {
 
     /// Inserts an entry, then evicts per the configured policy until the
     /// capacity bound holds again.
-    fn insert(&self, fp: GraphFingerprint, dims: CostDims, entry: CacheEntry) {
+    fn insert(&self, fp: GraphFingerprint, dims: CostDims, entry: Arc<CacheEntry>) {
         let tick = self.tick();
         self.shard(fp).lock().expect("shard").insert(
             fp.as_u128(),
@@ -561,7 +561,7 @@ mod tests {
         cache: &LaplacianCache,
         graph: &bcc_graph::Graph,
         build: impl FnOnce() -> CacheEntry,
-    ) -> (CacheEntry, bool) {
+    ) -> (Arc<CacheEntry>, bool) {
         cache.get_or_build(fingerprint(graph), CostDims::of_graph(graph), build)
     }
 

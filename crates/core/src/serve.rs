@@ -297,14 +297,18 @@ impl EngineCore {
     }
 
     /// Executes one request on a fresh worker session seeded by the request
-    /// index. Laplacian requests solve on a clone of `entry` (their cached
-    /// prepared solver), so every solve starts from the same pristine handle
-    /// state regardless of scheduling.
+    /// index. Laplacian requests solve **directly on the shared cached
+    /// entry** — `PreparedLaplacian::solve_shared` runs each solve on a
+    /// fresh per-request network with the worker's [`ScratchArena`], so no
+    /// per-request clone of the preprocessing state is needed and every
+    /// solve still starts from the same pristine state regardless of
+    /// scheduling.
     pub(crate) fn execute(
         &self,
         index: usize,
         request: &Request,
         entry: Option<&CacheEntry>,
+        arena: &mut bcc_laplacian::ScratchArena,
     ) -> Result<Outcome<Response>, Error> {
         match request {
             Request::Sparsify { graph, epsilon } => self
@@ -313,11 +317,8 @@ impl EngineCore {
                 .map(|o| o.map(Response::Sparsify)),
             Request::Laplacian { b, epsilon, .. } => {
                 let (prepared, _) = entry.expect("laplacian requests carry their cache entry");
-                let mut prepared = prepared.clone()?;
-                let outcome = match epsilon {
-                    Some(e) => prepared.solve_with_epsilon(b, *e),
-                    None => prepared.solve(b),
-                }?;
+                let prepared = prepared.as_ref().map_err(Error::clone)?;
+                let outcome = prepared.solve_shared(b, *epsilon, arena)?;
                 Ok(outcome.map(Response::Laplacian))
             }
             Request::Lp { instance, request } => self

@@ -27,7 +27,7 @@
 
 use bcc_flow::{try_min_cost_max_flow_bcc, McmfOptions, McmfResult};
 use bcc_graph::{FlowInstance, Graph};
-use bcc_laplacian::{LaplacianSolve, LaplacianSolver};
+use bcc_laplacian::{LaplacianSolve, LaplacianSolver, ScratchArena};
 use bcc_lp::{try_lp_solve, DenseGramSolver, GramSolver, LpInstance, LpOptions, LpSolution};
 use bcc_runtime::{ModelConfig, Network, RoundLedger};
 use bcc_sparsifier::{try_sparsify_ad_hoc, SparsifierConfig, SparsifierOutput};
@@ -504,6 +504,36 @@ impl PreparedLaplacian {
         Ok(Outcome {
             report: self.report().since(&before),
             value: solutions,
+        })
+    }
+
+    /// Solves `L_G x = b` **without mutating this handle**: the solve runs on
+    /// a fresh per-request network (so the returned [`Outcome::report`]
+    /// covers this solve alone, exactly as [`PreparedLaplacian::solve`]'s
+    /// delta report does) and reuses the caller's [`ScratchArena`] work
+    /// vectors. This is the engines' hot path: many workers can serve solves
+    /// from one shared prepared handle without cloning the preprocessing
+    /// state per request.
+    ///
+    /// `epsilon` of `None` uses the request's configured accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Laplacian`] when `b` has the wrong length or the
+    /// accuracy is invalid.
+    pub fn solve_shared(
+        &self,
+        b: &[f64],
+        epsilon: Option<f64>,
+        arena: &mut ScratchArena,
+    ) -> Result<Outcome<LaplacianSolve>, Error> {
+        let mut net = Network::clique(self.net.config(), self.net.n());
+        let solve =
+            self.solver
+                .try_solve_with(&mut net, b, epsilon.unwrap_or(self.epsilon), arena)?;
+        Ok(Outcome {
+            report: RoundReport::from_ledger(net.ledger()),
+            value: solve,
         })
     }
 

@@ -180,6 +180,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bcc_graph::{fingerprint, GraphFingerprint};
+use bcc_laplacian::ScratchArena;
 use bcc_runtime::{ModelConfig, RoundLedger};
 use serde::{Deserialize, Serialize};
 
@@ -1272,6 +1273,9 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
     // Trace lane convention: lane 0 is admission/collection (the client
     // side), lane `1 + id` is this worker.
     let lane = 1 + id;
+    // One scratch arena per worker thread: solve state is reused across every
+    // job this worker executes, so a warm worker solves without allocating.
+    let mut arena = ScratchArena::new();
     loop {
         let work = {
             let mut queue = shared.queue.lock().expect("stream queue");
@@ -1365,17 +1369,18 @@ fn worker_loop(shared: &Shared<'_>, id: usize) {
                 u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
             );
         }
-        let (result, built_rounds) =
-            match panic::catch_unwind(AssertUnwindSafe(|| execute_job(shared, lane, &job))) {
-                Ok(result) => result,
-                Err(payload) => {
-                    shared.queue.lock().expect("stream queue").poisoned = true;
-                    shared.not_full.notify_all();
-                    shared.done.lock().expect("completion table").poisoned = true;
-                    shared.done_cv.notify_all();
-                    panic::resume_unwind(payload);
-                }
-            };
+        let (result, built_rounds) = match panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_job(shared, lane, &job, &mut arena)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                shared.queue.lock().expect("stream queue").poisoned = true;
+                shared.not_full.notify_all();
+                shared.done.lock().expect("completion table").poisoned = true;
+                shared.done_cv.notify_all();
+                panic::resume_unwind(payload);
+            }
+        };
         let finished = shared.clock.now();
         if let Some(tc) = &shared.tcounters {
             tc.completed.incr();
@@ -1438,6 +1443,7 @@ fn execute_job(
     shared: &Shared<'_>,
     lane: usize,
     job: &Job,
+    arena: &mut ScratchArena,
 ) -> (Result<Outcome<Response>, Error>, u64) {
     match job.payload.fp {
         Some(fp) => {
@@ -1474,10 +1480,12 @@ fn execute_job(
                 .or_insert_with(|| entry.1.clone());
             let built_rounds = if built { entry.1.total_rounds } else { 0 };
             shared.trace(lane, TraceEvent::SolveBegin, job.index, 0);
-            let result =
-                shared
-                    .core
-                    .execute(job.index as usize, &job.payload.request, Some(&entry));
+            let result = shared.core.execute(
+                job.index as usize,
+                &job.payload.request,
+                Some(&entry),
+                arena,
+            );
             let solved_rounds = result
                 .as_ref()
                 .map(|outcome| outcome.report.total_rounds)
@@ -1489,7 +1497,7 @@ fn execute_job(
             shared.trace(lane, TraceEvent::SolveBegin, job.index, 0);
             let result = shared
                 .core
-                .execute(job.index as usize, &job.payload.request, None);
+                .execute(job.index as usize, &job.payload.request, None, arena);
             let solved_rounds = result
                 .as_ref()
                 .map(|outcome| outcome.report.total_rounds)

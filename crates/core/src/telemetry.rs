@@ -369,6 +369,39 @@ impl MetricsRegistry {
     }
 }
 
+/// The per-tenant serving counters a multi-tenant front-end (the
+/// `bcc-served` daemon) registers for each tenant it authenticates, named
+/// `tenant.<name>.submitted` / `tenant.<name>.completed` /
+/// `tenant.<name>.quota_rejections` in the [`MetricsRegistry`] so they ride
+/// along in every [`MetricsSnapshot`] export.
+///
+/// Registration is idempotent (the registry returns the same underlying
+/// counters for repeated handshakes of one tenant), so every connection can
+/// simply call [`TenantCounters::register`] and cache the handles for its
+/// lifetime — the lock is paid once per connection, never per request.
+#[derive(Debug, Clone)]
+pub struct TenantCounters {
+    /// Requests admitted into the engine on this tenant's behalf.
+    pub submitted: Arc<Counter>,
+    /// Results delivered back to this tenant (successful or failed).
+    pub completed: Arc<Counter>,
+    /// Submissions refused up front because the tenant's cache quota was
+    /// exhausted.
+    pub quota_rejections: Arc<Counter>,
+}
+
+impl TenantCounters {
+    /// Resolves (creating on first use) the three counters of `tenant` in
+    /// `registry`.
+    pub fn register(registry: &MetricsRegistry, tenant: &str) -> Self {
+        TenantCounters {
+            submitted: registry.counter(&format!("tenant.{tenant}.submitted")),
+            completed: registry.counter(&format!("tenant.{tenant}.completed")),
+            quota_rejections: registry.counter(&format!("tenant.{tenant}.quota_rejections")),
+        }
+    }
+}
+
 /// One counter in a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
@@ -852,6 +885,33 @@ mod tests {
         assert_eq!(registry.gauge("y").get(), 7);
         g.set_max(9);
         assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn tenant_counters_register_under_prefixed_names_idempotently() {
+        let registry = MetricsRegistry::new();
+        let first = TenantCounters::register(&registry, "acme");
+        first.submitted.incr();
+        first.submitted.incr();
+        first.completed.incr();
+        first.quota_rejections.incr();
+        // A second handshake of the same tenant resolves the same counters.
+        let second = TenantCounters::register(&registry, "acme");
+        second.submitted.incr();
+        assert_eq!(registry.counter("tenant.acme.submitted").get(), 3);
+        assert_eq!(registry.counter("tenant.acme.completed").get(), 1);
+        assert_eq!(registry.counter("tenant.acme.quota_rejections").get(), 1);
+        // Distinct tenants get distinct counters.
+        let other = TenantCounters::register(&registry, "umbrella");
+        other.submitted.incr();
+        assert_eq!(registry.counter("tenant.umbrella.submitted").get(), 1);
+        assert_eq!(registry.counter("tenant.acme.submitted").get(), 3);
+        // The prefixed names ride along in the snapshot export.
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"tenant.acme.submitted"), "{names:?}");
+        assert!(names.contains(&"tenant.acme.quota_rejections"), "{names:?}");
+        assert!(names.contains(&"tenant.umbrella.submitted"), "{names:?}");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 # library, then commit the result. Bump the report schema tags
 # (BATCH_REPORT_SCHEMA / STREAM_REPORT_SCHEMA / bcc-bench/v1) if a schema
 # change is not purely additive.
+#
+# BENCH_pipelines.json points also carry a `wall_ns` wall-clock field (the
+# median of WALL_CLOCK_REPEATS deterministic repeats, see
+# docs/PERFORMANCE.md). Those values are a fingerprint of the machine that
+# ran this script — the trend check validates only their presence and
+# shape, never their magnitude, so regenerating on a slower box is fine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
